@@ -1,0 +1,113 @@
+// Centralized (single-node) training loop with parameter-trajectory
+// instrumentation — the substrate for the paper's motivating measurements
+// (Figs. 1, 2, 3, 7, 9), which study parameter evolution outside the FL loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/perturbation.h"
+#include "data/loader.h"
+#include "fl/evaluate.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/param_vector.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+
+namespace apf::bench {
+
+struct CentralTraceOptions {
+  std::size_t epochs = 50;
+  std::size_t batch_size = 16;
+  /// Observation window for effective perturbation, in epochs. The window
+  /// holds *per-iteration* updates (the paper's Fig. 2 spans one epoch of
+  /// updates), i.e. perturbation_window * iters_per_epoch updates.
+  std::size_t perturbation_window = 1;
+  /// Scalars whose full trajectory is recorded.
+  std::vector<std::size_t> tracked_params;
+};
+
+struct CentralTrace {
+  std::vector<double> test_accuracy;       // per epoch (best-ever applied by caller)
+  std::vector<double> mean_perturbation;   // per epoch, window over epochs
+  /// tracked_values[t][e] = value of tracked_params[t] after epoch e.
+  std::vector<std::vector<double>> tracked_values;
+  /// First epoch where each scalar's windowed perturbation fell below the
+  /// threshold; epochs+1 when it never did. Only filled when
+  /// `record_stabilization_epochs` was requested.
+  std::vector<double> stabilization_epoch;
+  /// Full parameter snapshot after each epoch (optional, heavy).
+  std::vector<std::vector<float>> param_snapshots;
+  /// Windowed effective perturbation of every scalar at the final epoch.
+  std::vector<double> final_perturbation;
+};
+
+struct CentralTraceRequest {
+  bool record_stabilization = false;
+  double stabilization_threshold = 0.01;
+  bool record_snapshots = false;
+};
+
+/// Trains `module` on `train` for the given epochs, recording trajectories.
+inline CentralTrace central_train(
+    nn::Module& module, optim::Optimizer& optimizer,
+    const data::Dataset& train, const data::Dataset& test,
+    const CentralTraceOptions& options, Rng& rng,
+    const CentralTraceRequest& request = {}) {
+  CentralTrace trace;
+  const std::size_t dim = module.parameter_count();
+  std::vector<std::size_t> all_indices(train.size());
+  for (std::size_t i = 0; i < all_indices.size(); ++i) all_indices[i] = i;
+  data::DataLoader loader(train, all_indices, options.batch_size, rng.split());
+  const std::size_t iters_per_epoch = loader.batches_per_epoch();
+
+  core::WindowedPerturbation perturbation(
+      dim, options.perturbation_window * iters_per_epoch);
+  trace.tracked_values.resize(options.tracked_params.size());
+  trace.stabilization_epoch.assign(
+      request.record_stabilization ? dim : 0,
+      static_cast<double>(options.epochs + 1));
+
+  std::vector<float> before = nn::flatten_params(module);
+  std::vector<float> update(dim);
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    module.set_training(true);
+    for (std::size_t it = 0; it < iters_per_epoch; ++it) {
+      const data::Batch batch = loader.next_batch();
+      optimizer.zero_grad();
+      const Tensor logits = module.forward(batch.inputs);
+      const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+      module.backward(loss.grad_logits);
+      optimizer.step();
+      // Per-iteration update feeds the perturbation window (paper Eq. 1).
+      std::vector<float> after = nn::flatten_params(module);
+      for (std::size_t j = 0; j < dim; ++j) update[j] = after[j] - before[j];
+      perturbation.push(update);
+      before = std::move(after);
+    }
+    const std::vector<float>& after = before;
+
+    trace.test_accuracy.push_back(fl::evaluate_accuracy(module, test));
+    trace.mean_perturbation.push_back(
+        perturbation.window_full() ? perturbation.mean() : 1.0);
+    for (std::size_t t = 0; t < options.tracked_params.size(); ++t) {
+      trace.tracked_values[t].push_back(after[options.tracked_params[t]]);
+    }
+    if (request.record_stabilization && perturbation.window_full()) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (trace.stabilization_epoch[j] >
+                static_cast<double>(options.epochs) &&
+            perturbation.value(j) < request.stabilization_threshold) {
+          trace.stabilization_epoch[j] = static_cast<double>(epoch + 1);
+        }
+      }
+    }
+    if (request.record_snapshots) trace.param_snapshots.push_back(after);
+  }
+  trace.final_perturbation = perturbation.values();
+  return trace;
+}
+
+}  // namespace apf::bench

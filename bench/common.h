@@ -1,0 +1,103 @@
+// Shared experiment harness for the per-figure/table bench drivers.
+//
+// Provides the three paper workloads (LeNet-5 / ResNet-18 / KWS-LSTM) at
+// simulation-friendly scale, partition choices, APF defaults re-tuned for the
+// shorter round counts (see EXPERIMENTS.md "Scaling" note), run execution and
+// paper-style output printing. Every driver is deterministic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/apf.h"
+
+namespace apf::bench {
+
+/// How training data is spread across clients.
+enum class PartitionKind {
+  kIid,
+  kDirichlet,     // paper default, alpha = 1
+  kPathological,  // k distinct classes per client (extreme non-IID, §7.3)
+};
+
+struct TaskOptions {
+  std::size_t num_clients = 5;
+  std::size_t rounds = 240;
+  std::size_t local_iters = 3;   // Fs
+  std::size_t batch_size = 16;
+  std::size_t train_samples = 600;
+  std::size_t test_samples = 300;
+  PartitionKind partition = PartitionKind::kDirichlet;
+  double dirichlet_alpha = 1.0;
+  std::size_t classes_per_client = 2;  // for kPathological
+  double lr = 0.0;  // 0 = model's default (paper: Adam 1e-3 / SGD 0.1 / 0.01)
+  std::size_t eval_every = 4;
+  std::uint64_t seed = 2021;  // ICDCS year, why not
+};
+
+/// A fully assembled federated task: datasets + partition + factories +
+/// runner config. The datasets are owned here and must outlive run().
+struct TaskBundle {
+  std::string name;
+  std::shared_ptr<const data::Dataset> train;
+  std::shared_ptr<const data::Dataset> test;
+  data::Partition partition;
+  fl::ModelFactory model;
+  fl::OptimizerFactory optimizer;
+  fl::FlConfig config;
+  std::size_t model_dim = 0;
+};
+
+/// LeNet-5 (Adam, lr 1e-3) on the synthetic CIFAR-10 stand-in.
+TaskBundle lenet_task(TaskOptions options = {});
+
+/// ResNet-18 at reduced width (SGD, lr 0.1) on the synthetic image task.
+TaskBundle resnet_task(TaskOptions options = {});
+
+/// 2-layer LSTM (SGD, lr 0.05) on the synthetic KWS stand-in.
+TaskBundle lstm_task(TaskOptions options = {});
+
+/// APF options re-tuned for the bench round counts: EMA alpha 0.9 and a
+/// check every 2 rounds (the paper's 0.99 / every-5-rounds settings assume
+/// thousands of rounds).
+core::ApfOptions default_apf_options();
+
+/// Strawman options matching default_apf_options' detection settings.
+core::StrawmanOptions default_strawman_options();
+
+/// One labelled run.
+struct RunSummary {
+  std::string name;
+  fl::SimulationResult result;
+};
+
+/// Executes the task under the given strategy.
+RunSummary run(const TaskBundle& task, fl::SyncStrategy& strategy,
+               const std::string& label = "");
+
+/// Like run(), with a learning-rate schedule.
+RunSummary run_with_schedule(const TaskBundle& task,
+                             fl::SyncStrategy& strategy,
+                             const optim::LrSchedule& schedule,
+                             const std::string& label = "");
+
+/// CSV with one accuracy column per run (x = evaluated round index).
+void print_accuracy_csv(const std::string& figure,
+                        const std::vector<RunSummary>& runs,
+                        std::size_t eval_every);
+
+/// CSV with one frozen-fraction column per run (x = round).
+void print_frozen_csv(const std::string& figure,
+                      const std::vector<RunSummary>& runs);
+
+/// CSV with cumulative per-client transmission per run (x = round).
+void print_bytes_csv(const std::string& figure,
+                     const std::vector<RunSummary>& runs);
+
+/// Summary table: best acc, final acc, bytes, time, frozen fraction.
+void print_summary_table(const std::string& title,
+                         const std::vector<RunSummary>& runs);
+
+}  // namespace apf::bench

@@ -1,0 +1,48 @@
+// Fig. 2 — Average effective perturbation of all LeNet-5 parameters during
+// training: decays rapidly at first, then slowly after convergence,
+// indicating that most parameters stabilize before the model converges.
+#include <iostream>
+
+#include "central_training.h"
+#include "common.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace apf;
+
+int main() {
+  std::cout << "=== Fig. 2: average effective perturbation (LeNet-5) ===\n";
+  bench::TaskOptions topt;
+  topt.train_samples = 480;
+  topt.test_samples = 240;
+  bench::TaskBundle task = bench::lenet_task(topt);
+
+  auto model = task.model();
+  Rng rng(11);
+  bench::CentralTraceOptions options;
+  options.epochs = 60;
+  options.batch_size = 16;
+  options.perturbation_window = 2;
+  optim::Adam adam(model->parameters(), 1e-3);
+  const auto trace = bench::central_train(*model, adam, *task.train,
+                                          *task.test, options, rng);
+
+  std::vector<CsvColumn> columns;
+  CsvColumn epoch{"epoch", {}};
+  for (std::size_t e = 0; e < options.epochs; ++e) {
+    epoch.values.push_back(static_cast<double>(e + 1));
+  }
+  columns.push_back(std::move(epoch));
+  columns.push_back({"mean_effective_perturbation", trace.mean_perturbation});
+  columns.push_back({"best_accuracy", best_ever(trace.test_accuracy)});
+  print_figure_csv("Fig.2 average effective perturbation", columns);
+
+  const std::size_t w = options.perturbation_window;
+  const double start = trace.mean_perturbation[w];  // first full window
+  const double end = trace.mean_perturbation.back();
+  std::cout << "mean perturbation at first full window: " << start
+            << "\nmean perturbation at final epoch:       " << end
+            << "\nreduction factor: " << (end > 0 ? start / end : 0.0)
+            << " (paper shape: rapid decay, then slow tail)\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 15 — Ablation of the TCP-style (AIMD) freezing-period controller
+// against pure-additive, pure-multiplicative and fixed-period alternatives
+// on LeNet-5. Paper shape: all schemes freeze a similar fraction (similar
+// communication), but AIMD yields the best accuracy because it unfreezes
+// agilely when a parameter starts shifting.
+#include <iostream>
+
+#include "common.h"
+
+using namespace apf;
+
+int main() {
+  std::cout << "=== Fig. 15: freezing-period control-policy ablation ===\n";
+  bench::TaskOptions topt;
+  topt.rounds = 240;
+  bench::TaskBundle task = bench::lenet_task(topt);
+
+  struct Case {
+    std::string name;
+    core::ControlPolicy policy;
+  };
+  const Case cases[] = {
+      {"TCP-style(AIMD)", core::ControlPolicy::kAimd},
+      {"Pure-Additive", core::ControlPolicy::kPureAdditive},
+      {"Pure-Multiplicative", core::ControlPolicy::kPureMultiplicative},
+      {"Fixed(10)", core::ControlPolicy::kFixed},
+  };
+
+  std::vector<bench::RunSummary> runs;
+  for (const auto& c : cases) {
+    core::ApfOptions opt = bench::default_apf_options();
+    opt.controller.policy = c.policy;
+    opt.controller.fixed_period = 10;  // paper: 10 stability checks
+    core::ApfManager manager(opt);
+    runs.push_back(bench::run(task, manager, c.name));
+  }
+
+  bench::print_accuracy_csv("Fig.15a", runs, task.config.eval_every);
+  bench::print_frozen_csv("Fig.15b", runs);
+  bench::print_summary_table("Fig.15 control-policy ablation (LeNet-5)",
+                             runs);
+  std::cout << "(paper shape: frozen-ratio curves are similar across "
+               "policies; the AIMD controller attains the best accuracy.)\n";
+  return 0;
+}

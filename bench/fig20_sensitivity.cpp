@@ -1,0 +1,79 @@
+// Fig. 20 — Hyper-parameter sensitivity I:
+//  (a) a loose initial stability threshold (10x the default) freezes more,
+//      dips early accuracy, and is rectified by runtime threshold decay;
+//  (b) a 5x less frequent stability check (with proportionally scaled
+//      additive step) performs like the default.
+#include <iostream>
+
+#include "common.h"
+
+using namespace apf;
+
+int main() {
+  std::cout << "=== Fig. 20: threshold & check-frequency sensitivity ===\n";
+
+  // (a) Stability threshold: 0.05 (default) vs 0.5 (loose) on LeNet-5.
+  {
+    bench::TaskOptions topt;
+    topt.rounds = 240;
+    bench::TaskBundle task = bench::lenet_task(topt);
+    std::vector<bench::RunSummary> runs;
+    {
+      core::ApfManager apf(bench::default_apf_options());
+      runs.push_back(bench::run(task, apf, "threshold=default"));
+    }
+    {
+      // Purposely loose threshold, 3x the default (the paper loosens 10x,
+      // 0.05 -> 0.5); runtime decay must rectify it.
+      core::ApfOptions opt = bench::default_apf_options();
+      opt.stability_threshold = 0.9;
+      core::ApfManager apf(opt);
+      runs.push_back(bench::run(task, apf, "threshold=loose+decay"));
+    }
+    {
+      core::ApfOptions opt = bench::default_apf_options();
+      opt.stability_threshold = 0.9;
+      opt.threshold_decay = false;  // ablation: no rectification
+      core::ApfManager apf(opt);
+      runs.push_back(bench::run(task, apf, "threshold=loose,no-decay"));
+    }
+    bench::print_accuracy_csv("Fig.20a", runs, task.config.eval_every);
+    bench::print_frozen_csv("Fig.20a", runs);
+    bench::print_summary_table("Fig.20a stability-threshold sensitivity",
+                               runs);
+  }
+
+  // (b) Check frequency on the LSTM: Fc = Fs vs Fc = 5 Fs with the additive
+  // step scaled by 5 (the paper's fair-comparison adjustment).
+  {
+    bench::TaskOptions topt;
+    topt.rounds = 140;
+    bench::TaskBundle task = bench::lstm_task(topt);
+    std::vector<bench::RunSummary> runs;
+    {
+      core::ApfOptions opt = bench::default_apf_options();
+      opt.check_every_rounds = 1;
+      opt.controller.additive_step = 2;
+      core::ApfManager apf(opt);
+      runs.push_back(bench::run(task, apf, "Fc=Fs"));
+    }
+    {
+      // 5x rarer checks with the controller steps scaled 5x, the paper's
+      // fair-comparison adjustment (+5 / scale-down 5 instead of +1 / 2).
+      core::ApfOptions opt = bench::default_apf_options();
+      opt.check_every_rounds = 5;
+      opt.controller.additive_step = 10;
+      opt.controller.multiplicative_factor = 5;
+      core::ApfManager apf(opt);
+      runs.push_back(bench::run(task, apf, "Fc=5Fs"));
+    }
+    bench::print_accuracy_csv("Fig.20b", runs, task.config.eval_every);
+    bench::print_frozen_csv("Fig.20b", runs);
+    bench::print_summary_table("Fig.20b check-frequency sensitivity", runs);
+  }
+
+  std::cout << "(paper shape: the loose threshold freezes faster with a "
+               "small early accuracy dip that the decay mechanism repairs; "
+               "the two check frequencies perform similarly.)\n";
+  return 0;
+}

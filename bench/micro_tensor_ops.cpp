@@ -1,0 +1,119 @@
+// Micro-benchmarks for the tensor / NN substrate hot paths
+// (google-benchmark): matmul kernels, im2col convolution, LSTM step, and
+// the APF building blocks (EMA perturbation fold, bitmap ops).
+#include <benchmark/benchmark.h>
+
+#include "core/perturbation.h"
+#include "nn/conv_layers.h"
+#include "nn/lstm.h"
+#include "nn/models.h"
+#include "tensor/ops.h"
+#include "util/bitmap.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace apf;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::uniform({n, n}, rng);
+  Tensor b = Tensor::uniform({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+
+void BM_MatmulTn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Tensor a = Tensor::uniform({n, n}, rng);
+  Tensor b = Tensor::uniform({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_tn(a, b));
+  }
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(3, 16, 3, rng, 1, 1);
+  Tensor x = Tensor::uniform({8, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+}
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(4);
+  nn::Conv2d conv(3, 16, 3, rng, 1, 1);
+  Tensor x = Tensor::uniform({8, 3, 32, 32}, rng);
+  Tensor y = conv.forward(x);
+  Tensor g = Tensor::uniform(y.shape(), rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+
+void BM_LstmForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::LSTM lstm(8, 64, rng);
+  Tensor x = Tensor::uniform({16, 16, 8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.forward(x));
+  }
+}
+
+void BM_LeNetTrainingStep(benchmark::State& state) {
+  Rng rng(6);
+  auto net = nn::make_lenet5(rng, 3, 32, 10, 1.0);
+  Tensor x = Tensor::uniform({16, 3, 32, 32}, rng);
+  Tensor g({16, 10}, 0.1f);
+  for (auto _ : state) {
+    net->zero_grad();
+    Tensor y = net->forward(x);
+    benchmark::DoNotOptimize(net->backward(g));
+  }
+}
+
+void BM_EmaPerturbationFold(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  core::EmaPerturbation p(dim, 0.99);
+  std::vector<float> delta(dim);
+  for (auto& v : delta) v = rng.uniform_float(-0.1f, 0.1f);
+  for (auto _ : state) {
+    p.update(delta);
+    benchmark::DoNotOptimize(p.value(0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * 4));
+}
+
+void BM_BitmapCount(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Bitmap mask(dim, false);
+  Rng rng(8);
+  for (std::size_t i = 0; i < dim / 3; ++i) {
+    mask.set(rng.uniform_int(std::uint64_t{dim}), true);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mask.count());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatmulTn)->Arg(128);
+BENCHMARK(BM_Conv2dForward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv2dBackward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LstmForward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LeNetTrainingStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EmaPerturbationFold)->Arg(62006)->Arg(1 << 20);
+BENCHMARK(BM_BitmapCount)->Arg(62006)->Arg(1 << 20);
+
+BENCHMARK_MAIN();

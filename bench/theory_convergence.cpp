@@ -1,0 +1,95 @@
+// Theory (§3.1, Theorem 1) — transient vs stationary phases of SGD.
+//
+// On a mu-strongly-convex quadratic with bounded gradient noise, Theorem 1
+// bounds E||x_k - x*||^2 <= A^k ||x0 - x*||^2 + B with A = 1 - 2*mu*eta and
+// B = eta*sigma^2 / (2*mu). This driver runs SGD on exactly that objective,
+// prints the measured squared distance against the bound, and verifies the
+// two-phase behaviour that motivates APF: exponential approach, then a
+// noise-floor plateau where updates are pure oscillation.
+#include <cmath>
+#include <iostream>
+
+#include "core/perturbation.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace apf;
+
+int main() {
+  std::cout << "=== Theorem 1: transient -> stationary parameter dynamics "
+               "===\n";
+  const std::size_t dim = 64;
+  const double mu = 1.0;       // f(x) = (mu/2) ||x - x*||^2
+  const double eta = 0.05;     // learning rate
+  const double noise = 0.3;    // per-coordinate gradient noise stddev
+  const double sigma_sq = noise * noise * static_cast<double>(dim);
+  const double a_factor = 1.0 - 2.0 * mu * eta;
+  const double b_floor = eta * sigma_sq / (2.0 * mu);
+  const std::size_t steps = 300;
+  const std::size_t trials = 50;
+
+  // Average squared distance over independent trials, plus the effective
+  // perturbation of the iterates (window of 20 steps).
+  std::vector<double> mean_dist_sq(steps, 0.0);
+  std::vector<double> mean_perturbation(steps, 0.0);
+  Rng rng(7);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::vector<double> x(dim, 3.0);  // ||x0 - x*||^2 = 9 * dim
+    core::WindowedPerturbation perturbation(dim, 20);
+    std::vector<float> update(dim);
+    for (std::size_t k = 0; k < steps; ++k) {
+      double dist_sq = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) dist_sq += x[j] * x[j];
+      mean_dist_sq[k] += dist_sq / static_cast<double>(trials);
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double g = mu * x[j] + rng.normal(0.0, noise);
+        const double step = -eta * g;
+        x[j] += step;
+        update[j] = static_cast<float>(step);
+      }
+      perturbation.push(update);
+      mean_perturbation[k] +=
+          (perturbation.window_full() ? perturbation.mean() : 1.0) /
+          static_cast<double>(trials);
+    }
+  }
+
+  std::vector<CsvColumn> columns;
+  CsvColumn k_axis{"step", {}};
+  CsvColumn measured{"measured_dist_sq", {}};
+  CsvColumn bound{"theorem1_bound", {}};
+  CsvColumn perturb{"mean_effective_perturbation", {}};
+  const double d0 = 9.0 * static_cast<double>(dim);
+  for (std::size_t k = 0; k < steps; k += 5) {
+    k_axis.values.push_back(static_cast<double>(k));
+    measured.values.push_back(mean_dist_sq[k]);
+    bound.values.push_back(std::pow(a_factor, static_cast<double>(k)) * d0 +
+                           b_floor);
+    perturb.values.push_back(mean_perturbation[k]);
+  }
+  columns = {k_axis, measured, bound, perturb};
+  print_figure_csv("Theorem 1: measured vs bound", columns);
+
+  // Checks mirrored in EXPERIMENTS.md. Slack note: Theorem 1's Assumption 2
+  // bounds the *total* stochastic gradient by sigma^2; our noise model adds
+  // sigma^2 of noise on top of the true gradient (strictly more variance),
+  // so the exact stationary level is eta*sigma^2 / (mu*(2 - mu*eta)) — a
+  // few percent above B. 30% slack absorbs that plus 50-trial variance.
+  std::size_t violations = 0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double bnd =
+        std::pow(a_factor, static_cast<double>(k)) * d0 + b_floor;
+    if (mean_dist_sq[k] > bnd * 1.3) ++violations;
+  }
+  std::cout << "bound violations (30% slack): " << violations << "/" << steps
+            << "\nnoise floor B = " << b_floor
+            << ", final measured distance^2 = " << mean_dist_sq.back()
+            << "\nmean effective perturbation: start "
+            << TablePrinter::fmt(mean_perturbation[25], 3) << " -> end "
+            << TablePrinter::fmt(mean_perturbation.back(), 3)
+            << "\n(expected shape: exponential decay onto the noise floor; "
+               "perturbation collapses once the stationary phase begins — "
+               "the oscillation APF harvests.)\n";
+  return 0;
+}

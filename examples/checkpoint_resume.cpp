@@ -1,0 +1,95 @@
+// Checkpointing a federated run: train, save the global model, resume into
+// a fresh process-equivalent state, and verify the restored model serves
+// the same accuracy. Demonstrates nn::save_checkpoint / load_checkpoint and
+// moving parameters between the FL runtime and standalone inference.
+//
+//   $ ./checkpoint_resume
+#include <iostream>
+
+#include "core/apf.h"
+#include "fl/flat_view.h"
+#include "nn/serialize.h"
+#include "util/table.h"
+
+using namespace apf;
+
+int main() {
+  data::SyntheticImageSpec spec;
+  spec.num_classes = 10;
+  spec.channels = 3;
+  spec.image_size = 20;
+  spec.noise_stddev = 2.0;
+  data::SyntheticImageDataset train(spec, 400, 1);
+  data::SyntheticImageDataset test(spec, 200, 2);
+
+  Rng partition_rng(8);
+  data::Partition partition =
+      data::dirichlet_partition(train.all_labels(), 10, 4, 1.0, partition_rng);
+
+  fl::ModelFactory model_factory = [] {
+    Rng rng(33);
+    return nn::make_lenet5(rng, 3, 20, 10);
+  };
+  fl::OptimizerFactory optimizer_factory = [](nn::Module& m) {
+    return std::make_unique<optim::Adam>(m.parameters(), 1e-3);
+  };
+
+  fl::FlConfig config;
+  config.num_clients = 4;
+  config.rounds = 80;
+  config.local_iters = 3;
+  config.batch_size = 16;
+  config.eval_every = 20;
+
+  // Phase 1: train under APF and checkpoint the final global model.
+  core::ApfOptions options;
+  options.stability_threshold = 0.3;
+  options.ema_alpha = 0.8;
+  options.check_every_rounds = 2;
+  options.controller.additive_step = 4;
+  core::ApfManager apf(options);
+  fl::FederatedRunner runner(config, train, partition, test, model_factory,
+                             optimizer_factory, apf);
+  const auto phase1 = runner.run();
+
+  auto server_model = model_factory();
+  fl::FlatParamView(*server_model).scatter(phase1.final_global_params);
+  const std::string path = "/tmp/apf_example_checkpoint.bin";
+  nn::save_checkpoint_file(*server_model, path);
+  const double acc_before = fl::evaluate_accuracy(*server_model, test);
+  std::cout << "phase 1 trained " << config.rounds << " rounds, accuracy "
+            << TablePrinter::fmt(acc_before, 3) << ", checkpoint written to "
+            << path << '\n';
+
+  // Phase 2: a "new deployment" restores the checkpoint and serves it.
+  auto restored = model_factory();
+  // Prove the restore does something: clobber first.
+  for (auto& p : restored->parameters()) p.param->value.fill(0.f);
+  nn::load_checkpoint_file(*restored, path);
+  const double acc_after = fl::evaluate_accuracy(*restored, test);
+  std::cout << "restored model accuracy " << TablePrinter::fmt(acc_after, 3)
+            << (acc_after == acc_before ? "  (bit-exact restore)" : "")
+            << '\n';
+
+  // Phase 3: resume federated fine-tuning from the checkpoint — the model
+  // factory now loads the checkpoint so every client starts from it.
+  fl::ModelFactory resume_factory = [&, path] {
+    Rng rng(33);
+    auto model = nn::make_lenet5(rng, 3, 20, 10);
+    nn::load_checkpoint_file(*model, path);
+    return model;
+  };
+  fl::FlConfig resume_config = config;
+  resume_config.rounds = 40;
+  core::ApfManager apf2(options);
+  fl::FederatedRunner resume_runner(resume_config, train, partition, test,
+                                    resume_factory, optimizer_factory, apf2);
+  const auto phase2 = resume_runner.run();
+  std::cout << "resumed fine-tuning for " << resume_config.rounds
+            << " rounds, accuracy "
+            << TablePrinter::fmt(phase2.final_accuracy, 3) << " (best "
+            << TablePrinter::fmt(
+                   std::max(phase2.best_accuracy, acc_before), 3)
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Extending the library: writing your own synchronization strategy.
+//
+// Implements a toy "LayerFreeze" strategy against the public SyncStrategy
+// interface — it freezes whole tensors bottom-up on a fixed schedule, in the
+// spirit of FreezeOut/AutoFreeze (paper §8), and compares it with APF. The
+// example demonstrates the three integration points a strategy controls:
+//   1. frozen_mask()/frozen_anchor(): which scalars the runner pins locally,
+//   2. synchronize(): aggregation + byte accounting,
+//   3. global_params(): the server view used for evaluation.
+// It also shows why scalar-granularity adaptive freezing beats fixed
+// layer-granularity schedules (the paper's Fig. 3 argument).
+//
+//   $ ./custom_strategy
+#include <iostream>
+
+#include "core/apf.h"
+#include "util/table.h"
+
+using namespace apf;
+
+namespace {
+
+/// Freezes parameter tensors bottom-up: after `rounds_per_layer * i` rounds,
+/// the first i tensors are permanently frozen (never re-examined — exactly
+/// the rigidity APF's feedback loop avoids).
+class LayerFreeze : public fl::SyncStrategyBase {
+ public:
+  LayerFreeze(std::vector<nn::ParamSegment> segments,
+              std::size_t rounds_per_layer)
+      : segments_(std::move(segments)),
+        rounds_per_layer_(rounds_per_layer) {}
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override {
+    SyncStrategyBase::init(initial_params, num_clients);
+    mask_ = Bitmap(initial_params.size(), false);
+  }
+
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override {
+    const std::size_t dim = global_.size();
+    std::vector<float> new_global;
+    weighted_average(client_params, weights, new_global);
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (mask_.get(j)) new_global[j] = global_[j];
+    }
+    global_ = std::move(new_global);
+    for (auto& params : client_params) {
+      params.assign(global_.begin(), global_.end());
+    }
+    Result result;
+    const double payload = 4.0 * static_cast<double>(dim - mask_.count());
+    result.bytes_up.assign(client_params.size(), payload);
+    result.bytes_down.assign(client_params.size(), payload);
+    result.frozen_fraction = mask_.fraction();
+
+    // Schedule: after every `rounds_per_layer_` rounds, freeze one more
+    // tensor (bottom-up), keeping at least the classifier trainable.
+    const std::size_t layers_frozen =
+        std::min(round / rounds_per_layer_, segments_.size() - 2);
+    for (std::size_t s = 0; s < layers_frozen; ++s) {
+      for (std::size_t j = segments_[s].offset;
+           j < segments_[s].offset + segments_[s].size; ++j) {
+        mask_.set(j, true);
+      }
+    }
+    return result;
+  }
+
+  const Bitmap* frozen_mask() const override { return &mask_; }
+  std::span<const float> frozen_anchor() const override { return global_; }
+  std::string name() const override { return "LayerFreeze"; }
+
+ private:
+  std::vector<nn::ParamSegment> segments_;
+  std::size_t rounds_per_layer_;
+  Bitmap mask_;
+};
+
+}  // namespace
+
+int main() {
+  data::SyntheticImageSpec spec;
+  spec.num_classes = 10;
+  spec.channels = 3;
+  spec.image_size = 20;
+  spec.noise_stddev = 2.0;
+  data::SyntheticImageDataset train(spec, 500, 1);
+  data::SyntheticImageDataset test(spec, 250, 2);
+
+  Rng partition_rng(5);
+  data::Partition partition = data::dirichlet_partition(
+      train.all_labels(), 10, 5, 1.0, partition_rng);
+
+  fl::ModelFactory model_factory = [] {
+    Rng rng(29);
+    return nn::make_lenet5(rng, 3, 20, 10);
+  };
+  fl::OptimizerFactory optimizer_factory = [](nn::Module& m) {
+    return std::make_unique<optim::Adam>(m.parameters(), 1e-3);
+  };
+
+  fl::FlConfig config;
+  config.num_clients = 5;
+  config.rounds = 150;
+  config.local_iters = 3;
+  config.batch_size = 16;
+  config.eval_every = 10;
+
+  auto run = [&](fl::SyncStrategy& strategy) {
+    fl::FederatedRunner runner(config, train, partition, test, model_factory,
+                               optimizer_factory, strategy);
+    return runner.run();
+  };
+
+  // The custom layer-granularity schedule...
+  auto probe = model_factory();
+  LayerFreeze layer_freeze(nn::param_segments(*probe), /*rounds_per_layer=*/25);
+  const auto custom = run(layer_freeze);
+
+  // ...versus APF's per-scalar adaptive freezing.
+  core::ApfOptions options;
+  options.stability_threshold = 0.3;
+  options.ema_alpha = 0.8;
+  options.check_every_rounds = 2;
+  options.controller.additive_step = 4;
+  core::ApfManager apf(options);
+  const auto adaptive = run(apf);
+
+  TablePrinter table({"Strategy", "Best acc", "Bytes/client", "Avg frozen"});
+  table.add_row({"LayerFreeze (custom)",
+                 TablePrinter::fmt(custom.best_accuracy, 3),
+                 TablePrinter::fmt_bytes(custom.total_bytes_per_client),
+                 TablePrinter::fmt_percent(custom.mean_frozen_fraction)});
+  table.add_row({"APF (adaptive, per-scalar)",
+                 TablePrinter::fmt(adaptive.best_accuracy, 3),
+                 TablePrinter::fmt_bytes(adaptive.total_bytes_per_client),
+                 TablePrinter::fmt_percent(adaptive.mean_frozen_fraction)});
+  table.print();
+  std::cout << "\nLayer-granularity freezing is blind to per-scalar "
+               "stabilization spread (paper Fig. 3); APF adapts per scalar "
+               "and recovers when a frozen parameter needs to move.\n";
+  return 0;
+}

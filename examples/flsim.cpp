@@ -1,0 +1,308 @@
+// flsim — a command-line federated-learning simulator over the library.
+//
+// Configure the task, partition, strategy and APF knobs from flags; get a
+// summary on stdout and optionally a per-round CSV for plotting.
+//
+//   $ ./flsim --model lenet --strategy apf --clients 8 --rounds 150 \
+//             --alpha 0.5 --csv /tmp/run.csv
+//   $ ./flsim --help
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/apf.h"
+#include "fl/metrics.h"
+#include "nn/layers.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace apf;
+
+namespace {
+
+struct Args {
+  std::string model = "lenet";      // lenet | resnet | vgg | lstm | gru | mlp
+  std::string strategy = "apf";     // fedavg | apf | apf# | apf++ | apf+q |
+                                    // gaia | cmfl | topk | randk |
+                                    // partial | permafreeze
+  std::size_t clients = 5;
+  std::size_t rounds = 150;
+  std::size_t local_iters = 3;
+  std::size_t batch = 16;
+  double alpha = 1.0;               // Dirichlet concentration; <=0 -> IID
+  std::size_t classes_per_client = 0;  // >0 -> pathological split
+  double lr = 0.0;                  // 0 -> per-model default
+  double participation = 1.0;
+  double threshold = 0.3;           // APF stability threshold
+  std::size_t check_every = 2;      // APF Fc (in rounds)
+  std::uint64_t seed = 2021;
+  std::string csv;                  // per-round CSV output path
+  std::string save_state;           // APF manager state output path
+  bool verbose = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "flsim — federated learning simulator (APF reproduction)\n\n"
+      "  --model NAME       lenet | resnet | vgg | lstm | gru | mlp\n"
+      "  --strategy NAME    fedavg | apf | apf# | apf++ | apf+q | gaia |\n"
+      "                     cmfl | topk | randk | partial | permafreeze\n"
+      "  --clients N        number of edge clients (default 5)\n"
+      "  --rounds N         communication rounds (default 150)\n"
+      "  --local-iters N    local iterations per round, Fs (default 3)\n"
+      "  --batch N          mini-batch size (default 16)\n"
+      "  --alpha A          Dirichlet non-IID concentration (<=0: IID)\n"
+      "  --classes-per-client K  pathological split, K classes each\n"
+      "  --lr LR            learning rate (0: per-model default)\n"
+      "  --participation C  fraction of clients per round (default 1.0)\n"
+      "  --threshold T      APF stability threshold (default 0.3)\n"
+      "  --check-every N    APF stability-check cadence in rounds\n"
+      "  --seed S           simulation seed (default 2021)\n"
+      "  --csv PATH         write per-round metrics CSV\n"
+      "  --save-state PATH  write the APF manager state (apf* strategies)\n"
+      "  --verbose          log every evaluated round\n";
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--verbose") {
+      args.verbose = true;
+      continue;
+    }
+    if (i + 1 >= argc || flag.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << flag << "\n";
+      return false;
+    }
+    kv[flag.substr(2)] = argv[++i];
+  }
+  auto get = [&](const char* key, auto& out) {
+    auto it = kv.find(key);
+    if (it == kv.end()) return;
+    using T = std::decay_t<decltype(out)>;
+    if constexpr (std::is_same_v<T, std::string>) {
+      out = it->second;
+    } else if constexpr (std::is_floating_point_v<T>) {
+      out = std::stod(it->second);
+    } else {
+      out = static_cast<T>(std::stoull(it->second));
+    }
+  };
+  get("model", args.model);
+  get("strategy", args.strategy);
+  get("clients", args.clients);
+  get("rounds", args.rounds);
+  get("local-iters", args.local_iters);
+  get("batch", args.batch);
+  get("alpha", args.alpha);
+  get("classes-per-client", args.classes_per_client);
+  get("lr", args.lr);
+  get("participation", args.participation);
+  get("threshold", args.threshold);
+  get("check-every", args.check_every);
+  get("seed", args.seed);
+  get("csv", args.csv);
+  get("save-state", args.save_state);
+  return true;
+}
+
+struct TaskSetup {
+  std::shared_ptr<const data::Dataset> train, test;
+  fl::ModelFactory model;
+  double default_lr = 1e-3;
+  bool adam = true;
+};
+
+TaskSetup build_task(const Args& args) {
+  TaskSetup setup;
+  const bool sequence = args.model == "lstm" || args.model == "gru";
+  if (sequence) {
+    data::SyntheticSequenceSpec spec;
+    spec.num_classes = 10;
+    spec.time_steps = 16;
+    spec.features = 8;
+    spec.noise_stddev = 1.0;
+    spec.seed = args.seed;
+    setup.train = std::make_shared<data::SyntheticSequenceDataset>(
+        spec, 600, args.seed + 1);
+    setup.test = std::make_shared<data::SyntheticSequenceDataset>(
+        spec, 300, args.seed + 2);
+  } else {
+    data::SyntheticImageSpec spec;
+    spec.num_classes = 10;
+    spec.channels = 3;
+    spec.image_size = args.model == "lenet" ? 20 : 16;
+    spec.noise_stddev = 2.0;
+    spec.amplitude_jitter = 0.3;
+    spec.max_shift = 3;
+    spec.seed = args.seed;
+    setup.train = std::make_shared<data::SyntheticImageDataset>(
+        spec, 600, args.seed + 1);
+    setup.test = std::make_shared<data::SyntheticImageDataset>(
+        spec, 300, args.seed + 2);
+  }
+  const std::uint64_t model_seed = args.seed + 3;
+  const std::string model = args.model;
+  setup.model = [model, model_seed]() -> std::unique_ptr<nn::Module> {
+    Rng rng(model_seed);
+    if (model == "lenet") return nn::make_lenet5(rng, 3, 20, 10);
+    if (model == "resnet") return nn::make_resnet18(rng, 3, 10, 6);
+    if (model == "vgg") return nn::make_vgg11(rng, 3, 16, 10, 6);
+    if (model == "lstm") return nn::make_kws_lstm(rng, 8, 32, 10);
+    if (model == "gru") return nn::make_kws_gru(rng, 8, 32, 10);
+    if (model == "mlp") {
+      auto net = std::make_unique<nn::Sequential>();
+      net->add(std::make_unique<nn::Flatten>(), "flatten");
+      net->add(nn::make_mlp(rng, 3 * 16 * 16, 64, 2, 10), "mlp");
+      return net;
+    }
+    throw Error("unknown model: " + model);
+  };
+  if (model == "mlp" || model == "resnet" || model == "vgg") {
+    setup.adam = false;
+    setup.default_lr = 0.05;
+  } else if (sequence) {
+    setup.adam = false;
+    setup.default_lr = 0.05;
+  }
+  // mlp uses 16x16 images; rebuild datasets accordingly.
+  if (model == "mlp") {
+    data::SyntheticImageSpec spec;
+    spec.num_classes = 10;
+    spec.channels = 3;
+    spec.image_size = 16;
+    spec.noise_stddev = 2.0;
+    spec.seed = args.seed;
+    setup.train = std::make_shared<data::SyntheticImageDataset>(
+        spec, 600, args.seed + 1);
+    setup.test = std::make_shared<data::SyntheticImageDataset>(
+        spec, 300, args.seed + 2);
+  }
+  return setup;
+}
+
+std::unique_ptr<fl::SyncStrategy> build_strategy(const Args& args) {
+  core::ApfOptions apf;
+  apf.stability_threshold = args.threshold;
+  apf.ema_alpha = 0.8;
+  apf.check_every_rounds = args.check_every;
+  apf.controller.additive_step = 4;
+  apf.seed = args.seed;
+
+  core::StrawmanOptions strawman;
+  strawman.stability_threshold = args.threshold;
+  strawman.ema_alpha = 0.8;
+  strawman.check_every_rounds = args.check_every;
+
+  const std::string& s = args.strategy;
+  if (s == "fedavg") return std::make_unique<fl::FullSync>();
+  if (s == "apf") return std::make_unique<core::ApfManager>(apf);
+  if (s == "apf#") {
+    apf.random_mode = core::RandomFreezeMode::kSharp;
+    return std::make_unique<core::ApfManager>(apf);
+  }
+  if (s == "apf++") {
+    apf.random_mode = core::RandomFreezeMode::kPlusPlus;
+    apf.pp_prob_coeff = 1.0 / (2.0 * static_cast<double>(args.rounds));
+    apf.pp_len_coeff = 2.0 / static_cast<double>(args.rounds);
+    return std::make_unique<core::ApfManager>(apf);
+  }
+  if (s == "apf+q") {
+    return std::make_unique<compress::QuantizedSync>(
+        std::make_unique<core::ApfManager>(apf));
+  }
+  if (s == "gaia") return std::make_unique<compress::GaiaSync>();
+  if (s == "cmfl") return std::make_unique<compress::CmflSync>();
+  if (s == "topk") return std::make_unique<compress::TopKSync>();
+  if (s == "randk") return std::make_unique<compress::RandKSync>();
+  if (s == "partial") return std::make_unique<core::PartialSync>(strawman);
+  if (s == "permafreeze") {
+    return std::make_unique<core::PermanentFreeze>(strawman);
+  }
+  throw Error("unknown strategy: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    print_usage();
+    return argc > 1 ? EXIT_FAILURE : EXIT_SUCCESS;
+  }
+  if (args.verbose) set_log_level(LogLevel::kInfo);
+
+  try {
+    TaskSetup task = build_task(args);
+
+    Rng partition_rng(args.seed ^ 0x9A27717107ULL);
+    data::Partition partition;
+    if (args.classes_per_client > 0) {
+      partition = data::classes_per_client_partition(
+          task.train->all_labels(), task.train->num_classes(), args.clients,
+          args.classes_per_client, partition_rng);
+    } else if (args.alpha > 0.0) {
+      partition = data::dirichlet_partition(
+          task.train->all_labels(), task.train->num_classes(), args.clients,
+          args.alpha, partition_rng);
+    } else {
+      partition =
+          data::iid_partition(task.train->size(), args.clients, partition_rng);
+    }
+
+    const double lr = args.lr > 0 ? args.lr : task.default_lr;
+    fl::OptimizerFactory optimizer =
+        task.adam ? fl::OptimizerFactory([lr](nn::Module& m) {
+          return std::unique_ptr<optim::Optimizer>(
+              std::make_unique<optim::Adam>(m.parameters(), lr));
+        })
+                  : fl::OptimizerFactory([lr](nn::Module& m) {
+                      return std::unique_ptr<optim::Optimizer>(
+                          std::make_unique<optim::Sgd>(m.parameters(), lr,
+                                                       0.9, 1e-4));
+                    });
+
+    fl::FlConfig config;
+    config.num_clients = args.clients;
+    config.rounds = args.rounds;
+    config.local_iters = args.local_iters;
+    config.batch_size = args.batch;
+    config.seed = args.seed;
+    config.eval_every = std::max<std::size_t>(1, args.rounds / 40);
+    config.participation_fraction = args.participation;
+
+    auto strategy = build_strategy(args);
+    fl::FederatedRunner runner(config, *task.train, partition, *task.test,
+                               task.model, optimizer, *strategy);
+    std::cout << "model=" << args.model << " strategy=" << strategy->name()
+              << " clients=" << args.clients << " rounds=" << args.rounds
+              << " dim=" << task.model()->parameter_count() << '\n';
+    const auto result = runner.run();
+    std::cout << fl::summarize(result) << '\n';
+    if (!args.csv.empty()) {
+      fl::write_round_csv_file(result, args.csv);
+      std::cout << "per-round metrics written to " << args.csv << '\n';
+    }
+    if (!args.save_state.empty()) {
+      if (auto* apf_mgr = dynamic_cast<core::ApfManager*>(strategy.get())) {
+        std::ofstream os(args.save_state, std::ios::binary);
+        APF_CHECK_MSG(os.good(), "cannot open " << args.save_state);
+        apf_mgr->save_state(os);
+        std::cout << "APF manager state written to " << args.save_state
+                  << '\n';
+      } else {
+        std::cerr << "--save-state ignored: strategy has no APF state\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,92 @@
+// Keyword spotting at the edge: the paper's LSTM workload end to end.
+//
+// 20 phone-like clients hold non-IID slices of a synthetic keyword dataset
+// (each client's class mixture drawn from Dirichlet(0.5) — some users say
+// some words far more often). A 2-layer LSTM is trained federatedly with
+// APF over slow uplinks, and the example prints the evolving accuracy,
+// frozen ratio and traffic as training proceeds.
+//
+//   $ ./keyword_spotting
+#include <iomanip>
+#include <iostream>
+
+#include "core/apf.h"
+#include "util/table.h"
+
+using namespace apf;
+
+int main() {
+  // Synthetic keyword dataset: 10 keywords, 16 frames x 8 features each
+  // (MFCC-like). Train/test share per-class signatures.
+  data::SyntheticSequenceSpec spec;
+  spec.num_classes = 10;
+  spec.time_steps = 16;
+  spec.features = 8;
+  spec.noise_stddev = 1.0;
+  data::SyntheticSequenceDataset train(spec, 800, /*split_seed=*/11);
+  data::SyntheticSequenceDataset test(spec, 300, /*split_seed=*/12);
+
+  const std::size_t num_clients = 20;
+  Rng partition_rng(3);
+  data::Partition partition = data::dirichlet_partition(
+      train.all_labels(), train.num_classes(), num_clients, /*alpha=*/0.5,
+      partition_rng);
+
+  // Report the heterogeneity the partition produced.
+  {
+    const auto held =
+        data::classes_held(partition, train.all_labels(), spec.num_classes);
+    std::size_t min_c = spec.num_classes, max_c = 0;
+    for (auto h : held) {
+      min_c = std::min(min_c, h);
+      max_c = std::max(max_c, h);
+    }
+    std::cout << num_clients << " clients; classes held per client: " << min_c
+              << ".." << max_c << " of " << spec.num_classes << "\n\n";
+  }
+
+  fl::ModelFactory model_factory = [] {
+    Rng rng(21);
+    return nn::make_kws_lstm(rng, /*input_features=*/8, /*hidden=*/32,
+                             /*num_classes=*/10);
+  };
+  fl::OptimizerFactory optimizer_factory = [](nn::Module& m) {
+    return std::make_unique<optim::Sgd>(m.parameters(), 0.05, /*momentum=*/0.9,
+                                        /*weight_decay=*/1e-4);
+  };
+
+  fl::FlConfig config;
+  config.num_clients = num_clients;
+  config.rounds = 200;
+  config.local_iters = 2;
+  config.batch_size = 16;
+  config.eval_every = 20;
+
+  core::ApfOptions options;
+  options.stability_threshold = 0.3;
+  options.ema_alpha = 0.8;
+  options.check_every_rounds = 2;
+  options.controller.additive_step = 4;
+  core::ApfManager apf(options);
+
+  fl::FederatedRunner runner(config, train, partition, test, model_factory,
+                             optimizer_factory, apf);
+  const auto result = runner.run();
+
+  TablePrinter table({"Round", "Accuracy", "Frozen", "Cum. traffic/client"});
+  for (const auto& r : result.rounds) {
+    if (r.test_accuracy < 0) continue;
+    table.add_row({std::to_string(r.round),
+                   TablePrinter::fmt(r.test_accuracy, 3),
+                   TablePrinter::fmt_percent(r.frozen_fraction),
+                   TablePrinter::fmt_bytes(r.cumulative_bytes_per_client)});
+  }
+  table.print();
+  std::cout << "\nBest accuracy " << TablePrinter::fmt(result.best_accuracy, 3)
+            << " with " << TablePrinter::fmt_bytes(
+                   result.total_bytes_per_client)
+            << " transmitted per client ("
+            << TablePrinter::fmt_percent(result.mean_frozen_fraction)
+            << " of parameters frozen on average).\n";
+  return 0;
+}

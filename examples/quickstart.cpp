@@ -1,0 +1,95 @@
+// Quickstart: federated training with Adaptive Parameter Freezing in ~60
+// lines of user code.
+//
+// Builds a 10-class synthetic image task split across 8 edge clients with a
+// Dirichlet(1.0) non-IID partition, trains LeNet-5 under (a) vanilla FedAvg
+// and (b) APF, and reports the accuracy / transmission trade-off.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/apf.h"
+#include "util/table.h"
+
+using namespace apf;
+
+int main() {
+  // 1. Data: a synthetic image dataset (CIFAR-10 stand-in) with a shared
+  //    class structure between the train and test splits.
+  data::SyntheticImageSpec spec;
+  spec.num_classes = 10;
+  spec.channels = 3;
+  spec.image_size = 20;
+  spec.noise_stddev = 2.0;
+  data::SyntheticImageDataset train(spec, /*num_samples=*/600,
+                                    /*split_seed=*/1);
+  data::SyntheticImageDataset test(spec, 300, /*split_seed=*/2);
+
+  // 2. Partition across clients: Dirichlet(alpha) controls how non-IID the
+  //    per-client class mixtures are (alpha -> infinity would be IID).
+  Rng partition_rng(42);
+  const std::size_t num_clients = 8;
+  data::Partition partition = data::dirichlet_partition(
+      train.all_labels(), train.num_classes(), num_clients, /*alpha=*/1.0,
+      partition_rng);
+
+  // 3. Model + optimizer factories. Every client (and the evaluator) gets an
+  //    identically initialized model — use a fixed seed inside the factory.
+  fl::ModelFactory model_factory = [] {
+    Rng rng(7);
+    return nn::make_lenet5(rng, /*in_channels=*/3, /*image_size=*/20,
+                           /*num_classes=*/10);
+  };
+  fl::OptimizerFactory optimizer_factory = [](nn::Module& m) {
+    return std::make_unique<optim::Adam>(m.parameters(), /*lr=*/1e-3);
+  };
+
+  // 4. Federation config: rounds, local iterations (Fs), edge bandwidth.
+  fl::FlConfig config;
+  config.num_clients = num_clients;
+  config.rounds = 150;
+  config.local_iters = 3;
+  config.batch_size = 16;
+  config.eval_every = 10;
+  config.network.client_download_mbps = 9.0;  // paper's edge links
+  config.network.client_upload_mbps = 3.0;
+
+  auto run = [&](fl::SyncStrategy& strategy) {
+    fl::FederatedRunner runner(config, train, partition, test, model_factory,
+                               optimizer_factory, strategy);
+    return runner.run();
+  };
+
+  // 5a. Baseline: vanilla FedAvg ships the full model every round.
+  fl::FullSync fedavg;
+  const auto base = run(fedavg);
+
+  // 5b. APF: freeze stabilized parameters adaptively; only unfrozen
+  //     parameters are transmitted (both directions).
+  core::ApfOptions options;
+  options.stability_threshold = 0.3;
+  options.ema_alpha = 0.8;
+  options.check_every_rounds = 2;
+  options.controller.additive_step = 4;
+  core::ApfManager apf(options);
+  const auto ours = run(apf);
+
+  // 6. Report.
+  TablePrinter table({"Scheme", "Best accuracy", "Bytes/client",
+                      "Simulated time", "Avg frozen"});
+  table.add_row({"FedAvg", TablePrinter::fmt(base.best_accuracy, 3),
+                 TablePrinter::fmt_bytes(base.total_bytes_per_client),
+                 TablePrinter::fmt(base.total_seconds, 1) + " s", "0%"});
+  table.add_row({"APF", TablePrinter::fmt(ours.best_accuracy, 3),
+                 TablePrinter::fmt_bytes(ours.total_bytes_per_client),
+                 TablePrinter::fmt(ours.total_seconds, 1) + " s",
+                 TablePrinter::fmt_percent(ours.mean_frozen_fraction)});
+  table.print();
+
+  std::cout << "\nAPF saved "
+            << TablePrinter::fmt_percent(
+                   1.0 - ours.total_bytes_per_client /
+                             base.total_bytes_per_client)
+            << " of the transmission volume.\n";
+  return 0;
+}

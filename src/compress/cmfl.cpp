@@ -1,0 +1,103 @@
+#include "compress/cmfl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::compress {
+
+CmflSync::CmflSync(CmflOptions options) : options_(options) {
+  APF_CHECK(options_.relevance_threshold > 0.0 &&
+            options_.relevance_threshold <= 1.0);
+  APF_CHECK(options_.threshold_decay > 0.0 && options_.threshold_decay <= 1.0);
+}
+
+void CmflSync::init(std::span<const float> initial_params,
+                    std::size_t num_clients) {
+  SyncStrategyBase::init(initial_params, num_clients);
+  prev_global_update_.assign(initial_params.size(), 0.f);
+}
+
+fl::SyncStrategy::Result CmflSync::synchronize(
+    std::size_t round, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const std::size_t n = client_params.size();
+  const std::size_t dim = global_.size();
+  const double threshold =
+      options_.relevance_threshold *
+      std::pow(options_.threshold_decay, static_cast<double>(round - 1));
+
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 4.0 * static_cast<double>(dim));
+
+  // Relevance check: sign agreement with the previous global update. In the
+  // first round there is no reference update, so every upload is relevant.
+  std::vector<bool> upload(n, false);
+  std::size_t uploads = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    APF_CHECK(client_params[i].size() == dim);
+    if (weights[i] == 0.0) continue;
+    ++considered_;
+    if (round == 1) {
+      upload[i] = true;
+    } else {
+      std::size_t agree = 0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const float u = client_params[i][j] - global_[j];
+        const bool same_sign =
+            (u >= 0.f) == (prev_global_update_[j] >= 0.f);
+        if (same_sign) ++agree;
+      }
+      upload[i] = static_cast<double>(agree) / static_cast<double>(dim) >=
+                  threshold;
+    }
+    if (upload[i]) {
+      ++uploads;
+      ++accepted_;
+      result.bytes_up[i] = 4.0 * static_cast<double>(dim);
+    }
+  }
+  // If every update was filtered, fall back to accepting all non-dropped
+  // clients so the round still makes progress (matches CMFL's guarantee that
+  // training never stalls).
+  if (uploads == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (weights[i] > 0.0) {
+        upload[i] = true;
+        result.bytes_up[i] = 4.0 * static_cast<double>(dim);
+      }
+    }
+  }
+
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (upload[i]) weight_total += weights[i];
+  }
+  APF_CHECK(weight_total > 0.0);
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!upload[i]) continue;
+    const double w = weights[i] / weight_total;
+    for (std::size_t j = 0; j < dim; ++j) {
+      acc[j] += w * static_cast<double>(client_params[i][j] - global_[j]);
+    }
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    prev_global_update_[j] = static_cast<float>(acc[j]);
+    global_[j] += static_cast<float>(acc[j]);
+  }
+  for (auto& params : client_params) {
+    params.assign(global_.begin(), global_.end());
+  }
+  return result;
+}
+
+double CmflSync::acceptance_rate() const {
+  return considered_ == 0 ? 0.0
+                          : static_cast<double>(accepted_) /
+                                static_cast<double>(considered_);
+}
+
+}  // namespace apf::compress

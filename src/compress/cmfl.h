@@ -1,0 +1,40 @@
+// CMFL relevance filtering (Wang et al., ICDCS'19; paper §7.4).
+//
+// A client's whole update is uploaded only when it is "relevant": the
+// fraction of components whose sign agrees with the previous global update
+// must exceed a relevance threshold. Irrelevant updates are discarded (the
+// client's round of work is not aggregated). Pull ships the full model.
+#pragma once
+
+#include "fl/sync_strategy.h"
+
+namespace apf::compress {
+
+struct CmflOptions {
+  double relevance_threshold = 0.8;
+  /// threshold(round) = relevance_threshold * decay^(round-1); 1.0 = fixed.
+  double threshold_decay = 1.0;
+};
+
+class CmflSync : public fl::SyncStrategyBase {
+ public:
+  explicit CmflSync(CmflOptions options = {});
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override;
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+  std::string name() const override { return "CMFL"; }
+
+  /// Fraction of client uploads accepted so far (diagnostics).
+  double acceptance_rate() const;
+
+ private:
+  CmflOptions options_;
+  std::vector<float> prev_global_update_;
+  std::size_t accepted_ = 0;
+  std::size_t considered_ = 0;
+};
+
+}  // namespace apf::compress

@@ -1,0 +1,53 @@
+#include "compress/codecs.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::compress {
+
+QsgdCodec::QsgdCodec(unsigned bits)
+    : bits_(bits), levels_((1u << bits) - 1) {
+  APF_CHECK(bits >= 1 && bits <= 16);
+}
+
+void QsgdCodec::encode_decode(std::span<float> update, Rng& rng) const {
+  double norm_sq = 0.0;
+  for (float v : update) norm_sq += static_cast<double>(v) * v;
+  const double norm = std::sqrt(norm_sq);
+  if (norm == 0.0) return;
+  const double s = static_cast<double>(levels_);
+  for (auto& v : update) {
+    const double ratio = std::fabs(static_cast<double>(v)) / norm * s;
+    const double lower = std::floor(ratio);
+    const double level = lower + (rng.bernoulli(ratio - lower) ? 1.0 : 0.0);
+    const double q = norm * level / s;
+    v = static_cast<float>(v < 0 ? -q : q);
+  }
+}
+
+double QsgdCodec::wire_bytes(std::size_t n) const {
+  // bits per magnitude + 1 sign bit per element, plus the fp32 norm.
+  return static_cast<double>(n) * (bits_ + 1) / 8.0 + 4.0;
+}
+
+std::string QsgdCodec::name() const {
+  return "QSGD" + std::to_string(bits_) + "b";
+}
+
+void TernGradCodec::encode_decode(std::span<float> update, Rng& rng) const {
+  float scale = 0.f;
+  for (float v : update) scale = std::max(scale, std::fabs(v));
+  if (scale == 0.f) return;
+  for (auto& v : update) {
+    const double p = std::fabs(v) / scale;
+    const float t = rng.bernoulli(p) ? scale : 0.f;
+    v = v < 0 ? -t : t;
+  }
+}
+
+double TernGradCodec::wire_bytes(std::size_t n) const {
+  return static_cast<double>(n) * 2.0 / 8.0 + 4.0;
+}
+
+}  // namespace apf::compress

@@ -1,0 +1,59 @@
+// Stochastic gradient/update codecs from the communication-compression
+// literature the paper surveys (§2): QSGD (Alistarh et al.) and TernGrad
+// (Wen et al.). A codec maps an update vector to its wire representation and
+// back (encode_decode applies the exact value distortion the receiver would
+// see) and reports the wire cost.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace apf::compress {
+
+class UpdateCodec {
+ public:
+  virtual ~UpdateCodec() = default;
+
+  /// Applies the codec's quantization to `update` in place (what the
+  /// receiver would decode). Stochastic codecs draw from `rng`.
+  virtual void encode_decode(std::span<float> update, Rng& rng) const = 0;
+
+  /// Wire cost in bytes for a vector of `n` elements (payload + scalars).
+  virtual double wire_bytes(std::size_t n) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// QSGD with s = 2^bits - 1 quantization levels: each coordinate is
+/// stochastically rounded to sign * ||u||_2 * level / s, which is unbiased
+/// (E[q(u)] = u). Wire cost: (bits + 1 sign bit) per element + the norm.
+class QsgdCodec : public UpdateCodec {
+ public:
+  explicit QsgdCodec(unsigned bits);
+
+  void encode_decode(std::span<float> update, Rng& rng) const override;
+  double wire_bytes(std::size_t n) const override;
+  std::string name() const override;
+
+  unsigned bits() const { return bits_; }
+  unsigned levels() const { return levels_; }
+
+ private:
+  unsigned bits_;
+  unsigned levels_;
+};
+
+/// TernGrad: coordinates quantized to {-1, 0, +1} * max|u| with stochastic
+/// selection probability |u_i| / max|u| (unbiased). Wire cost: 2 bits per
+/// element + the scale.
+class TernGradCodec : public UpdateCodec {
+ public:
+  void encode_decode(std::span<float> update, Rng& rng) const override;
+  double wire_bytes(std::size_t n) const override;
+  std::string name() const override { return "TernGrad"; }
+};
+
+}  // namespace apf::compress

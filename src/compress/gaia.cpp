@@ -1,0 +1,82 @@
+#include "compress/gaia.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::compress {
+
+GaiaSync::GaiaSync(GaiaOptions options) : options_(options) {
+  APF_CHECK(options_.significance_threshold > 0.0);
+}
+
+void GaiaSync::init(std::span<const float> initial_params,
+                    std::size_t num_clients) {
+  SyncStrategyBase::init(initial_params, num_clients);
+  residual_.assign(num_clients,
+                   std::vector<float>(initial_params.size(), 0.f));
+}
+
+fl::SyncStrategy::Result GaiaSync::synchronize(
+    std::size_t round, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const std::size_t n = client_params.size();
+  const std::size_t dim = global_.size();
+  APF_CHECK(n == residual_.size());
+  const double threshold =
+      options_.decay_threshold
+          ? options_.significance_threshold /
+                std::sqrt(static_cast<double>(round))
+          : options_.significance_threshold;
+
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+  APF_CHECK(weight_total > 0.0);
+
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 0.0);
+
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    APF_CHECK(client_params[i].size() == dim);
+    if (weights[i] == 0.0) {
+      // Non-participating (or dropped) client: it did no work this round,
+      // so its residual must not absorb the stale-parameter gap.
+      result.bytes_up[i] = 0.0;
+      result.bytes_down[i] = 0.0;
+      continue;
+    }
+    std::size_t sent = 0;
+    const double w = weights[i] / weight_total;
+    for (std::size_t j = 0; j < dim; ++j) {
+      // Pending update = this round's local change plus carried residual.
+      const float u = client_params[i][j] - global_[j] + residual_[i][j];
+      const double denom =
+          std::max(static_cast<double>(std::fabs(global_[j])), options_.eps);
+      const bool significant =
+          static_cast<double>(std::fabs(u)) / denom >= threshold;
+      if (significant && weights[i] > 0.0) {
+        acc[j] += w * static_cast<double>(u);
+        residual_[i][j] = 0.f;
+        ++sent;
+      } else {
+        residual_[i][j] = u;
+      }
+    }
+    // Sparse payload: 4 B per value plus a presence bitmap.
+    result.bytes_up[i] =
+        4.0 * static_cast<double>(sent) + static_cast<double>(dim) / 8.0;
+    // Pull phase ships the full model.
+    result.bytes_down[i] = 4.0 * static_cast<double>(dim);
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    global_[j] += static_cast<float>(acc[j]);
+  }
+  for (auto& params : client_params) {
+    params.assign(global_.begin(), global_.end());
+  }
+  return result;
+}
+
+}  // namespace apf::compress

@@ -1,0 +1,38 @@
+// Gaia-style significance sparsification (Hsieh et al., NSDI'17; paper §7.4).
+//
+// Each client pushes only the update components whose *relative* magnitude
+// |u_j| / max(|x_j|, eps) exceeds a significance threshold; insignificant
+// components accumulate locally (error feedback) until they become
+// significant. The threshold decays as training progresses, as in the Gaia
+// paper. The pull phase ships the full model — Gaia compresses push only.
+#pragma once
+
+#include "fl/sync_strategy.h"
+#include "util/rng.h"
+
+namespace apf::compress {
+
+struct GaiaOptions {
+  double significance_threshold = 0.01;  // 1% relative change
+  /// threshold(round) = significance_threshold / sqrt(round) when true.
+  bool decay_threshold = true;
+  double eps = 1e-8;  // floor on |x_j| for the relative test
+};
+
+class GaiaSync : public fl::SyncStrategyBase {
+ public:
+  explicit GaiaSync(GaiaOptions options = {});
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override;
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+  std::string name() const override { return "Gaia"; }
+
+ private:
+  GaiaOptions options_;
+  std::vector<std::vector<float>> residual_;  // per client error feedback
+};
+
+}  // namespace apf::compress

@@ -1,0 +1,45 @@
+#include "compress/quantized_sync.h"
+
+#include "compress/quantize.h"
+#include "util/error.h"
+
+namespace apf::compress {
+
+QuantizedSync::QuantizedSync(std::unique_ptr<fl::SyncStrategy> inner)
+    : inner_(std::move(inner)) {
+  APF_CHECK(inner_ != nullptr);
+}
+
+void QuantizedSync::init(std::span<const float> initial_params,
+                         std::size_t num_clients) {
+  inner_->init(initial_params, num_clients);
+}
+
+fl::SyncStrategy::Result QuantizedSync::synchronize(
+    std::size_t round, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  // Push-side rounding: the server aggregates what the wire carried.
+  for (auto& params : client_params) quantize_fp16_inplace(params);
+  Result result = inner_->synchronize(round, client_params, weights);
+  // Pull-side rounding: the clients receive fp16 parameters.
+  for (auto& params : client_params) quantize_fp16_inplace(params);
+  for (auto& b : result.bytes_up) b *= 0.5;
+  for (auto& b : result.bytes_down) b *= 0.5;
+  return result;
+}
+
+std::span<const float> QuantizedSync::global_params() const {
+  return inner_->global_params();
+}
+
+const Bitmap* QuantizedSync::frozen_mask() const {
+  return inner_->frozen_mask();
+}
+
+std::span<const float> QuantizedSync::frozen_anchor() const {
+  return inner_->frozen_anchor();
+}
+
+std::string QuantizedSync::name() const { return inner_->name() + "+Q"; }
+
+}  // namespace apf::compress

@@ -1,0 +1,35 @@
+// Stacking quantization on top of another strategy (paper §7.7's
+// Quantization_Manager over APF_Manager).
+//
+// Push: client parameters are rounded through fp16 before the inner strategy
+// sees them (what the wire would carry). Pull: the post-sync parameters are
+// rounded again. Transmitted value payloads are charged at 2 bytes instead
+// of 4, i.e. the inner strategy's byte counts are halved.
+#pragma once
+
+#include <memory>
+
+#include "fl/sync_strategy.h"
+
+namespace apf::compress {
+
+class QuantizedSync : public fl::SyncStrategy {
+ public:
+  /// Takes ownership of the wrapped strategy.
+  explicit QuantizedSync(std::unique_ptr<fl::SyncStrategy> inner);
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override;
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+  std::span<const float> global_params() const override;
+  const Bitmap* frozen_mask() const override;
+  std::span<const float> frozen_anchor() const override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<fl::SyncStrategy> inner_;
+};
+
+}  // namespace apf::compress

@@ -1,0 +1,88 @@
+#include "compress/randk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace apf::compress {
+
+RandKSync::RandKSync(RandKOptions options) : options_(options) {
+  APF_CHECK(options_.fraction > 0.0 && options_.fraction <= 1.0);
+}
+
+void RandKSync::init(std::span<const float> initial_params,
+                     std::size_t num_clients) {
+  SyncStrategyBase::init(initial_params, num_clients);
+  residual_.assign(num_clients,
+                   std::vector<float>(initial_params.size(), 0.f));
+}
+
+fl::SyncStrategy::Result RandKSync::synchronize(
+    std::size_t round, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const std::size_t n = client_params.size();
+  const std::size_t dim = global_.size();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(options_.fraction * static_cast<double>(dim))));
+
+  // The coordinate set for this round: identical on every client/server
+  // because it is derived from the synchronized round index.
+  std::uint64_t mix = options_.seed + 0x9E3779B97F4A7C15ULL * round;
+  Rng rng(splitmix64(mix));
+  std::vector<std::size_t> order(dim);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::vector<bool> selected(dim, false);
+  for (std::size_t i = 0; i < k; ++i) selected[order[i]] = true;
+
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+  APF_CHECK(weight_total > 0.0);
+
+  const float scale =
+      options_.unbiased_scaling
+          ? static_cast<float>(static_cast<double>(dim) /
+                               static_cast<double>(k))
+          : 1.f;
+
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 4.0 * static_cast<double>(dim));
+
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    APF_CHECK(client_params[i].size() == dim);
+    if (weights[i] == 0.0) {
+      // Dropped/non-participating client: leave residual and bytes at zero.
+      result.bytes_up[i] = 0.0;
+      result.bytes_down[i] = 0.0;
+      continue;
+    }
+    const double w = weights[i] / weight_total;
+    for (std::size_t j = 0; j < dim; ++j) {
+      const float pending =
+          client_params[i][j] - global_[j] + residual_[i][j];
+      if (selected[j]) {
+        acc[j] += w * static_cast<double>(pending) * scale;
+        residual_[i][j] = 0.f;
+      } else {
+        residual_[i][j] = pending;
+      }
+    }
+    // Values only — the coordinate set is derivable from the round index,
+    // so just 8 B of seed material rides along.
+    result.bytes_up[i] = 4.0 * static_cast<double>(k) + 8.0;
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    global_[j] += static_cast<float>(acc[j]);
+  }
+  for (auto& params : client_params) {
+    params.assign(global_.begin(), global_.end());
+  }
+  return result;
+}
+
+}  // namespace apf::compress

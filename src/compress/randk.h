@@ -1,0 +1,41 @@
+// Rand-k sparsification with error feedback: each client pushes a random k
+// fraction of its pending update coordinates, unbiased-scaled by 1/fraction.
+// The selection is drawn per round from the synchronized round index, so
+// client and server agree on the coordinate set without transmitting
+// indices (only the payload and a tiny seed are charged).
+//
+// Rand-k is the classic unbiased counterpart of Top-k: cheaper to select and
+// index-free, but blind to magnitude — a useful reference point for how much
+// of Top-k's (and APF's) benefit comes from *informed* selection.
+#pragma once
+
+#include "fl/sync_strategy.h"
+#include "util/rng.h"
+
+namespace apf::compress {
+
+struct RandKOptions {
+  double fraction = 0.1;  // k = ceil(fraction * dim)
+  /// Scale transmitted coordinates by 1/fraction so the expected aggregated
+  /// update is unbiased. Disable to study the biased variant.
+  bool unbiased_scaling = true;
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+class RandKSync : public fl::SyncStrategyBase {
+ public:
+  explicit RandKSync(RandKOptions options = {});
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override;
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+  std::string name() const override { return "RandK"; }
+
+ private:
+  RandKOptions options_;
+  std::vector<std::vector<float>> residual_;
+};
+
+}  // namespace apf::compress

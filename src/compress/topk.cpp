@@ -1,0 +1,81 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace apf::compress {
+
+TopKSync::TopKSync(TopKOptions options) : options_(options) {
+  APF_CHECK(options_.fraction > 0.0 && options_.fraction <= 1.0);
+}
+
+void TopKSync::init(std::span<const float> initial_params,
+                    std::size_t num_clients) {
+  SyncStrategyBase::init(initial_params, num_clients);
+  residual_.assign(num_clients,
+                   std::vector<float>(initial_params.size(), 0.f));
+}
+
+fl::SyncStrategy::Result TopKSync::synchronize(
+    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const std::size_t n = client_params.size();
+  const std::size_t dim = global_.size();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(options_.fraction * static_cast<double>(dim))));
+
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+  APF_CHECK(weight_total > 0.0);
+
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 4.0 * static_cast<double>(dim));
+
+  std::vector<double> acc(dim, 0.0);
+  std::vector<float> pending(dim);
+  std::vector<std::size_t> order(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    APF_CHECK(client_params[i].size() == dim);
+    if (weights[i] == 0.0) {
+      // Dropped/non-participating client: no work this round, so neither
+      // its residual nor the byte counters should move.
+      result.bytes_up[i] = 0.0;
+      result.bytes_down[i] = 0.0;
+      continue;
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      pending[j] = client_params[i][j] - global_[j] + residual_[i][j];
+    }
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     order.end(), [&](std::size_t a, std::size_t b) {
+                       return std::fabs(pending[a]) > std::fabs(pending[b]);
+                     });
+    const double w = weights[i] / weight_total;
+    for (std::size_t r = 0; r < dim; ++r) {
+      const std::size_t j = order[r];
+      if (r < k) {
+        acc[j] += w * static_cast<double>(pending[j]);
+        residual_[i][j] = 0.f;
+      } else {
+        residual_[i][j] = pending[j];
+      }
+    }
+    // 4 B value + 4 B index per transmitted component.
+    result.bytes_up[i] = 8.0 * static_cast<double>(k);
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    global_[j] += static_cast<float>(acc[j]);
+  }
+  for (auto& params : client_params) {
+    params.assign(global_.begin(), global_.end());
+  }
+  return result;
+}
+
+}  // namespace apf::compress

@@ -1,0 +1,33 @@
+// Top-k magnitude sparsification with error feedback (classic baseline in
+// the sparsification literature, e.g. Dryden et al. / Strom).
+//
+// Each client pushes the k largest-magnitude components of its pending
+// update (local change + carried residual); the rest accumulate locally.
+// Pull ships the full model.
+#pragma once
+
+#include "fl/sync_strategy.h"
+
+namespace apf::compress {
+
+struct TopKOptions {
+  double fraction = 0.1;  // k = ceil(fraction * dim)
+};
+
+class TopKSync : public fl::SyncStrategyBase {
+ public:
+  explicit TopKSync(TopKOptions options = {});
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override;
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+  std::string name() const override { return "TopK"; }
+
+ private:
+  TopKOptions options_;
+  std::vector<std::vector<float>> residual_;
+};
+
+}  // namespace apf::compress

@@ -1,0 +1,103 @@
+#include "compress/wrappers.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::compress {
+
+UpdateQuantizedSync::UpdateQuantizedSync(
+    std::unique_ptr<fl::SyncStrategy> inner,
+    std::unique_ptr<UpdateCodec> codec, std::uint64_t seed)
+    : inner_(std::move(inner)), codec_(std::move(codec)), rng_(seed) {
+  APF_CHECK(inner_ != nullptr && codec_ != nullptr);
+}
+
+void UpdateQuantizedSync::init(std::span<const float> initial_params,
+                               std::size_t num_clients) {
+  inner_->init(initial_params, num_clients);
+}
+
+fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
+    std::size_t round, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const auto global = inner_->global_params();
+  const std::size_t dim = global.size();
+  std::vector<float> update(dim);
+  for (auto& params : client_params) {
+    APF_CHECK(params.size() == dim);
+    for (std::size_t j = 0; j < dim; ++j) update[j] = params[j] - global[j];
+    codec_->encode_decode(update, rng_);
+    for (std::size_t j = 0; j < dim; ++j) params[j] = global[j] + update[j];
+  }
+  Result result = inner_->synchronize(round, client_params, weights);
+  // Re-charge the push at the codec's wire cost. The inner strategy charges
+  // 4 B per transmitted element, so bytes/4 recovers the element count
+  // (e.g. only the unfrozen scalars under APF).
+  for (auto& b : result.bytes_up) {
+    const auto elements = static_cast<std::size_t>(b / 4.0);
+    b = codec_->wire_bytes(elements);
+  }
+  return result;
+}
+
+std::span<const float> UpdateQuantizedSync::global_params() const {
+  return inner_->global_params();
+}
+
+const Bitmap* UpdateQuantizedSync::frozen_mask() const {
+  return inner_->frozen_mask();
+}
+
+std::span<const float> UpdateQuantizedSync::frozen_anchor() const {
+  return inner_->frozen_anchor();
+}
+
+std::string UpdateQuantizedSync::name() const {
+  return inner_->name() + "+" + codec_->name();
+}
+
+DpNoiseSync::DpNoiseSync(std::unique_ptr<fl::SyncStrategy> inner,
+                         double noise_stddev, std::uint64_t seed)
+    : inner_(std::move(inner)), noise_stddev_(noise_stddev), rng_(seed) {
+  APF_CHECK(inner_ != nullptr);
+  APF_CHECK(noise_stddev >= 0.0);
+}
+
+void DpNoiseSync::init(std::span<const float> initial_params,
+                       std::size_t num_clients) {
+  inner_->init(initial_params, num_clients);
+}
+
+fl::SyncStrategy::Result DpNoiseSync::synchronize(
+    std::size_t round, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  if (noise_stddev_ > 0.0) {
+    // Frozen scalars are not transmitted, so they carry no noise; pinning
+    // keeps them exact on every client.
+    const Bitmap* mask = inner_->frozen_mask();
+    for (auto& params : client_params) {
+      for (std::size_t j = 0; j < params.size(); ++j) {
+        if (mask != nullptr && mask->get(j)) continue;
+        params[j] += static_cast<float>(rng_.normal(0.0, noise_stddev_));
+      }
+    }
+  }
+  return inner_->synchronize(round, client_params, weights);
+}
+
+std::span<const float> DpNoiseSync::global_params() const {
+  return inner_->global_params();
+}
+
+const Bitmap* DpNoiseSync::frozen_mask() const { return inner_->frozen_mask(); }
+
+std::span<const float> DpNoiseSync::frozen_anchor() const {
+  return inner_->frozen_anchor();
+}
+
+std::string DpNoiseSync::name() const {
+  return inner_->name() + "+DP";
+}
+
+}  // namespace apf::compress

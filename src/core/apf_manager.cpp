@@ -1,0 +1,322 @@
+#include "core/apf_manager.h"
+
+#include "core/masked_pack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace apf::core {
+
+ApfManager::ApfManager(ApfOptions options) : options_(options) {
+  APF_CHECK(options_.stability_threshold > 0.0 &&
+            options_.stability_threshold <= 1.0);
+  APF_CHECK(options_.check_every_rounds >= 1);
+  APF_CHECK(options_.decay_trigger > 0.0 && options_.decay_trigger <= 1.0);
+  if (options_.random_mode == RandomFreezeMode::kSharp) {
+    APF_CHECK(options_.sharp_probability >= 0.0 &&
+              options_.sharp_probability <= 1.0);
+  }
+  if (options_.random_mode == RandomFreezeMode::kPlusPlus) {
+    APF_CHECK(options_.pp_prob_coeff >= 0.0 && options_.pp_len_coeff >= 0.0);
+  }
+}
+
+void ApfManager::set_segments(std::vector<TensorSegment> segments) {
+  segments_ = std::move(segments);
+}
+
+void ApfManager::init(std::span<const float> initial_params,
+                      std::size_t num_clients) {
+  SyncStrategyBase::init(initial_params, num_clients);
+  const std::size_t dim = initial_params.size();
+  if (options_.granularity == FreezeGranularity::kTensor) {
+    APF_CHECK_MSG(!segments_.empty(),
+                  "kTensor granularity requires set_segments()");
+    segment_of_.assign(dim, 0);
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      APF_CHECK(segments_[s].offset == covered);
+      for (std::size_t j = 0; j < segments_[s].size; ++j) {
+        segment_of_[covered + j] = s;
+      }
+      covered += segments_[s].size;
+    }
+    APF_CHECK_MSG(covered == dim, "segments must tile the parameter vector");
+    segment_stable_.assign(segments_.size(), 0);
+  }
+  threshold_ = options_.stability_threshold;
+  perturbation_.emplace(dim, options_.ema_alpha);
+  controller_.emplace(dim, options_.controller);
+  delta_accum_.assign(dim, 0.f);
+  window_frozen_ = Bitmap(dim, false);
+  random_remaining_.assign(dim, 0);
+  effective_mask_ = Bitmap(dim, false);
+  rounds_since_check_ = 0;
+}
+
+fl::SyncStrategy::Result ApfManager::synchronize(
+    std::size_t round, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const std::size_t dim = global_.size();
+  const std::size_t n = client_params.size();
+
+  // The mask active during this round's local training.
+  const std::size_t frozen_count = effective_mask_.count();
+  const double frozen_fraction =
+      static_cast<double>(frozen_count) / static_cast<double>(dim);
+
+  // Aggregate through the actual wire path (paper Alg. 1): each client
+  // packs only its unfrozen scalars (masked_select), the server averages
+  // the compact payloads, and the result is merged back over the frozen
+  // values (masked_fill). Frozen scalars never leave the client, so they
+  // stay bit-exact at the anchor.
+  double weight_total = 0.0;
+  for (double w : weights) {
+    APF_CHECK(w >= 0.0);
+    weight_total += w;
+  }
+  APF_CHECK_MSG(weight_total > 0.0, "all aggregation weights are zero");
+  const std::size_t payload_size = dim - frozen_count;
+  std::vector<double> payload_acc(payload_size, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0.0) continue;
+    APF_CHECK(client_params[i].size() == dim);
+    const std::vector<float> payload =
+        pack_unfrozen(client_params[i], effective_mask_);
+    const double w = weights[i] / weight_total;
+    for (std::size_t p = 0; p < payload_size; ++p) {
+      payload_acc[p] += w * static_cast<double>(payload[p]);
+    }
+  }
+  std::vector<float> merged_payload(payload_size);
+  for (std::size_t p = 0; p < payload_size; ++p) {
+    merged_payload[p] = static_cast<float>(payload_acc[p]);
+  }
+  std::vector<float> new_global = global_;
+  unpack_unfrozen(merged_payload, effective_mask_, new_global);
+
+  // Track the accumulated global update for the next stability check, and
+  // remember which scalars were frozen at any point during the window.
+  for (std::size_t j = 0; j < dim; ++j) {
+    delta_accum_[j] += new_global[j] - global_[j];
+  }
+  window_frozen_.or_with(effective_mask_);
+  global_ = std::move(new_global);
+  for (auto& params : client_params) {
+    params.assign(global_.begin(), global_.end());
+  }
+
+  Result result;
+  const double payload = 4.0 * static_cast<double>(dim - frozen_count);
+  // Client-computed masks are free; the §9 server-side variant ships the
+  // bitmap with every pull.
+  const double mask_bytes =
+      options_.server_side_mask ? static_cast<double>((dim + 7) / 8) : 0.0;
+  result.bytes_up.assign(n, payload);
+  result.bytes_down.assign(n, payload + mask_bytes);
+  result.frozen_fraction = frozen_fraction;
+
+  // Stability check every Fc rounds.
+  if (++rounds_since_check_ >= options_.check_every_rounds) {
+    rounds_since_check_ = 0;
+    run_stability_check();
+  }
+
+  // Random freezing (APF# / APF++) for the next round.
+  advance_random_freezing(round);
+  rebuild_effective_mask();
+  return result;
+}
+
+void ApfManager::run_stability_check() {
+  // Fold the accumulated update into the EMA statistics for every scalar
+  // that trained through the whole window; frozen scalars keep their stats.
+  perturbation_->update(delta_accum_, &window_frozen_);
+
+  if (options_.granularity == FreezeGranularity::kTensor) {
+    // All-or-nothing verdict per tensor: the tensor freezes only when most
+    // of its evaluable scalars individually look stable.
+    std::vector<std::size_t> stable(segments_.size(), 0);
+    std::vector<std::size_t> count(segments_.size(), 0);
+    for (std::size_t j = 0; j < window_frozen_.size(); ++j) {
+      if (window_frozen_.get(j)) continue;
+      if (perturbation_->value(j) <= threshold_) ++stable[segment_of_[j]];
+      ++count[segment_of_[j]];
+    }
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      segment_stable_[s] =
+          count[s] > 0 &&
+          static_cast<double>(stable[s]) >=
+              options_.tensor_vote_fraction * static_cast<double>(count[s]);
+    }
+  }
+
+  controller_->check(
+      /*evaluable=*/[&](std::size_t j) { return !window_frozen_.get(j); },
+      /*stable=*/[&](std::size_t j) {
+        if (options_.granularity == FreezeGranularity::kTensor) {
+          return segment_stable_[segment_of_[j]] != 0;
+        }
+        return perturbation_->value(j) <= threshold_;
+      });
+
+  // Runtime threshold decay (§6.1): when most scalars are frozen, tighten.
+  if (options_.threshold_decay &&
+      controller_->frozen_fraction() >= options_.decay_trigger) {
+    threshold_ *= 0.5;
+    APF_DEBUG("APF threshold decayed to " << threshold_);
+  }
+
+  std::fill(delta_accum_.begin(), delta_accum_.end(), 0.f);
+  window_frozen_.fill(false);
+}
+
+void ApfManager::advance_random_freezing(std::size_t round) {
+  if (options_.random_mode == RandomFreezeMode::kNone) return;
+  const std::size_t dim = random_remaining_.size();
+  for (auto& r : random_remaining_) {
+    if (r > 0) --r;
+  }
+  // Deterministic per-round stream: every client computes the same draws
+  // from the synchronized round index, so no mask traffic is needed.
+  std::uint64_t mix = options_.seed + 0x9E3779B97F4A7C15ULL * (round + 1);
+  Rng rng(splitmix64(mix));
+  double probability = 0.0;
+  std::uint64_t max_extra_len = 0;
+  if (options_.random_mode == RandomFreezeMode::kSharp) {
+    probability = options_.sharp_probability;
+  } else {
+    probability = std::min(1.0, options_.pp_prob_coeff *
+                                    static_cast<double>(round));
+    max_extra_len = static_cast<std::uint64_t>(
+        options_.pp_len_coeff * static_cast<double>(round));
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (controller_->frozen(j) || random_remaining_[j] > 0) continue;
+    if (rng.bernoulli(probability)) {
+      random_remaining_[j] = static_cast<std::uint32_t>(
+          1 + (max_extra_len > 0 ? rng.uniform_int(max_extra_len + 1) : 0));
+    }
+  }
+}
+
+void ApfManager::rebuild_effective_mask() {
+  const std::size_t dim = effective_mask_.size();
+  if (options_.random_mode == RandomFreezeMode::kNone) {
+    effective_mask_ = controller_->mask();
+    return;
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    effective_mask_.set(j, controller_->frozen(j) || random_remaining_[j] > 0);
+  }
+}
+
+namespace {
+
+constexpr std::uint32_t kStateMagic = 0x41504653;  // "APFS"
+constexpr std::uint32_t kStateVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  APF_CHECK_MSG(is.good(), "truncated APF state stream");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, std::span<const T> values) {
+  write_pod<std::uint64_t>(os, values.size());
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is, std::size_t expected) {
+  const auto count = read_pod<std::uint64_t>(is);
+  APF_CHECK_MSG(count == expected,
+                "APF state vector size " << count << " != " << expected);
+  std::vector<T> values(count);
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  APF_CHECK_MSG(is.good(), "truncated APF state stream");
+  return values;
+}
+
+void write_bitmap(std::ostream& os, const Bitmap& bitmap) {
+  const auto bytes = bitmap.to_bytes();
+  write_vec<std::uint8_t>(os, bytes);
+}
+
+Bitmap read_bitmap(std::istream& is, std::size_t bits) {
+  const auto bytes = read_vec<std::uint8_t>(is, (bits + 7) / 8);
+  return Bitmap::from_bytes(bits, bytes);
+}
+
+}  // namespace
+
+void ApfManager::save_state(std::ostream& os) const {
+  APF_CHECK_MSG(perturbation_.has_value(), "save_state before init()");
+  const std::size_t dim = global_.size();
+  write_pod(os, kStateMagic);
+  write_pod(os, kStateVersion);
+  write_pod<std::uint64_t>(os, dim);
+  write_pod<double>(os, threshold_);
+  write_pod<std::uint64_t>(os, rounds_since_check_);
+  write_vec<float>(os, global_);
+  write_vec<float>(os, delta_accum_);
+  write_vec<float>(os, perturbation_->raw_signed());
+  write_vec<float>(os, perturbation_->raw_abs());
+  write_vec<std::uint32_t>(os, controller_->raw_periods());
+  write_vec<std::uint32_t>(os, controller_->raw_remaining());
+  write_vec<std::uint32_t>(os, random_remaining_);
+  write_bitmap(os, window_frozen_);
+  write_bitmap(os, effective_mask_);
+  APF_CHECK_MSG(os.good(), "APF state write failed");
+}
+
+void ApfManager::load_state(std::istream& is) {
+  APF_CHECK_MSG(perturbation_.has_value(), "load_state before init()");
+  APF_CHECK_MSG(read_pod<std::uint32_t>(is) == kStateMagic,
+                "not an APF state stream");
+  APF_CHECK_MSG(read_pod<std::uint32_t>(is) == kStateVersion,
+                "unsupported APF state version");
+  const std::size_t dim = global_.size();
+  APF_CHECK_MSG(read_pod<std::uint64_t>(is) == dim,
+                "APF state dimension mismatch");
+  threshold_ = read_pod<double>(is);
+  rounds_since_check_ =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  global_ = read_vec<float>(is, dim);
+  delta_accum_ = read_vec<float>(is, dim);
+  const auto e = read_vec<float>(is, dim);
+  const auto a = read_vec<float>(is, dim);
+  perturbation_->restore(e, a);
+  const auto periods = read_vec<std::uint32_t>(is, dim);
+  const auto remaining = read_vec<std::uint32_t>(is, dim);
+  controller_->restore(periods, remaining);
+  random_remaining_ = read_vec<std::uint32_t>(is, dim);
+  window_frozen_ = read_bitmap(is, dim);
+  effective_mask_ = read_bitmap(is, dim);
+}
+
+std::string ApfManager::name() const {
+  switch (options_.random_mode) {
+    case RandomFreezeMode::kNone: return "APF";
+    case RandomFreezeMode::kSharp: return "APF#";
+    case RandomFreezeMode::kPlusPlus: return "APF++";
+  }
+  return "APF";
+}
+
+}  // namespace apf::core

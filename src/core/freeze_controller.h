@@ -1,0 +1,81 @@
+// Per-scalar freezing-period control (paper Fig. 8 / Alg. 1, §7.5 ablations).
+//
+// Every scalar carries a freezing period L (in stability checks) and a
+// remaining-frozen counter. At each check, frozen scalars tick down; active
+// scalars are (re-)evaluated and their period adjusted by the control policy:
+//
+//  * kAimd (the paper's TCP-style default): stable -> L += step,
+//    unstable -> L /= factor.
+//  * kPureAdditive:        stable -> L += step, unstable -> L -= step.
+//  * kPureMultiplicative:  stable -> L = max(1, L * factor),
+//                          unstable -> L /= factor.
+//  * kFixed:               stable -> L = fixed_period, unstable -> L = 0.
+//
+// Note on the paper's Alg. 1: its pseudocode recomputes L for *every* scalar
+// at every check, but a frozen scalar's effective perturbation cannot change
+// while frozen (its updates are zero), so the literal pseudocode would never
+// unfreeze anything. The flowchart (Fig. 8) resolves this: a period is
+// adjusted only after it expires and the parameter has trained through a full
+// observation window. This class implements the Fig. 8 semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "util/bitmap.h"
+
+namespace apf::core {
+
+enum class ControlPolicy {
+  kAimd,
+  kPureAdditive,
+  kPureMultiplicative,
+  kFixed,
+};
+
+struct FreezeControllerOptions {
+  ControlPolicy policy = ControlPolicy::kAimd;
+  std::uint32_t additive_step = 1;          // checks added when stable
+  std::uint32_t multiplicative_factor = 2;  // divisor (and mult. growth)
+  std::uint32_t fixed_period = 10;          // kFixed: freeze length
+  std::uint32_t max_period = 1u << 20;      // safety cap
+};
+
+class FreezeController {
+ public:
+  FreezeController(std::size_t dim, FreezeControllerOptions options = {});
+
+  /// Runs one stability check.
+  ///  - `evaluable(j)`: whether scalar j trained through the whole window
+  ///    (the manager excludes scalars randomly frozen mid-window).
+  ///  - `stable(j)`: the stability verdict; called only for active,
+  ///    evaluable scalars.
+  /// Updates periods, remaining counters and the frozen mask.
+  void check(const std::function<bool(std::size_t)>& evaluable,
+             const std::function<bool(std::size_t)>& stable);
+
+  const Bitmap& mask() const { return mask_; }
+  bool frozen(std::size_t j) const { return remaining_[j] > 0; }
+  std::uint32_t period(std::size_t j) const { return period_[j]; }
+  std::uint32_t remaining(std::size_t j) const { return remaining_[j]; }
+  double frozen_fraction() const { return mask_.fraction(); }
+  std::size_t dim() const { return period_.size(); }
+
+  /// Raw state (serialization support).
+  std::span<const std::uint32_t> raw_periods() const { return period_; }
+  std::span<const std::uint32_t> raw_remaining() const { return remaining_; }
+  /// Restores periods/remaining and rebuilds the mask.
+  void restore(std::span<const std::uint32_t> periods,
+               std::span<const std::uint32_t> remaining);
+
+ private:
+  std::uint32_t next_period(std::uint32_t current, bool stable) const;
+
+  FreezeControllerOptions options_;
+  std::vector<std::uint32_t> period_;
+  std::vector<std::uint32_t> remaining_;
+  Bitmap mask_;
+};
+
+}  // namespace apf::core

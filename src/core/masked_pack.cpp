@@ -1,0 +1,31 @@
+#include "core/masked_pack.h"
+
+#include "util/error.h"
+
+namespace apf::core {
+
+std::vector<float> pack_unfrozen(std::span<const float> full,
+                                 const Bitmap& frozen_mask) {
+  APF_CHECK(full.size() == frozen_mask.size());
+  std::vector<float> payload;
+  payload.reserve(full.size() - frozen_mask.count());
+  for (std::size_t j = 0; j < full.size(); ++j) {
+    if (!frozen_mask.get(j)) payload.push_back(full[j]);
+  }
+  return payload;
+}
+
+void unpack_unfrozen(std::span<const float> payload, const Bitmap& frozen_mask,
+                     std::span<float> full) {
+  APF_CHECK(full.size() == frozen_mask.size());
+  APF_CHECK_MSG(
+      payload.size() == full.size() - frozen_mask.count(),
+      "payload size " << payload.size() << " != unfrozen count "
+                      << full.size() - frozen_mask.count());
+  std::size_t cursor = 0;
+  for (std::size_t j = 0; j < full.size(); ++j) {
+    if (!frozen_mask.get(j)) full[j] = payload[cursor++];
+  }
+}
+
+}  // namespace apf::core

@@ -1,0 +1,29 @@
+// Masked pack/unpack — the wire format of APF synchronization.
+//
+// The paper's APF_Manager transmits only unfrozen scalars, packed into a
+// compact tensor with masked_select and restored with masked_fill (Alg. 1
+// lines 4/6). These helpers are that wire path: pack() extracts the values
+// at clear mask bits in index order; unpack() scatters a compact payload
+// back. The ApfManager aggregates actual packed payloads, so the simulation
+// moves exactly the bytes it charges.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/bitmap.h"
+
+namespace apf::core {
+
+/// Values of `full` at positions where `frozen_mask` is clear, in ascending
+/// index order (the unfrozen payload).
+std::vector<float> pack_unfrozen(std::span<const float> full,
+                                 const Bitmap& frozen_mask);
+
+/// Scatters `payload` back into `full` at the clear positions of
+/// `frozen_mask`; frozen positions are left untouched. payload.size() must
+/// equal the number of clear bits.
+void unpack_unfrozen(std::span<const float> payload, const Bitmap& frozen_mask,
+                     std::span<float> full);
+
+}  // namespace apf::core

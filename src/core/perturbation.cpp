@@ -1,0 +1,92 @@
+#include "core/perturbation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::core {
+
+namespace {
+constexpr double kTiny = 1e-12;
+}
+
+WindowedPerturbation::WindowedPerturbation(std::size_t dim, std::size_t window)
+    : dim_(dim),
+      window_(window),
+      ring_(dim * window, 0.f),
+      sum_(dim, 0.0),
+      sum_abs_(dim, 0.0) {
+  APF_CHECK(dim > 0 && window > 0);
+}
+
+void WindowedPerturbation::push(std::span<const float> update) {
+  APF_CHECK(update.size() == dim_);
+  float* slot = ring_.data() + head_ * dim_;
+  if (count_ >= window_) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      sum_[j] -= slot[j];
+      sum_abs_[j] -= std::fabs(slot[j]);
+    }
+  }
+  for (std::size_t j = 0; j < dim_; ++j) {
+    slot[j] = update[j];
+    sum_[j] += update[j];
+    sum_abs_[j] += std::fabs(update[j]);
+  }
+  head_ = (head_ + 1) % window_;
+  if (count_ < window_) ++count_;
+}
+
+double WindowedPerturbation::value(std::size_t j) const {
+  APF_CHECK(j < dim_);
+  if (sum_abs_[j] < kTiny) return 0.0;
+  // Subtraction-based ring updates can leave tiny negative residue.
+  const double p = std::fabs(sum_[j]) / sum_abs_[j];
+  return p > 1.0 ? 1.0 : p;
+}
+
+std::vector<double> WindowedPerturbation::values() const {
+  std::vector<double> out(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) out[j] = value(j);
+  return out;
+}
+
+double WindowedPerturbation::mean() const {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dim_; ++j) acc += value(j);
+  return acc / static_cast<double>(dim_);
+}
+
+EmaPerturbation::EmaPerturbation(std::size_t dim, double alpha)
+    : dim_(dim), alpha_(alpha), e_(dim, 0.f), a_(dim, 0.f) {
+  APF_CHECK(dim > 0);
+  APF_CHECK(alpha >= 0.0 && alpha < 1.0);
+}
+
+void EmaPerturbation::update(std::span<const float> delta, const Bitmap* skip) {
+  APF_CHECK(delta.size() == dim_);
+  if (skip != nullptr) APF_CHECK(skip->size() == dim_);
+  const auto a = static_cast<float>(alpha_);
+  const float one_minus = 1.f - a;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    if (skip != nullptr && skip->get(j)) continue;
+    e_[j] = a * e_[j] + one_minus * delta[j];
+    a_[j] = a * a_[j] + one_minus * std::fabs(delta[j]);
+  }
+}
+
+void EmaPerturbation::restore(std::span<const float> e,
+                              std::span<const float> a) {
+  APF_CHECK(e.size() == dim_ && a.size() == dim_);
+  e_.assign(e.begin(), e.end());
+  a_.assign(a.begin(), a.end());
+}
+
+double EmaPerturbation::value(std::size_t j) const {
+  APF_CHECK(j < dim_);
+  if (a_[j] < kTiny) return 0.0;
+  const double p = std::fabs(static_cast<double>(e_[j])) / a_[j];
+  return p > 1.0 ? 1.0 : p;
+}
+
+}  // namespace apf::core

@@ -1,0 +1,99 @@
+#include "core/strawmen.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace apf::core {
+
+StrawmanBase::StrawmanBase(StrawmanOptions options) : options_(options) {
+  APF_CHECK(options_.stability_threshold > 0.0);
+  APF_CHECK(options_.check_every_rounds >= 1);
+}
+
+void StrawmanBase::init(std::span<const float> initial_params,
+                        std::size_t num_clients) {
+  SyncStrategyBase::init(initial_params, num_clients);
+  perturbation_.emplace(initial_params.size(), options_.ema_alpha);
+  delta_accum_.assign(initial_params.size(), 0.f);
+  excluded_ = Bitmap(initial_params.size(), false);
+  rounds_since_check_ = 0;
+}
+
+void StrawmanBase::observe_round(std::span<const float> new_global) {
+  const std::size_t dim = global_.size();
+  for (std::size_t j = 0; j < dim; ++j) {
+    delta_accum_[j] += new_global[j] - global_[j];
+  }
+  if (++rounds_since_check_ >= options_.check_every_rounds) {
+    rounds_since_check_ = 0;
+    perturbation_->update(delta_accum_, &excluded_);
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (!excluded_.get(j) &&
+          perturbation_->value(j) <= options_.stability_threshold) {
+        excluded_.set(j, true);  // irreversible — that is the flaw
+      }
+    }
+    std::fill(delta_accum_.begin(), delta_accum_.end(), 0.f);
+  }
+}
+
+PartialSync::PartialSync(StrawmanOptions options) : StrawmanBase(options) {}
+
+fl::SyncStrategy::Result PartialSync::synchronize(
+    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const std::size_t dim = global_.size();
+  const std::size_t n = client_params.size();
+  std::vector<float> new_global;
+  weighted_average(client_params, weights, new_global);
+  // Excluded scalars are not synchronized: the server keeps its stale value
+  // and every client keeps its own local value.
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (excluded_.get(j)) new_global[j] = global_[j];
+  }
+  observe_round(new_global);
+  global_ = std::move(new_global);
+  for (auto& params : client_params) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (!excluded_.get(j)) params[j] = global_[j];
+    }
+  }
+  Result result;
+  const double payload =
+      4.0 * static_cast<double>(dim - excluded_.count());
+  result.bytes_up.assign(n, payload);
+  result.bytes_down.assign(n, payload);
+  result.frozen_fraction = excluded_.fraction();
+  return result;
+}
+
+PermanentFreeze::PermanentFreeze(StrawmanOptions options)
+    : StrawmanBase(options) {}
+
+fl::SyncStrategy::Result PermanentFreeze::synchronize(
+    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  const std::size_t dim = global_.size();
+  const std::size_t n = client_params.size();
+  std::vector<float> new_global;
+  weighted_average(client_params, weights, new_global);
+  // Frozen scalars stay at their anchor forever.
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (excluded_.get(j)) new_global[j] = global_[j];
+  }
+  observe_round(new_global);
+  global_ = std::move(new_global);
+  for (auto& params : client_params) {
+    params.assign(global_.begin(), global_.end());
+  }
+  Result result;
+  const double payload =
+      4.0 * static_cast<double>(dim - excluded_.count());
+  result.bytes_up.assign(n, payload);
+  result.bytes_down.assign(n, payload);
+  result.frozen_fraction = excluded_.fraction();
+  return result;
+}
+
+}  // namespace apf::core

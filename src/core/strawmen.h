@@ -1,0 +1,74 @@
+// The two strawman solutions of §4.1, kept as first-class strategies so the
+// Fig. 4/5/6/12 experiments can reproduce their failure modes.
+//
+//  * PartialSync — stabilized scalars are permanently excluded from
+//    synchronization but keep training locally. On non-IID data the local
+//    copies diverge toward different local optima; the server's view of
+//    these scalars goes stale and global accuracy suffers (Fig. 4/5).
+//  * PermanentFreeze — stabilized scalars are frozen forever at their
+//    current value. Consistent across clients, but scalars that stabilized
+//    only temporarily can never reach their true optima (Fig. 6/7).
+//
+// Both use the same EMA effective-perturbation detector as APF; the verdict
+// is simply irreversible.
+#pragma once
+
+#include <optional>
+
+#include "core/perturbation.h"
+#include "fl/sync_strategy.h"
+
+namespace apf::core {
+
+struct StrawmanOptions {
+  double stability_threshold = 0.05;
+  double ema_alpha = 0.99;
+  std::size_t check_every_rounds = 5;
+};
+
+/// Shared detection plumbing for the two strawmen.
+class StrawmanBase : public fl::SyncStrategyBase {
+ public:
+  explicit StrawmanBase(StrawmanOptions options);
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override;
+
+  double excluded_fraction() const { return excluded_.fraction(); }
+  const Bitmap& excluded() const { return excluded_; }
+
+ protected:
+  /// Folds this round's global delta and, at check cadence, marks newly
+  /// stabilized scalars as permanently excluded.
+  void observe_round(std::span<const float> new_global);
+
+  StrawmanOptions options_;
+  std::optional<EmaPerturbation> perturbation_;
+  std::vector<float> delta_accum_;
+  Bitmap excluded_;
+  std::size_t rounds_since_check_ = 0;
+};
+
+class PartialSync : public StrawmanBase {
+ public:
+  explicit PartialSync(StrawmanOptions options = {});
+
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+  std::string name() const override { return "PartialSync"; }
+};
+
+class PermanentFreeze : public StrawmanBase {
+ public:
+  explicit PermanentFreeze(StrawmanOptions options = {});
+
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+  const Bitmap* frozen_mask() const override { return &excluded_; }
+  std::span<const float> frozen_anchor() const override { return global_; }
+  std::string name() const override { return "PermanentFreeze"; }
+};
+
+}  // namespace apf::core

@@ -1,0 +1,43 @@
+#include "data/loader.h"
+
+#include "util/error.h"
+
+namespace apf::data {
+
+DataLoader::DataLoader(const Dataset& dataset,
+                       std::vector<std::size_t> indices,
+                       std::size_t batch_size, Rng rng)
+    : dataset_(dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      rng_(rng) {
+  APF_CHECK(!indices_.empty());
+  APF_CHECK(batch_size_ > 0);
+  rng_.shuffle(indices_);
+}
+
+Batch DataLoader::next_batch() {
+  std::vector<std::size_t> batch_idx;
+  batch_idx.reserve(std::min(batch_size_, indices_.size()));
+  while (batch_idx.size() < batch_size_) {
+    if (cursor_ >= indices_.size()) {
+      cursor_ = 0;
+      rng_.shuffle(indices_);
+      // If the subset is smaller than a batch we still stop at one pass, so
+      // a tiny client contributes each sample once per batch.
+      if (!batch_idx.empty() && indices_.size() < batch_size_) break;
+    }
+    batch_idx.push_back(indices_[cursor_++]);
+    if (batch_idx.size() == indices_.size() &&
+        indices_.size() < batch_size_) {
+      break;
+    }
+  }
+  return dataset_.get_batch(batch_idx);
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  return (indices_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace apf::data

@@ -1,0 +1,125 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace apf::data {
+
+Partition iid_partition(std::size_t num_samples, std::size_t num_clients,
+                        Rng& rng) {
+  APF_CHECK(num_clients > 0);
+  APF_CHECK(num_samples >= num_clients);
+  std::vector<std::size_t> idx(num_samples);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  rng.shuffle(idx);
+  Partition out(num_clients);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    out[i % num_clients].push_back(idx[i]);
+  }
+  return out;
+}
+
+Partition dirichlet_partition(const std::vector<std::size_t>& labels,
+                              std::size_t num_classes,
+                              std::size_t num_clients, double alpha,
+                              Rng& rng) {
+  APF_CHECK(num_clients > 0 && num_classes > 0 && alpha > 0.0);
+  // Group sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    APF_CHECK(labels[i] < num_classes);
+    by_class[labels[i]].push_back(i);
+  }
+  Partition out(num_clients);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    auto& pool = by_class[c];
+    if (pool.empty()) continue;
+    rng.shuffle(pool);
+    const std::vector<double> props = rng.dirichlet(alpha, num_clients);
+    // Convert proportions to cumulative cut points over the class pool.
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      cum += props[k];
+      const auto end = (k + 1 == num_clients)
+                           ? pool.size()
+                           : std::min(pool.size(),
+                                      static_cast<std::size_t>(
+                                          cum * static_cast<double>(
+                                                    pool.size()) +
+                                          0.5));
+      for (std::size_t i = start; i < end; ++i) out[k].push_back(pool[i]);
+      start = std::max(start, end);
+    }
+  }
+  // Guarantee every client has at least one sample by stealing from the
+  // largest client (keeps the simulator's per-client loops well-defined).
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    if (!out[k].empty()) continue;
+    auto largest = std::max_element(
+        out.begin(), out.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    APF_CHECK(largest->size() >= 2);
+    out[k].push_back(largest->back());
+    largest->pop_back();
+  }
+  return out;
+}
+
+Partition classes_per_client_partition(const std::vector<std::size_t>& labels,
+                                       std::size_t num_classes,
+                                       std::size_t num_clients,
+                                       std::size_t classes_per_client,
+                                       Rng& rng) {
+  APF_CHECK(num_clients > 0 && classes_per_client >= 1);
+  APF_CHECK(classes_per_client <= num_classes);
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    APF_CHECK(labels[i] < num_classes);
+    by_class[labels[i]].push_back(i);
+  }
+  for (auto& pool : by_class) rng.shuffle(pool);
+
+  // Assign class slots round-robin so each class is owned by roughly the
+  // same number of clients (e.g. 5 clients x 2 classes over 10 classes
+  // gives each class exactly one owner, matching the paper's §7.3 setup).
+  std::vector<std::vector<std::size_t>> owners(num_classes);
+  std::size_t next_class = 0;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    for (std::size_t s = 0; s < classes_per_client; ++s) {
+      owners[next_class].push_back(k);
+      next_class = (next_class + 1) % num_classes;
+    }
+  }
+  Partition out(num_clients);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const auto& own = owners[c];
+    if (own.empty()) continue;
+    const auto& pool = by_class[c];
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      out[own[i % own.size()]].push_back(pool[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> classes_held(const Partition& partition,
+                                      const std::vector<std::size_t>& labels,
+                                      std::size_t num_classes) {
+  std::vector<std::size_t> out;
+  out.reserve(partition.size());
+  for (const auto& client : partition) {
+    std::vector<bool> seen(num_classes, false);
+    for (std::size_t i : client) {
+      APF_CHECK(i < labels.size());
+      seen[labels[i]] = true;
+    }
+    out.push_back(static_cast<std::size_t>(
+        std::count(seen.begin(), seen.end(), true)));
+  }
+  return out;
+}
+
+}  // namespace apf::data

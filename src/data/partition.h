@@ -1,0 +1,44 @@
+// Client data partitioners for federated setups.
+//
+// The paper synthesizes non-IID data by drawing each client's class mixture
+// from a Dirichlet distribution (α → ∞ is IID; the paper uses α = 1), and a
+// pathological "k distinct classes per client" split for §7.3's extreme
+// non-IID experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apf::data {
+
+/// Per-client index lists into a dataset.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Shuffles indices and deals them round-robin (IID).
+Partition iid_partition(std::size_t num_samples, std::size_t num_clients,
+                        Rng& rng);
+
+/// Dirichlet(α) partition: for each class, splits its samples across clients
+/// with proportions drawn from Dirichlet(α, ..., α). Every client is
+/// guaranteed at least one sample.
+Partition dirichlet_partition(const std::vector<std::size_t>& labels,
+                              std::size_t num_classes,
+                              std::size_t num_clients, double alpha, Rng& rng);
+
+/// Pathological split: each client holds exactly `classes_per_client`
+/// distinct classes (assigned round-robin); samples of a class are divided
+/// evenly among the clients that own it.
+Partition classes_per_client_partition(const std::vector<std::size_t>& labels,
+                                       std::size_t num_classes,
+                                       std::size_t num_clients,
+                                       std::size_t classes_per_client,
+                                       Rng& rng);
+
+/// Number of distinct classes present on each client (diagnostics/tests).
+std::vector<std::size_t> classes_held(const Partition& partition,
+                                      const std::vector<std::size_t>& labels,
+                                      std::size_t num_classes);
+
+}  // namespace apf::data

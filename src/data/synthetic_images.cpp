@@ -1,0 +1,132 @@
+#include "data/synthetic_images.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::data {
+
+namespace {
+
+/// One in-place 3x3 box blur over a CxHxW image (circular boundary).
+void box_blur(std::vector<float>& img, std::size_t c, std::size_t h,
+              std::size_t w) {
+  std::vector<float> out(img.size());
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float* in = img.data() + ch * h * w;
+    float* o = out.data() + ch * h * w;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        float acc = 0.f;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const std::size_t yy = (y + h + static_cast<std::size_t>(dy + 1) - 1) % h;
+            const std::size_t xx = (x + w + static_cast<std::size_t>(dx + 1) - 1) % w;
+            acc += in[yy * w + xx];
+          }
+        }
+        o[y * w + x] = acc / 9.f;
+      }
+    }
+  }
+  img = std::move(out);
+}
+
+/// Normalizes an image to zero mean / unit RMS.
+void normalize(std::vector<float>& img) {
+  double sum = 0.0, sq = 0.0;
+  for (float v : img) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(img.size());
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  const float inv =
+      var > 1e-12 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.f;
+  for (auto& v : img) v = (v - static_cast<float>(mean)) * inv;
+}
+
+}  // namespace
+
+SyntheticImageDataset::SyntheticImageDataset(const SyntheticImageSpec& spec,
+                                             std::size_t num_samples,
+                                             std::uint64_t split_seed)
+    : spec_(spec) {
+  APF_CHECK(spec.num_classes >= 2);
+  APF_CHECK(spec.image_size >= 4);
+  const std::size_t c = spec.channels, hw = spec.image_size;
+  sample_elems_ = c * hw * hw;
+
+  // Class prototypes depend only on spec.seed so train/test splits agree.
+  Rng proto_rng(spec.seed);
+  std::vector<std::vector<float>> prototypes(spec.num_classes);
+  for (auto& proto : prototypes) {
+    proto.resize(sample_elems_);
+    for (auto& v : proto) v = static_cast<float>(proto_rng.normal());
+    box_blur(proto, c, hw, hw);
+    box_blur(proto, c, hw, hw);
+    normalize(proto);
+  }
+
+  Rng rng(split_seed ^ 0xA5A5A5A5DEADBEEFULL);
+  pixels_.resize(num_samples * sample_elems_);
+  labels_.resize(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const std::size_t cls = i % spec.num_classes;
+    labels_[i] = cls;
+    if (spec.label_noise > 0.0 && rng.bernoulli(spec.label_noise)) {
+      labels_[i] = rng.uniform_int(std::uint64_t{spec.num_classes});
+    }
+    const auto& proto = prototypes[cls];
+    const float amp = static_cast<float>(
+        1.0 + rng.normal(0.0, spec.amplitude_jitter));
+    const std::size_t max_s = spec.max_shift;
+    const std::size_t dy =
+        max_s ? static_cast<std::size_t>(rng.uniform_int(2 * max_s + 1)) : 0;
+    const std::size_t dx =
+        max_s ? static_cast<std::size_t>(rng.uniform_int(2 * max_s + 1)) : 0;
+    float* out = pixels_.data() + i * sample_elems_;
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < hw; ++y) {
+        for (std::size_t x = 0; x < hw; ++x) {
+          const std::size_t sy = (y + dy) % hw;
+          const std::size_t sx = (x + dx) % hw;
+          const float noise =
+              static_cast<float>(rng.normal(0.0, spec.noise_stddev));
+          out[(ch * hw + y) * hw + x] =
+              amp * proto[(ch * hw + sy) * hw + sx] + noise;
+        }
+      }
+    }
+  }
+}
+
+Shape SyntheticImageDataset::sample_shape() const {
+  return {spec_.channels, spec_.image_size, spec_.image_size};
+}
+
+std::size_t SyntheticImageDataset::label(std::size_t i) const {
+  APF_CHECK(i < labels_.size());
+  return labels_[i];
+}
+
+Batch SyntheticImageDataset::get_batch(
+    std::span<const std::size_t> indices) const {
+  Batch batch;
+  batch.inputs = Tensor({indices.size(), spec_.channels, spec_.image_size,
+                         spec_.image_size});
+  batch.labels.resize(indices.size());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::size_t i = indices[b];
+    APF_CHECK(i < labels_.size());
+    std::copy(pixels_.begin() + static_cast<std::ptrdiff_t>(i * sample_elems_),
+              pixels_.begin() +
+                  static_cast<std::ptrdiff_t>((i + 1) * sample_elems_),
+              batch.inputs.raw() + b * sample_elems_);
+    batch.labels[b] = labels_[i];
+  }
+  return batch;
+}
+
+}  // namespace apf::data

@@ -1,0 +1,85 @@
+#include "data/synthetic_sequences.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace apf::data {
+
+SyntheticSequenceDataset::SyntheticSequenceDataset(
+    const SyntheticSequenceSpec& spec, std::size_t num_samples,
+    std::uint64_t split_seed)
+    : spec_(spec) {
+  APF_CHECK(spec.num_classes >= 2);
+  APF_CHECK(spec.time_steps >= 2 && spec.features >= 1);
+  sample_elems_ = spec.time_steps * spec.features;
+
+  // Per-class signatures derived from spec.seed only.
+  struct Signature {
+    std::vector<double> freq, amp, phase;
+  };
+  Rng sig_rng(spec.seed);
+  std::vector<Signature> sigs(spec.num_classes);
+  for (auto& sig : sigs) {
+    sig.freq.resize(spec.features);
+    sig.amp.resize(spec.features);
+    sig.phase.resize(spec.features);
+    for (std::size_t f = 0; f < spec.features; ++f) {
+      sig.freq[f] = sig_rng.uniform(0.5, 3.0);
+      sig.amp[f] = sig_rng.uniform(0.4, 1.2);
+      sig.phase[f] = sig_rng.uniform(0.0, 2.0 * std::numbers::pi);
+    }
+  }
+
+  Rng rng(split_seed ^ 0x5EEDFACE12345678ULL);
+  values_.resize(num_samples * sample_elems_);
+  labels_.resize(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const std::size_t cls = i % spec.num_classes;
+    labels_[i] = cls;
+    const auto& sig = sigs[cls];
+    const double jitter = rng.uniform(-0.5, 0.5);
+    float* out = values_.data() + i * sample_elems_;
+    for (std::size_t t = 0; t < spec.time_steps; ++t) {
+      const double phase_t =
+          2.0 * std::numbers::pi * static_cast<double>(t) /
+          static_cast<double>(spec.time_steps);
+      for (std::size_t f = 0; f < spec.features; ++f) {
+        const double clean =
+            sig.amp[f] * std::sin(sig.freq[f] * phase_t + sig.phase[f] + jitter);
+        out[t * spec.features + f] = static_cast<float>(
+            clean + rng.normal(0.0, spec.noise_stddev));
+      }
+    }
+  }
+}
+
+Shape SyntheticSequenceDataset::sample_shape() const {
+  return {spec_.time_steps, spec_.features};
+}
+
+std::size_t SyntheticSequenceDataset::label(std::size_t i) const {
+  APF_CHECK(i < labels_.size());
+  return labels_[i];
+}
+
+Batch SyntheticSequenceDataset::get_batch(
+    std::span<const std::size_t> indices) const {
+  Batch batch;
+  batch.inputs =
+      Tensor({indices.size(), spec_.time_steps, spec_.features});
+  batch.labels.resize(indices.size());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::size_t i = indices[b];
+    APF_CHECK(i < labels_.size());
+    std::copy(values_.begin() + static_cast<std::ptrdiff_t>(i * sample_elems_),
+              values_.begin() +
+                  static_cast<std::ptrdiff_t>((i + 1) * sample_elems_),
+              batch.inputs.raw() + b * sample_elems_);
+    batch.labels[b] = labels_[i];
+  }
+  return batch;
+}
+
+}  // namespace apf::data

@@ -1,0 +1,62 @@
+#include "fl/evaluate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.h"
+#include "util/error.h"
+
+namespace apf::fl {
+
+namespace {
+template <typename Fn>
+void for_each_batch(const data::Dataset& dataset, std::size_t batch_size,
+                    Fn&& fn) {
+  APF_CHECK(batch_size > 0);
+  std::vector<std::size_t> idx(dataset.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t start = 0; start < idx.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, idx.size());
+    const std::span<const std::size_t> slice(idx.data() + start, end - start);
+    fn(dataset.get_batch(slice));
+  }
+}
+}  // namespace
+
+double evaluate_accuracy(nn::Module& module, const data::Dataset& dataset,
+                         std::size_t batch_size) {
+  const bool was_training = module.training();
+  module.set_training(false);
+  std::size_t correct = 0;
+  for_each_batch(dataset, batch_size, [&](const data::Batch& batch) {
+    const Tensor logits = module.forward(batch.inputs);
+    correct += static_cast<std::size_t>(
+        nn::accuracy(logits, batch.labels) *
+            static_cast<double>(batch.size()) +
+        0.5);
+  });
+  module.set_training(was_training);
+  return dataset.size() == 0
+             ? 0.0
+             : static_cast<double>(correct) /
+                   static_cast<double>(dataset.size());
+}
+
+double evaluate_loss(nn::Module& module, const data::Dataset& dataset,
+                     std::size_t batch_size) {
+  const bool was_training = module.training();
+  module.set_training(false);
+  double total = 0.0;
+  for_each_batch(dataset, batch_size, [&](const data::Batch& batch) {
+    const Tensor logits = module.forward(batch.inputs);
+    const auto result = nn::softmax_cross_entropy(logits, batch.labels);
+    total += static_cast<double>(result.loss) *
+             static_cast<double>(batch.size());
+  });
+  module.set_training(was_training);
+  return dataset.size() == 0
+             ? 0.0
+             : total / static_cast<double>(dataset.size());
+}
+
+}  // namespace apf::fl

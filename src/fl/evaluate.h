@@ -1,0 +1,19 @@
+// Model evaluation helpers.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace apf::fl {
+
+/// Test accuracy of `module` over the whole dataset, evaluated in eval mode
+/// (BatchNorm running stats) with mini-batches of `batch_size`. Restores the
+/// module's previous train/eval mode before returning.
+double evaluate_accuracy(nn::Module& module, const data::Dataset& dataset,
+                         std::size_t batch_size = 128);
+
+/// Mean cross-entropy loss over the dataset (eval mode).
+double evaluate_loss(nn::Module& module, const data::Dataset& dataset,
+                     std::size_t batch_size = 128);
+
+}  // namespace apf::fl

@@ -1,0 +1,49 @@
+#include "fl/flat_view.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace apf::fl {
+
+FlatParamView::FlatParamView(nn::Module& module) {
+  for (const auto& p : module.parameters()) {
+    segments_.push_back({p.param->value.raw(), p.param->numel()});
+    dim_ += p.param->numel();
+  }
+  APF_CHECK(dim_ > 0);
+}
+
+void FlatParamView::gather(std::vector<float>& out) const {
+  out.resize(dim_);
+  std::size_t offset = 0;
+  for (const auto& seg : segments_) {
+    std::copy(seg.data, seg.data + seg.size, out.data() + offset);
+    offset += seg.size;
+  }
+}
+
+void FlatParamView::scatter(std::span<const float> flat) {
+  APF_CHECK(flat.size() == dim_);
+  std::size_t offset = 0;
+  for (const auto& seg : segments_) {
+    std::copy(flat.data() + offset, flat.data() + offset + seg.size, seg.data);
+    offset += seg.size;
+  }
+}
+
+void FlatParamView::pin_masked(const Bitmap& mask,
+                               std::span<const float> anchor) {
+  APF_CHECK(mask.size() == dim_);
+  APF_CHECK(anchor.size() == dim_);
+  std::size_t offset = 0;
+  for (const auto& seg : segments_) {
+    for (std::size_t i = 0; i < seg.size; ++i) {
+      const std::size_t j = offset + i;
+      if (mask.get(j)) seg.data[i] = anchor[j];
+    }
+    offset += seg.size;
+  }
+}
+
+}  // namespace apf::fl

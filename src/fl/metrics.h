@@ -1,0 +1,22 @@
+// Simulation metrics export.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fl/runner.h"
+
+namespace apf::fl {
+
+/// Writes the per-round records of a simulation as CSV (one row per round:
+/// round, accuracy, loss, bytes, cumulative bytes, frozen fraction, time).
+void write_round_csv(const SimulationResult& result, std::ostream& os);
+
+/// File-path convenience wrapper; throws apf::Error if the file can't open.
+void write_round_csv_file(const SimulationResult& result,
+                          const std::string& path);
+
+/// One-line human summary ("best=0.903 bytes=23.2MB ...").
+std::string summarize(const SimulationResult& result);
+
+}  // namespace apf::fl

@@ -1,0 +1,26 @@
+#include "fl/network.h"
+
+#include "util/error.h"
+
+namespace apf::fl {
+
+namespace {
+double seconds(double bytes, double mbps) {
+  APF_CHECK(mbps > 0.0);
+  return bytes * 8.0 / (mbps * 1e6);
+}
+}  // namespace
+
+double NetworkModel::client_download_seconds(double bytes) const {
+  return seconds(bytes, client_download_mbps);
+}
+
+double NetworkModel::client_upload_seconds(double bytes) const {
+  return seconds(bytes, client_upload_mbps);
+}
+
+double NetworkModel::server_seconds(double total_bytes) const {
+  return seconds(total_bytes, server_bandwidth_mbps);
+}
+
+}  // namespace apf::fl

@@ -1,0 +1,339 @@
+#include "fl/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "data/loader.h"
+#include "fl/evaluate.h"
+#include "fl/flat_view.h"
+#include "nn/loss.h"
+#include "nn/param_vector.h"
+#include "optim/clip.h"
+#include "optim/fedprox.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace apf::fl {
+
+std::vector<double> SimulationResult::accuracy_series() const {
+  std::vector<double> out;
+  for (const auto& r : rounds) {
+    if (r.test_accuracy >= 0.0) out.push_back(r.test_accuracy);
+  }
+  return out;
+}
+
+std::vector<double> SimulationResult::frozen_series() const {
+  std::vector<double> out;
+  out.reserve(rounds.size());
+  for (const auto& r : rounds) out.push_back(r.frozen_fraction);
+  return out;
+}
+
+std::vector<double> SimulationResult::cumulative_bytes_series() const {
+  std::vector<double> out;
+  out.reserve(rounds.size());
+  for (const auto& r : rounds) out.push_back(r.cumulative_bytes_per_client);
+  return out;
+}
+
+FederatedRunner::FederatedRunner(FlConfig config, const data::Dataset& train,
+                                 data::Partition partition,
+                                 const data::Dataset& test,
+                                 ModelFactory model_factory,
+                                 OptimizerFactory optimizer_factory,
+                                 SyncStrategy& strategy)
+    : config_(std::move(config)),
+      train_(train),
+      partition_(std::move(partition)),
+      test_(test),
+      model_factory_(std::move(model_factory)),
+      optimizer_factory_(std::move(optimizer_factory)),
+      strategy_(strategy) {
+  APF_CHECK_MSG(partition_.size() == config_.num_clients,
+                "partition size " << partition_.size() << " != clients "
+                                  << config_.num_clients);
+  APF_CHECK(config_.rounds > 0 && config_.local_iters > 0);
+  APF_CHECK(config_.workload_fraction.empty() ||
+            config_.workload_fraction.size() == config_.num_clients);
+  APF_CHECK(config_.participation_fraction > 0.0 &&
+            config_.participation_fraction <= 1.0);
+  APF_CHECK(config_.grad_clip_norm >= 0.0);
+}
+
+SimulationResult FederatedRunner::run() {
+  const std::size_t n = config_.num_clients;
+
+  // Per-client state. All models start bit-identical (factory contract).
+  struct Client {
+    std::unique_ptr<nn::Module> model;
+    std::unique_ptr<optim::Optimizer> optimizer;
+    std::unique_ptr<FlatParamView> view;
+    std::unique_ptr<data::DataLoader> loader;
+    std::size_t iters_per_round = 0;
+  };
+  std::vector<Client> clients(n);
+  Rng seed_rng(config_.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients[i].model = model_factory_();
+    clients[i].optimizer = optimizer_factory_(*clients[i].model);
+    clients[i].view = std::make_unique<FlatParamView>(*clients[i].model);
+    clients[i].loader = std::make_unique<data::DataLoader>(
+        train_, partition_[i], config_.batch_size, seed_rng.split());
+    const double frac = config_.workload_fraction.empty()
+                            ? 1.0
+                            : config_.workload_fraction[i];
+    APF_CHECK(frac > 0.0 && frac <= 1.0);
+    clients[i].iters_per_round = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(
+               frac * static_cast<double>(config_.local_iters))));
+  }
+
+  // Evaluation model (receives global params before each eval).
+  std::unique_ptr<nn::Module> eval_model = model_factory_();
+
+  const std::size_t dim = clients[0].view->dim();
+  std::vector<float> init_params;
+  clients[0].view->gather(init_params);
+  strategy_.init(init_params, n);
+  // Every client starts from the (identical) initial global model.
+  for (auto& c : clients) c.view->scatter(strategy_.global_params());
+
+  const std::size_t buffer_dim = nn::flatten_buffers(*clients[0].model).size();
+
+  SimulationResult result;
+  result.rounds.reserve(config_.rounds);
+  double cum_bytes = 0.0, cum_seconds = 0.0;
+  RunningStat frozen_stat;
+  std::vector<std::vector<float>> client_params(n);
+  std::vector<float> anchor_copy;
+  // Partial participation (FedAvg's C): a deterministic per-round subset.
+  Rng participation_rng(config_.seed ^ 0xC11E47ULL);
+  const std::size_t participants_per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config_.participation_fraction *
+                         static_cast<double>(n))));
+  std::vector<std::size_t> client_order(n);
+  for (std::size_t i = 0; i < n; ++i) client_order[i] = i;
+  // Global buffer state (BatchNorm running stats) used for evaluation and
+  // handed to joining participants.
+  std::vector<float> global_buffers =
+      buffer_dim > 0 ? nn::flatten_buffers(*clients[0].model)
+                     : std::vector<float>{};
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    if (lr_schedule_ != nullptr) {
+      const double lr = lr_schedule_->lr(round - 1);
+      for (auto& c : clients) c.optimizer->set_lr(lr);
+    }
+    // FedProx anchor: the global model this round starts from.
+    if (config_.fedprox_mu > 0.0) {
+      const auto g = strategy_.global_params();
+      anchor_copy.assign(g.begin(), g.end());
+    }
+
+    // Draw this round's participants.
+    std::vector<bool> participates(n, true);
+    if (participants_per_round < n) {
+      participation_rng.shuffle(client_order);
+      participates.assign(n, false);
+      for (std::size_t i = 0; i < participants_per_round; ++i) {
+        participates[client_order[i]] = true;
+      }
+      // Joining clients pull the latest global model + buffers (admission
+      // control, paper footnote 5); the pull is charged below.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!participates[i]) continue;
+        clients[i].view->scatter(strategy_.global_params());
+        if (buffer_dim > 0) {
+          nn::load_buffers(*clients[i].model, global_buffers);
+        }
+      }
+    }
+
+    const Bitmap* mask = strategy_.frozen_mask();
+
+    // Local training. Clients are independent between synchronizations, so
+    // they can be trained on worker threads with bit-identical results.
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+    double max_compute_seconds = 0.0;
+    auto train_client = [&](std::size_t i, double& local_loss_sum,
+                            std::size_t& local_loss_count) {
+      Client& client = clients[i];
+      client.model->set_training(true);
+      for (std::size_t it = 0; it < client.iters_per_round; ++it) {
+        const data::Batch batch = client.loader->next_batch();
+        client.optimizer->zero_grad();
+        const Tensor logits = client.model->forward(batch.inputs);
+        const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+        client.model->backward(loss.grad_logits);
+        if (config_.fedprox_mu > 0.0) {
+          optim::add_proximal_grad(*client.model, anchor_copy,
+                                   config_.fedprox_mu);
+        }
+        if (config_.grad_clip_norm > 0.0) {
+          optim::clip_grad_norm(*client.model, config_.grad_clip_norm);
+        }
+        client.optimizer->step();
+        // Emulate fine-grained freezing: frozen scalars are rolled back to
+        // their anchor after every local update (paper Alg. 1, line 2).
+        if (mask != nullptr) {
+          client.view->pin_masked(*mask, strategy_.frozen_anchor());
+        }
+        local_loss_sum += loss.loss;
+        ++local_loss_count;
+      }
+    };
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (participates[i]) active.push_back(i);
+    }
+    std::size_t threads = config_.worker_threads == 0
+                              ? std::max(1u, std::thread::hardware_concurrency())
+                              : config_.worker_threads;
+    threads = std::min(threads, active.size());
+    if (threads <= 1) {
+      for (std::size_t i : active) train_client(i, loss_sum, loss_count);
+    } else {
+      std::vector<double> partial_loss(threads, 0.0);
+      std::vector<std::size_t> partial_count(threads, 0);
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      std::atomic<std::size_t> next{0};
+      for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          for (;;) {
+            const std::size_t slot =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (slot >= active.size()) break;
+            train_client(active[slot], partial_loss[t], partial_count[t]);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      for (std::size_t t = 0; t < threads; ++t) {
+        loss_sum += partial_loss[t];
+        loss_count += partial_count[t];
+      }
+    }
+    for (std::size_t i : active) {
+      max_compute_seconds =
+          std::max(max_compute_seconds,
+                   static_cast<double>(clients[i].iters_per_round) *
+                       config_.compute_seconds_per_iter);
+    }
+
+    // Gather local models and aggregate. Non-participants carry weight 0
+    // and their local state is restored after the strategy runs.
+    std::vector<double> weights(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      clients[i].view->gather(client_params[i]);
+      const bool straggler =
+          clients[i].iters_per_round < config_.local_iters;
+      const bool dropped =
+          straggler && config_.straggler_policy == StragglerPolicy::kDrop;
+      weights[i] = (!participates[i] || dropped)
+                       ? 0.0
+                       : static_cast<double>(partition_[i].size());
+    }
+    const SyncStrategy::Result sync =
+        strategy_.synchronize(round, client_params, weights);
+    APF_CHECK(sync.bytes_up.size() == n && sync.bytes_down.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (participates[i]) clients[i].view->scatter(client_params[i]);
+      // Non-participants keep their stale local state untouched.
+    }
+
+    // BatchNorm-style buffers: full-precision average over participants
+    // every round (not trainable, so APF does not manage them; charged).
+    double buffer_bytes = 0.0;
+    if (buffer_dim > 0) {
+      std::vector<double> buf_acc(buffer_dim, 0.0);
+      std::size_t buf_sources = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!participates[i]) continue;
+        const auto b = nn::flatten_buffers(*clients[i].model);
+        for (std::size_t j = 0; j < buffer_dim; ++j) buf_acc[j] += b[j];
+        ++buf_sources;
+      }
+      APF_CHECK(buf_sources > 0);
+      for (std::size_t j = 0; j < buffer_dim; ++j) {
+        global_buffers[j] =
+            static_cast<float>(buf_acc[j] / static_cast<double>(buf_sources));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (participates[i]) {
+          nn::load_buffers(*clients[i].model, global_buffers);
+        }
+      }
+      buffer_bytes = 4.0 * static_cast<double>(buffer_dim);
+    }
+
+    // Byte and time accounting: BSP barrier = slowest participant, and the
+    // server link carries everyone's traffic.
+    double mean_bytes = 0.0;
+    double max_client_comm_seconds = 0.0;
+    double total_bytes_all_clients = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!participates[i]) continue;
+      const double up = sync.bytes_up[i] + buffer_bytes;
+      const double down = sync.bytes_down[i] + buffer_bytes;
+      mean_bytes += up + down;
+      total_bytes_all_clients += up + down;
+      max_client_comm_seconds =
+          std::max(max_client_comm_seconds,
+                   config_.network.client_upload_seconds(up) +
+                       config_.network.client_download_seconds(down));
+    }
+    mean_bytes /= static_cast<double>(n);
+    const double comm_seconds =
+        std::max(max_client_comm_seconds,
+                 config_.network.server_seconds(total_bytes_all_clients));
+    const double round_seconds = max_compute_seconds + comm_seconds;
+
+    cum_bytes += mean_bytes;
+    cum_seconds += round_seconds;
+    frozen_stat.add(sync.frozen_fraction);
+
+    RoundRecord record;
+    record.round = round;
+    record.train_loss =
+        loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    record.bytes_per_client = mean_bytes;
+    record.cumulative_bytes_per_client = cum_bytes;
+    record.frozen_fraction = sync.frozen_fraction;
+    record.round_seconds = round_seconds;
+    record.cumulative_seconds = cum_seconds;
+    if (round % config_.eval_every == 0 || round == config_.rounds) {
+      // Evaluate the server-side global model.
+      FlatParamView eval_view(*eval_model);
+      eval_view.scatter(strategy_.global_params());
+      if (buffer_dim > 0) {
+        nn::load_buffers(*eval_model, global_buffers);
+      }
+      record.test_accuracy = evaluate_accuracy(*eval_model, test_);
+      result.best_accuracy =
+          std::max(result.best_accuracy, record.test_accuracy);
+      result.final_accuracy = record.test_accuracy;
+      APF_INFO("round " << round << " acc=" << record.test_accuracy
+                        << " frozen=" << record.frozen_fraction
+                        << " loss=" << record.train_loss);
+    }
+    result.rounds.push_back(record);
+    if (observer_) observer_(round, strategy_.global_params(), client_params);
+  }
+
+  result.total_bytes_per_client = cum_bytes;
+  result.total_seconds = cum_seconds;
+  result.mean_frozen_fraction = frozen_stat.mean();
+  const auto g = strategy_.global_params();
+  result.final_global_params.assign(g.begin(), g.end());
+  APF_CHECK(result.final_global_params.size() == dim);
+  return result;
+}
+
+}  // namespace apf::fl

@@ -1,0 +1,145 @@
+// Federated-learning simulator.
+//
+// Single-process, deterministic reproduction of the paper's testbed: N edge
+// clients train local models for Fs iterations per round, synchronize through
+// a SyncStrategy (FedAvg, APF, baselines), and the runner accounts bytes and
+// simulated wall-clock time under the edge network model. Stragglers and
+// FedProx (§7.7) are supported through the config.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "fl/network.h"
+#include "fl/sync_strategy.h"
+#include "nn/module.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+
+namespace apf::fl {
+
+/// Straggler handling at the synchronization barrier.
+enum class StragglerPolicy {
+  kInclude,  // aggregate partial work (FedAvg-naive / FedProx)
+  kDrop,     // exclude stragglers from aggregation (FedAvg)
+};
+
+struct FlConfig {
+  std::size_t num_clients = 10;
+  std::size_t rounds = 100;
+  std::size_t local_iters = 10;  // Fs: local iterations per round
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 1;
+
+  /// Simulated compute seconds per local iteration (per client).
+  double compute_seconds_per_iter = 0.02;
+
+  NetworkModel network;
+
+  /// Evaluate test accuracy every this many rounds.
+  std::size_t eval_every = 1;
+
+  /// FedProx proximal coefficient; 0 disables the proximal term.
+  double fedprox_mu = 0.0;
+
+  /// Per-client fraction of local_iters actually performed (empty = all 1.0).
+  std::vector<double> workload_fraction;
+
+  StragglerPolicy straggler_policy = StragglerPolicy::kInclude;
+
+  /// Fraction of clients participating each round (FedAvg's C). Each round a
+  /// ceil(C*N)-subset is drawn; the rest neither train nor communicate and
+  /// pick the latest global state up at their next participation (paper
+  /// footnote 5: admission control keeps joiners consistent).
+  double participation_fraction = 1.0;
+
+  /// Global L2 gradient-norm clip applied before each optimizer step;
+  /// 0 disables clipping.
+  double grad_clip_norm = 0.0;
+
+  /// Threads used to train clients in parallel within a round. Clients are
+  /// fully independent between synchronizations, so results are
+  /// bit-identical for any thread count. 0 = one thread per hardware core.
+  std::size_t worker_threads = 1;
+};
+
+/// One round's metrics.
+struct RoundRecord {
+  std::size_t round = 0;
+  double test_accuracy = -1.0;  // -1 when not evaluated this round
+  double train_loss = 0.0;      // mean local loss across clients
+  double bytes_per_client = 0.0;       // this round, up + down, mean
+  double cumulative_bytes_per_client = 0.0;
+  double frozen_fraction = 0.0;
+  double round_seconds = 0.0;  // simulated BSP barrier time
+  double cumulative_seconds = 0.0;
+};
+
+struct SimulationResult {
+  std::vector<RoundRecord> rounds;
+  double best_accuracy = 0.0;
+  double final_accuracy = 0.0;
+  double total_bytes_per_client = 0.0;
+  double total_seconds = 0.0;
+  double mean_frozen_fraction = 0.0;
+  std::vector<float> final_global_params;
+
+  /// Accuracy series (only rounds that were evaluated).
+  std::vector<double> accuracy_series() const;
+  std::vector<double> frozen_series() const;
+  std::vector<double> cumulative_bytes_series() const;
+};
+
+/// Builds a fresh model; called once per client plus once for evaluation.
+/// Every invocation must produce identically initialized parameters (use a
+/// fixed-seed Rng inside the factory).
+using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
+
+/// Builds an optimizer bound to the given module's parameters.
+using OptimizerFactory =
+    std::function<std::unique_ptr<optim::Optimizer>(nn::Module&)>;
+
+/// Optional per-round observer (round index, global params, client params).
+using RoundObserver = std::function<void(
+    std::size_t round, std::span<const float> global_params,
+    const std::vector<std::vector<float>>& client_params)>;
+
+class FederatedRunner {
+ public:
+  /// `train`/`test` must outlive run(). `partition[i]` selects client i's
+  /// training indices; its size must equal config.num_clients.
+  FederatedRunner(FlConfig config, const data::Dataset& train,
+                  data::Partition partition, const data::Dataset& test,
+                  ModelFactory model_factory,
+                  OptimizerFactory optimizer_factory,
+                  SyncStrategy& strategy);
+
+  /// Optional learning-rate schedule applied at each round (overrides the
+  /// optimizer's constant rate).
+  void set_lr_schedule(const optim::LrSchedule* schedule) {
+    lr_schedule_ = schedule;
+  }
+
+  /// Optional observer invoked after every synchronization.
+  void set_observer(RoundObserver observer) { observer_ = std::move(observer); }
+
+  SimulationResult run();
+
+ private:
+  FlConfig config_;
+  const data::Dataset& train_;
+  data::Partition partition_;
+  const data::Dataset& test_;
+  ModelFactory model_factory_;
+  OptimizerFactory optimizer_factory_;
+  SyncStrategy& strategy_;
+  const optim::LrSchedule* lr_schedule_ = nullptr;
+  RoundObserver observer_;
+};
+
+}  // namespace apf::fl

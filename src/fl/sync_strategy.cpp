@@ -1,0 +1,53 @@
+#include "fl/sync_strategy.h"
+
+#include "util/error.h"
+
+namespace apf::fl {
+
+void SyncStrategyBase::init(std::span<const float> initial_params,
+                            std::size_t num_clients) {
+  APF_CHECK(!initial_params.empty());
+  APF_CHECK(num_clients > 0);
+  global_.assign(initial_params.begin(), initial_params.end());
+  num_clients_ = num_clients;
+}
+
+void SyncStrategyBase::weighted_average(
+    const std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights, std::vector<float>& out) {
+  APF_CHECK(!client_params.empty());
+  APF_CHECK(client_params.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    APF_CHECK(w >= 0.0);
+    total += w;
+  }
+  APF_CHECK_MSG(total > 0.0, "all aggregation weights are zero");
+  const std::size_t dim = client_params.front().size();
+  out.assign(dim, 0.f);
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t i = 0; i < client_params.size(); ++i) {
+    if (weights[i] == 0.0) continue;
+    APF_CHECK(client_params[i].size() == dim);
+    const double w = weights[i] / total;
+    const auto& params = client_params[i];
+    for (std::size_t j = 0; j < dim; ++j) acc[j] += w * params[j];
+  }
+  for (std::size_t j = 0; j < dim; ++j) out[j] = static_cast<float>(acc[j]);
+}
+
+SyncStrategy::Result FullSync::synchronize(
+    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  weighted_average(client_params, weights, global_);
+  for (auto& params : client_params) {
+    params.assign(global_.begin(), global_.end());
+  }
+  Result result;
+  const double payload = 4.0 * static_cast<double>(global_.size());
+  result.bytes_up.assign(client_params.size(), payload);
+  result.bytes_down.assign(client_params.size(), payload);
+  return result;
+}
+
+}  // namespace apf::fl

@@ -1,0 +1,86 @@
+// Synchronization strategy interface.
+//
+// A SyncStrategy decides, at each communication round, what each client
+// transmits, how the server aggregates it, and what each client's model is
+// afterwards. Vanilla FedAvg (FullSync) ships the full parameter vector both
+// ways; APF, the strawmen and the sparsification baselines ship less. Byte
+// accounting is the strategy's responsibility because only it knows what got
+// transmitted.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bitmap.h"
+
+namespace apf::fl {
+
+class SyncStrategy {
+ public:
+  virtual ~SyncStrategy() = default;
+
+  /// Per-round synchronization accounting.
+  struct Result {
+    std::vector<double> bytes_up;    // per client, this round
+    std::vector<double> bytes_down;  // per client, this round
+    double frozen_fraction = 0.0;    // of scalars excluded from sync
+  };
+
+  /// Called once before the first round with the initial global model.
+  virtual void init(std::span<const float> initial_params,
+                    std::size_t num_clients) = 0;
+
+  /// Executes one synchronization. `client_params[i]` holds client i's
+  /// flattened parameters after local training and, on return, its post-sync
+  /// parameters. `weights[i]` is the aggregation weight (0 drops a client).
+  /// `round` is 1-based.
+  virtual Result synchronize(std::size_t round,
+                             std::vector<std::vector<float>>& client_params,
+                             const std::vector<double>& weights) = 0;
+
+  /// Server-side view of the model (used for evaluation).
+  virtual std::span<const float> global_params() const = 0;
+
+  /// Mask of parameters currently frozen on clients, or nullptr if the
+  /// strategy does not freeze. The runner pins these scalars to
+  /// frozen_anchor() after every local step (paper Alg. 1, line 2).
+  virtual const Bitmap* frozen_mask() const { return nullptr; }
+
+  /// Values frozen parameters are pinned to (valid when frozen_mask() is
+  /// non-null; same layout as the flat parameter vector).
+  virtual std::span<const float> frozen_anchor() const { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Shared plumbing: stores the global model and client count.
+class SyncStrategyBase : public SyncStrategy {
+ public:
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override;
+
+  std::span<const float> global_params() const override { return global_; }
+
+ protected:
+  /// Weighted average of client params into `out` (normalized weights).
+  static void weighted_average(
+      const std::vector<std::vector<float>>& client_params,
+      const std::vector<double>& weights, std::vector<float>& out);
+
+  std::vector<float> global_;
+  std::size_t num_clients_ = 0;
+};
+
+/// Vanilla FedAvg: full model both directions every round.
+class FullSync : public SyncStrategyBase {
+ public:
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override;
+
+  std::string name() const override { return "FedAvg"; }
+};
+
+}  // namespace apf::fl

@@ -1,0 +1,243 @@
+#include "nn/conv_layers.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/error.h"
+
+namespace apf::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, Rng& rng, std::size_t stride,
+               std::size_t pad, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_(Tensor({out_channels, in_channels * kernel * kernel})),
+      bias_(Tensor({out_channels})) {
+  APF_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+  const std::size_t fan_in = in_channels * kernel * kernel;
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  weight_.value =
+      Tensor::uniform({out_channels, fan_in}, rng, -bound, bound);
+  weight_.grad = Tensor({out_channels, fan_in});
+  if (has_bias_) {
+    bias_.value = Tensor::uniform({out_channels}, rng, -bound, bound);
+    bias_.grad = Tensor({out_channels});
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  APF_CHECK_MSG(input.rank() == 4 && input.dim(1) == in_channels_,
+                "Conv2d expects (N," << in_channels_ << ",H,W), got "
+                                     << shape_str(input.shape()));
+  const std::size_t n = input.dim(0);
+  geom_ = ConvGeom{in_channels_, input.dim(2), input.dim(3), kernel_, stride_,
+                   pad_};
+  APF_CHECK(geom_.in_h + 2 * pad_ >= kernel_ && geom_.in_w + 2 * pad_ >= kernel_);
+  const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  input_ = input;
+  cols_.clear();
+  cols_.reserve(n);
+  Tensor out({n, out_channels_, oh, ow});
+  const std::size_t image_elems = in_channels_ * geom_.in_h * geom_.in_w;
+  const std::size_t out_elems = out_channels_ * oh * ow;
+  for (std::size_t s = 0; s < n; ++s) {
+    Tensor cols = im2col(input.raw() + s * image_elems, geom_);
+    Tensor y = matmul(weight_.value, cols);  // (out_c, oh*ow)
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        float* row = y.raw() + c * oh * ow;
+        const float b = bias_.value[c];
+        for (std::size_t i = 0; i < oh * ow; ++i) row[i] += b;
+      }
+    }
+    std::copy(y.raw(), y.raw() + out_elems, out.raw() + s * out_elems);
+    cols_.push_back(std::move(cols));
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t n = input_.dim(0);
+  const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  APF_CHECK(grad_output.rank() == 4 && grad_output.dim(0) == n &&
+            grad_output.dim(1) == out_channels_ && grad_output.dim(2) == oh &&
+            grad_output.dim(3) == ow);
+  Tensor grad_input(input_.shape());
+  const std::size_t image_elems = in_channels_ * geom_.in_h * geom_.in_w;
+  const std::size_t out_elems = out_channels_ * oh * ow;
+  for (std::size_t s = 0; s < n; ++s) {
+    Tensor gy({out_channels_, oh * ow},
+              std::vector<float>(grad_output.raw() + s * out_elems,
+                                 grad_output.raw() + (s + 1) * out_elems));
+    // dW += gy * cols^T
+    weight_.grad += matmul_nt(gy, cols_[s]);
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float* row = gy.raw() + c * oh * ow;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < oh * ow; ++i) acc += row[i];
+        bias_.grad[c] += static_cast<float>(acc);
+      }
+    }
+    // grad_cols = W^T * gy; scatter back through col2im.
+    Tensor grad_cols = matmul_tn(weight_.value, gy);
+    col2im(grad_cols, geom_, grad_input.raw() + s * image_elems);
+  }
+  return grad_input;
+}
+
+void Conv2d::collect_params(const std::string& prefix,
+                            std::vector<ParamRef>& out) {
+  out.push_back({prefix + "weight", &weight_});
+  if (has_bias_) out.push_back({prefix + "bias", &bias_});
+}
+
+MaxPool2d::MaxPool2d(std::size_t kernel) : kernel_(kernel) {
+  APF_CHECK(kernel > 0);
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  APF_CHECK(input.rank() == 4);
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  APF_CHECK_MSG(h % kernel_ == 0 && w % kernel_ == 0,
+                "MaxPool2d " << kernel_ << " on " << h << "x" << w);
+  const std::size_t oh = h / kernel_, ow = w / kernel_;
+  input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.raw() + (s * c + ch) * h * w;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t idx =
+                  (y * kernel_ + ky) * w + (x * kernel_ + kx);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx = ((s * c + ch) * oh + y) * ow + x;
+          out[out_idx] = best;
+          argmax_[out_idx] = (s * c + ch) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  APF_CHECK(grad_output.numel() == argmax_.size());
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  APF_CHECK(input.rank() == 4);
+  input_shape_ = input.shape();
+  const std::size_t n = input.dim(0), c = input.dim(1),
+                    hw = input.dim(2) * input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.f / static_cast<float>(hw);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.raw() + (s * c + ch) * hw;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+      out[s * c + ch] = static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  const std::size_t n = input_shape_[0], c = input_shape_[1],
+                    hw = input_shape_[2] * input_shape_[3];
+  APF_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+            grad_output.dim(1) == c);
+  Tensor grad_input(input_shape_);
+  const float inv = 1.f / static_cast<float>(hw);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output[s * c + ch] * inv;
+      float* plane = grad_input.raw() + (s * c + ch) * hw;
+      for (std::size_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel) : kernel_(kernel) {
+  APF_CHECK(kernel > 0);
+}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  APF_CHECK(input.rank() == 4);
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  APF_CHECK(h % kernel_ == 0 && w % kernel_ == 0);
+  const std::size_t oh = h / kernel_, ow = w / kernel_;
+  input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.f / static_cast<float>(kernel_ * kernel_);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.raw() + (s * c + ch) * h * w;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          double acc = 0.0;
+          for (std::size_t ky = 0; ky < kernel_; ++ky)
+            for (std::size_t kx = 0; kx < kernel_; ++kx)
+              acc += plane[(y * kernel_ + ky) * w + (x * kernel_ + kx)];
+          out[((s * c + ch) * oh + y) * ow + x] =
+              static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  const std::size_t n = input_shape_[0], c = input_shape_[1],
+                    h = input_shape_[2], w = input_shape_[3];
+  const std::size_t oh = h / kernel_, ow = w / kernel_;
+  APF_CHECK(grad_output.rank() == 4 && grad_output.dim(0) == n &&
+            grad_output.dim(1) == c && grad_output.dim(2) == oh &&
+            grad_output.dim(3) == ow);
+  Tensor grad_input(input_shape_);
+  const float inv = 1.f / static_cast<float>(kernel_ * kernel_);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* plane = grad_input.raw() + (s * c + ch) * h * w;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          const float g =
+              grad_output[((s * c + ch) * oh + y) * ow + x] * inv;
+          for (std::size_t ky = 0; ky < kernel_; ++ky)
+            for (std::size_t kx = 0; kx < kernel_; ++kx)
+              plane[(y * kernel_ + ky) * w + (x * kernel_ + kx)] += g;
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace apf::nn

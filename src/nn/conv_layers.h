@@ -1,0 +1,71 @@
+// Convolution and pooling layers over NCHW tensors.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/conv.h"
+#include "util/rng.h"
+
+namespace apf::nn {
+
+/// 2-D convolution (square kernel), lowered to matmul via im2col.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         Rng& rng, std::size_t stride = 1, std::size_t pad = 0,
+         bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Parameter weight_;  // (out_c, in_c * k * k)
+  Parameter bias_;    // (out_c)
+  ConvGeom geom_;
+  Tensor input_;
+  std::vector<Tensor> cols_;  // per-sample im2col cache
+};
+
+/// Max pooling with square window; window == stride (non-overlapping).
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::size_t kernel);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::size_t kernel_;
+  Shape input_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: (N, C, H, W) -> (N, C).
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Shape input_shape_;
+};
+
+/// Average pooling with square window; window == stride.
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(std::size_t kernel);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::size_t kernel_;
+  Shape input_shape_;
+};
+
+}  // namespace apf::nn

@@ -1,0 +1,50 @@
+// GRU layer with full backpropagation through time.
+//
+// Complements the LSTM for sequence workloads (same (N, T, in) -> (N, T, H)
+// contract). Gate order in the packed weights is [reset, update, new], with
+// separate input-side and hidden-side biases (the hidden-side new-gate bias
+// sits inside the reset product, as in cuDNN/PyTorch):
+//   r = sigmoid(W_ir x + b_ir + W_hr h + b_hr)
+//   z = sigmoid(W_iz x + b_iz + W_hz h + b_hz)
+//   n = tanh(W_in x + b_in + r * (W_hn h + b_hn))
+//   h' = (1 - z) * n + z * h
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace apf::nn {
+
+class GRU : public Module {
+ public:
+  GRU(std::size_t input_size, std::size_t hidden_size, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  std::size_t input_size_;
+  std::size_t hidden_;
+  Parameter w_ih_;     // (3H, in)
+  Parameter w_hh_;     // (3H, H)
+  Parameter bias_ih_;  // (3H)
+  Parameter bias_hh_;  // (3H)
+
+  struct StepCache {
+    Tensor x;        // (N, in)
+    Tensor h_prev;   // (N, H)
+    Tensor r, z, n;  // activated gates (N, H)
+    Tensor hn_lin;   // W_hn h + b_hn (N, H)
+  };
+  std::vector<StepCache> steps_;
+  std::size_t batch_ = 0;
+  std::size_t time_ = 0;
+};
+
+}  // namespace apf::nn

@@ -1,0 +1,43 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/error.h"
+
+namespace apf::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  APF_CHECK(logits.rank() == 2);
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  APF_CHECK_MSG(labels.size() == n,
+                "labels " << labels.size() << " vs batch " << n);
+  LossResult result;
+  result.grad_logits = softmax_rows(logits);
+  double loss = 0.0;
+  const float inv_n = 1.f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    APF_CHECK_MSG(labels[i] < c, "label " << labels[i] << " >= classes " << c);
+    float* row = result.grad_logits.raw() + i * c;
+    const float p = row[labels[i]];
+    loss -= std::log(static_cast<double>(p) + 1e-12);
+    row[labels[i]] -= 1.f;
+    for (std::size_t j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  result.loss = static_cast<float>(loss / static_cast<double>(n));
+  return result;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  const auto preds = argmax_rows(logits);
+  APF_CHECK(preds.size() == labels.size());
+  if (preds.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace apf::nn

@@ -1,0 +1,23 @@
+// Classification loss: softmax cross-entropy with integer labels.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apf::nn {
+
+struct LossResult {
+  float loss = 0.f;      // mean over the batch
+  Tensor grad_logits;    // dLoss/dLogits, already divided by batch size
+};
+
+/// Computes mean cross-entropy over a (N, C) logits tensor and labels in
+/// [0, C). The returned gradient feeds straight into Module::backward.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace apf::nn

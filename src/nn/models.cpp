@@ -1,0 +1,160 @@
+#include "nn/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/conv_layers.h"
+#include "nn/dropout.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "nn/resnet.h"
+#include "util/error.h"
+
+namespace apf::nn {
+
+namespace {
+std::size_t scaled(std::size_t base, double scale) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      std::lround(base * scale)));
+}
+}  // namespace
+
+std::unique_ptr<Sequential> make_lenet5(Rng& rng, std::size_t in_channels,
+                                        std::size_t image_size,
+                                        std::size_t num_classes, double scale) {
+  APF_CHECK(image_size >= 12);
+  const std::size_t c1 = scaled(6, scale);
+  const std::size_t c2 = scaled(16, scale);
+  const std::size_t f1 = scaled(120, scale);
+  const std::size_t f2 = scaled(84, scale);
+  // Spatial sizes: conv5 (valid) then pool2, twice.
+  const std::size_t s1 = (image_size - 4) / 2;
+  const std::size_t s2 = (s1 - 4) / 2;
+  APF_CHECK(s2 >= 1);
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(in_channels, c1, 5, rng), "conv1");
+  net->add(std::make_unique<ReLU>(), "relu1");
+  net->add(std::make_unique<MaxPool2d>(2), "pool1");
+  net->add(std::make_unique<Conv2d>(c1, c2, 5, rng), "conv2");
+  net->add(std::make_unique<ReLU>(), "relu2");
+  net->add(std::make_unique<MaxPool2d>(2), "pool2");
+  net->add(std::make_unique<Flatten>(), "flatten");
+  net->add(std::make_unique<Linear>(c2 * s2 * s2, f1, rng), "fc1");
+  net->add(std::make_unique<ReLU>(), "relu3");
+  net->add(std::make_unique<Linear>(f1, f2, rng), "fc2");
+  net->add(std::make_unique<ReLU>(), "relu4");
+  net->add(std::make_unique<Linear>(f2, num_classes, rng), "fc3");
+  return net;
+}
+
+std::unique_ptr<Sequential> make_resnet18(Rng& rng, std::size_t in_channels,
+                                          std::size_t num_classes,
+                                          std::size_t base_width) {
+  APF_CHECK(base_width >= 2);
+  const std::size_t w = base_width;
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(in_channels, w, 3, rng, 1, 1, false),
+           "stem_conv");
+  net->add(std::make_unique<BatchNorm2d>(w), "stem_bn");
+  net->add(std::make_unique<ReLU>(), "stem_relu");
+  struct StageSpec {
+    std::size_t width;
+    std::size_t stride;
+  };
+  const StageSpec stages[] = {{w, 1}, {2 * w, 2}, {4 * w, 2}, {8 * w, 2}};
+  std::size_t in_c = w;
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      const std::size_t stride = (b == 0) ? stages[s].stride : 1;
+      net->add(std::make_unique<BasicBlock>(in_c, stages[s].width, stride, rng),
+               "stage" + std::to_string(s + 1) + "_block" + std::to_string(b));
+      in_c = stages[s].width;
+    }
+  }
+  net->add(std::make_unique<GlobalAvgPool>(), "gap");
+  net->add(std::make_unique<Linear>(in_c, num_classes, rng), "fc");
+  return net;
+}
+
+std::unique_ptr<Sequential> make_kws_lstm(Rng& rng, std::size_t input_features,
+                                          std::size_t hidden,
+                                          std::size_t num_classes) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<LSTM>(input_features, hidden, rng), "lstm1");
+  net->add(std::make_unique<LSTM>(hidden, hidden, rng), "lstm2");
+  net->add(std::make_unique<LastTimeStep>(), "last");
+  net->add(std::make_unique<Linear>(hidden, num_classes, rng), "fc");
+  return net;
+}
+
+std::unique_ptr<Sequential> make_kws_gru(Rng& rng, std::size_t input_features,
+                                         std::size_t hidden,
+                                         std::size_t num_classes) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<GRU>(input_features, hidden, rng), "gru1");
+  net->add(std::make_unique<GRU>(hidden, hidden, rng), "gru2");
+  net->add(std::make_unique<LastTimeStep>(), "last");
+  net->add(std::make_unique<Linear>(hidden, num_classes, rng), "fc");
+  return net;
+}
+
+std::unique_ptr<Sequential> make_vgg11(Rng& rng, std::size_t in_channels,
+                                       std::size_t image_size,
+                                       std::size_t num_classes,
+                                       std::size_t base_width) {
+  APF_CHECK(base_width >= 2);
+  APF_CHECK(image_size >= 4);
+  const std::size_t w = base_width;
+  // VGG-11 stage plan: (convs per stage, width multiple).
+  struct StageSpec {
+    std::size_t convs;
+    std::size_t width;
+  };
+  const StageSpec stages[] = {{1, w}, {1, 2 * w}, {2, 4 * w},
+                              {2, 8 * w}, {2, 8 * w}};
+  auto net = std::make_unique<Sequential>();
+  std::size_t in_c = in_channels;
+  std::size_t spatial = image_size;
+  std::size_t conv_id = 0;
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t c = 0; c < stages[s].convs; ++c) {
+      ++conv_id;
+      const std::string tag = std::to_string(conv_id);
+      net->add(std::make_unique<Conv2d>(in_c, stages[s].width, 3, rng, 1, 1,
+                                        /*bias=*/false),
+               "conv" + tag);
+      net->add(std::make_unique<BatchNorm2d>(stages[s].width), "bn" + tag);
+      net->add(std::make_unique<ReLU>(), "relu" + tag);
+      in_c = stages[s].width;
+    }
+    if (spatial >= 2) {
+      net->add(std::make_unique<MaxPool2d>(2),
+               "pool" + std::to_string(s + 1));
+      spatial /= 2;
+    }
+  }
+  net->add(std::make_unique<GlobalAvgPool>(), "gap");
+  net->add(std::make_unique<Dropout>(0.5, rng.next_u64()), "dropout");
+  net->add(std::make_unique<Linear>(in_c, num_classes, rng), "fc");
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mlp(Rng& rng, std::size_t in_features,
+                                     std::size_t width, std::size_t hidden,
+                                     std::size_t num_classes) {
+  APF_CHECK(hidden >= 1);
+  auto net = std::make_unique<Sequential>();
+  std::size_t in = in_features;
+  for (std::size_t i = 0; i < hidden; ++i) {
+    net->add(std::make_unique<Linear>(in, width, rng),
+             "fc" + std::to_string(i + 1));
+    net->add(std::make_unique<ReLU>(), "relu" + std::to_string(i + 1));
+    in = width;
+  }
+  net->add(std::make_unique<Linear>(in, num_classes, rng), "head");
+  return net;
+}
+
+}  // namespace apf::nn

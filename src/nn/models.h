@@ -1,0 +1,58 @@
+// Model zoo: the three architectures the paper evaluates, plus an MLP used
+// by the examples and tests.
+//
+// Each factory returns a Sequential whose layer names mirror the paper's
+// Fig. 3 labels (conv1, fc2, ...), so per-tensor stability analyses can group
+// scalars by the tensor they belong to. All factories take a width scale so
+// the benchmark harness can shrink models to simulation-friendly sizes while
+// preserving the architecture (layer types, depth, connectivity).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace apf::nn {
+
+/// LeNet-5 for `image_size` x `image_size` inputs with `in_channels` planes.
+/// scale=1.0 gives the classic 6/16/120/84 widths.
+std::unique_ptr<Sequential> make_lenet5(Rng& rng, std::size_t in_channels = 3,
+                                        std::size_t image_size = 32,
+                                        std::size_t num_classes = 10,
+                                        double scale = 1.0);
+
+/// CIFAR-style ResNet-18: conv3x3 stem + 4 stages of 2 basic blocks
+/// (strides 1,2,2,2) + global average pool + linear head.
+/// base_width=64 is the paper's ResNet-18; smaller widths shrink it.
+std::unique_ptr<Sequential> make_resnet18(Rng& rng, std::size_t in_channels = 3,
+                                          std::size_t num_classes = 10,
+                                          std::size_t base_width = 64);
+
+/// 2-layer LSTM (paper's KWS model: hidden size 64) + linear classifier on
+/// the last time step.
+std::unique_ptr<Sequential> make_kws_lstm(Rng& rng, std::size_t input_features,
+                                          std::size_t hidden = 64,
+                                          std::size_t num_classes = 10);
+
+/// GRU twin of the KWS model: 2 recurrent GRU layers + linear classifier.
+std::unique_ptr<Sequential> make_kws_gru(Rng& rng, std::size_t input_features,
+                                         std::size_t hidden = 64,
+                                         std::size_t num_classes = 10);
+
+/// CIFAR-style VGG-11: conv stacks [1,1,2,2,2] with widths
+/// [w,2w,4w,8w,8w], BatchNorm + ReLU after every conv, max-pool between
+/// stages (skipped once the spatial size reaches 1), dropout + linear head.
+/// base_width=64 is the standard VGG-11; smaller widths shrink it.
+std::unique_ptr<Sequential> make_vgg11(Rng& rng, std::size_t in_channels = 3,
+                                       std::size_t image_size = 16,
+                                       std::size_t num_classes = 10,
+                                       std::size_t base_width = 64);
+
+/// Simple MLP with ReLU activations; `hidden` layers of width `width`.
+std::unique_ptr<Sequential> make_mlp(Rng& rng, std::size_t in_features,
+                                     std::size_t width, std::size_t hidden,
+                                     std::size_t num_classes);
+
+}  // namespace apf::nn

@@ -1,0 +1,72 @@
+#include "nn/module.h"
+
+#include "util/error.h"
+
+namespace apf::nn {
+
+void Module::collect_params(const std::string&, std::vector<ParamRef>&) {}
+void Module::collect_buffers(const std::string&, std::vector<BufferRef>&) {}
+
+std::vector<ParamRef> Module::parameters() {
+  std::vector<ParamRef> out;
+  collect_params("", out);
+  return out;
+}
+
+std::vector<BufferRef> Module::buffers() {
+  std::vector<BufferRef> out;
+  collect_buffers("", out);
+  return out;
+}
+
+std::size_t Module::parameter_count() {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.param->numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.param->zero_grad();
+}
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer, std::string name) {
+  APF_CHECK(layer != nullptr);
+  if (name.empty()) name = "layer" + std::to_string(layers_.size());
+  layers_.push_back({std::move(layer), std::move(name)});
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& entry : layers_) x = entry.module->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = it->module->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_params(const std::string& prefix,
+                                std::vector<ParamRef>& out) {
+  for (auto& entry : layers_) {
+    entry.module->collect_params(prefix + entry.name + ".", out);
+  }
+}
+
+void Sequential::collect_buffers(const std::string& prefix,
+                                 std::vector<BufferRef>& out) {
+  for (auto& entry : layers_) {
+    entry.module->collect_buffers(prefix + entry.name + ".", out);
+  }
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& entry : layers_) entry.module->set_training(training);
+}
+
+}  // namespace apf::nn

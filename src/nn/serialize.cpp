@@ -1,0 +1,106 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace apf::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41504643;  // "APFC"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  APF_CHECK_MSG(is.good(), "truncated checkpoint stream");
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  APF_CHECK_MSG(is.good(), "truncated checkpoint stream");
+  return v;
+}
+
+void write_named_tensor(std::ostream& os, const std::string& name,
+                        const Tensor& tensor) {
+  write_u32(os, static_cast<std::uint32_t>(name.size()));
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  write_u64(os, tensor.numel());
+  os.write(reinterpret_cast<const char*>(tensor.raw()),
+           static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+}
+
+void read_named_tensor(std::istream& is, const std::string& expected_name,
+                       Tensor& tensor) {
+  const std::uint32_t name_len = read_u32(is);
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  APF_CHECK_MSG(is.good(), "truncated checkpoint stream");
+  APF_CHECK_MSG(name == expected_name, "checkpoint tensor '"
+                                           << name << "' does not match '"
+                                           << expected_name << "'");
+  const std::uint64_t numel = read_u64(is);
+  APF_CHECK_MSG(numel == tensor.numel(),
+                "checkpoint tensor '" << name << "' has " << numel
+                                      << " elements, module expects "
+                                      << tensor.numel());
+  is.read(reinterpret_cast<char*>(tensor.raw()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  APF_CHECK_MSG(is.good(), "truncated checkpoint stream");
+}
+
+}  // namespace
+
+void save_checkpoint(Module& module, std::ostream& os) {
+  write_u32(os, kMagic);
+  write_u32(os, kVersion);
+  const auto params = module.parameters();
+  const auto buffers = module.buffers();
+  write_u64(os, params.size());
+  for (const auto& p : params) write_named_tensor(os, p.name, p.param->value);
+  write_u64(os, buffers.size());
+  for (const auto& b : buffers) write_named_tensor(os, b.name, *b.buffer);
+  APF_CHECK_MSG(os.good(), "checkpoint write failed");
+}
+
+void load_checkpoint(Module& module, std::istream& is) {
+  APF_CHECK_MSG(read_u32(is) == kMagic, "not an APF checkpoint");
+  APF_CHECK_MSG(read_u32(is) == kVersion, "unsupported checkpoint version");
+  const auto params = module.parameters();
+  const auto buffers = module.buffers();
+  APF_CHECK_MSG(read_u64(is) == params.size(),
+                "checkpoint parameter count mismatch");
+  for (const auto& p : params) read_named_tensor(is, p.name, p.param->value);
+  APF_CHECK_MSG(read_u64(is) == buffers.size(),
+                "checkpoint buffer count mismatch");
+  for (const auto& b : buffers) read_named_tensor(is, b.name, *b.buffer);
+}
+
+void save_checkpoint_file(Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  APF_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  save_checkpoint(module, os);
+}
+
+void load_checkpoint_file(Module& module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  APF_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  load_checkpoint(module, is);
+}
+
+}  // namespace apf::nn

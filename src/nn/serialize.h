@@ -1,0 +1,28 @@
+// Model checkpointing: binary save/load of parameters and buffers.
+//
+// Format: magic, version, parameter count, then for each tensor its name
+// length + name + element count + raw float32 payload; buffers follow the
+// same framing after a separator. Loading validates names and shapes against
+// the target module, so a checkpoint can only be restored into the
+// architecture that produced it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.h"
+
+namespace apf::nn {
+
+/// Writes parameters + buffers of `module` to the stream.
+void save_checkpoint(Module& module, std::ostream& os);
+
+/// Reads a checkpoint into `module`; throws apf::Error on any mismatch
+/// (magic, version, tensor names, shapes) or truncated stream.
+void load_checkpoint(Module& module, std::istream& is);
+
+/// File-path convenience wrappers.
+void save_checkpoint_file(Module& module, const std::string& path);
+void load_checkpoint_file(Module& module, const std::string& path);
+
+}  // namespace apf::nn

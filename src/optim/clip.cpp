@@ -1,0 +1,43 @@
+#include "optim/clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::optim {
+
+double clip_grad_norm(nn::Module& module, double max_norm) {
+  APF_CHECK(max_norm > 0.0);
+  double norm_sq = 0.0;
+  const auto params = module.parameters();
+  for (const auto& p : params) {
+    for (std::size_t i = 0; i < p.param->numel(); ++i) {
+      const double g = p.param->grad[i];
+      norm_sq += g * g;
+    }
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (const auto& p : params) {
+      for (std::size_t i = 0; i < p.param->numel(); ++i) {
+        p.param->grad[i] *= scale;
+      }
+    }
+  }
+  return norm;
+}
+
+void clip_grad_value(nn::Module& module, double max_value) {
+  APF_CHECK(max_value > 0.0);
+  const auto lo = static_cast<float>(-max_value);
+  const auto hi = static_cast<float>(max_value);
+  for (const auto& p : module.parameters()) {
+    for (std::size_t i = 0; i < p.param->numel(); ++i) {
+      p.param->grad[i] = std::clamp(p.param->grad[i], lo, hi);
+    }
+  }
+}
+
+}  // namespace apf::optim

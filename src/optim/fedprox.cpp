@@ -1,0 +1,25 @@
+#include "optim/fedprox.h"
+
+#include "util/error.h"
+
+namespace apf::optim {
+
+void add_proximal_grad(nn::Module& module, std::span<const float> anchor,
+                       double mu) {
+  APF_CHECK(mu >= 0.0);
+  const auto fmu = static_cast<float>(mu);
+  std::size_t offset = 0;
+  for (auto& p : module.parameters()) {
+    auto& value = p.param->value;
+    auto& grad = p.param->grad;
+    const std::size_t n = value.numel();
+    APF_CHECK(offset + n <= anchor.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] += fmu * (value[i] - anchor[offset + i]);
+    }
+    offset += n;
+  }
+  APF_CHECK(offset == anchor.size());
+}
+
+}  // namespace apf::optim

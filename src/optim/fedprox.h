@@ -1,0 +1,21 @@
+// FedProx proximal term (Li et al., MLSys'20; paper §7.7).
+//
+// Under FedProx each client minimizes h_i(x, x_k) = F_i(x) + (mu/2)||x-x_k||^2
+// instead of F_i(x). The proximal term contributes mu * (x - x_k) to each
+// parameter gradient; clients call add_proximal_grad after every backward
+// pass, before the optimizer step.
+#pragma once
+
+#include <span>
+
+#include "nn/module.h"
+
+namespace apf::optim {
+
+/// Adds mu * (current - anchor) to every parameter gradient. `anchor` is the
+/// flattened global model the round started from (same layout as
+/// nn::flatten_params).
+void add_proximal_grad(nn::Module& module, std::span<const float> anchor,
+                       double mu);
+
+}  // namespace apf::optim

@@ -1,0 +1,50 @@
+// Learning-rate schedules (paper §7.8 uses constant and multiplicative-decay
+// schedules; Theorem 2 motivates decaying rates).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace apf::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use in round/epoch `k` (0-based).
+  virtual double lr(std::size_t k) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double lr(std::size_t) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// lr(k) = initial * factor^(k / every) — the paper's "multiply by 0.99
+/// every 10 epochs" setup (§7.8).
+class MultiplicativeDecayLr : public LrSchedule {
+ public:
+  MultiplicativeDecayLr(double initial, double factor, std::size_t every);
+  double lr(std::size_t k) const override;
+
+ private:
+  double initial_;
+  double factor_;
+  std::size_t every_;
+};
+
+/// lr(k) = initial / sqrt(k + 1): the O(1/sqrt(T)) rate that satisfies
+/// Theorem 2's conditions (eq. 16).
+class InverseSqrtLr : public LrSchedule {
+ public:
+  explicit InverseSqrtLr(double initial) : initial_(initial) {}
+  double lr(std::size_t k) const override;
+
+ private:
+  double initial_;
+};
+
+}  // namespace apf::optim

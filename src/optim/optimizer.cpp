@@ -1,0 +1,105 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::optim {
+
+Optimizer::Optimizer(std::vector<nn::ParamRef> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  APF_CHECK(!params_.empty());
+  APF_CHECK(lr > 0.0);
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.param->zero_grad();
+}
+
+Sgd::Sgd(std::vector<nn::ParamRef> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  APF_CHECK(momentum >= 0.0 && momentum < 1.0);
+  APF_CHECK(weight_decay >= 0.0);
+  if (momentum_ > 0.0) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) velocity_.emplace_back(p.param->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(lr_);
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto mu = static_cast<float>(momentum_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& value = params_[pi].param->value;
+    auto& grad = params_[pi].param->grad;
+    for (std::size_t i = 0; i < value.numel(); ++i) {
+      float g = grad[i] + wd * value[i];
+      if (mu > 0.f) {
+        float& v = velocity_[pi][i];
+        v = mu * v + g;
+        g = v;
+      }
+      value[i] -= lr * g;
+    }
+  }
+}
+
+void Sgd::reset_state() {
+  for (auto& v : velocity_) v.zero();
+}
+
+Adam::Adam(std::vector<nn::ParamRef> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  APF_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  APF_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(p.param->value.shape());
+    v_.emplace_back(p.param->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto lr = static_cast<float>(lr_);
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(eps_);
+  const auto inv_bias1 = static_cast<float>(1.0 / bias1);
+  const auto inv_bias2 = static_cast<float>(1.0 / bias2);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& value = params_[pi].param->value;
+    auto& grad = params_[pi].param->grad;
+    for (std::size_t i = 0; i < value.numel(); ++i) {
+      const float g = grad[i] + wd * value[i];
+      float& m = m_[pi][i];
+      float& v = v_[pi][i];
+      m = b1 * m + (1.f - b1) * g;
+      v = b2 * v + (1.f - b2) * g * g;
+      const float mhat = m * inv_bias1;
+      const float vhat = v * inv_bias2;
+      value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+void Adam::reset_state() {
+  t_ = 0;
+  for (auto& m : m_) m.zero();
+  for (auto& v : v_) v.zero();
+}
+
+}  // namespace apf::optim

@@ -1,0 +1,72 @@
+// Optimizer interface over a module's parameters.
+//
+// The paper trains LeNet-5 with Adam and ResNet-18/LSTM with SGD; both are
+// provided. Optimizers hold non-owning references to the parameters, so the
+// module must outlive the optimizer.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace apf::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::ParamRef> params, double lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+  /// Resets internal state (momentum/Adam moments). FL clients call this
+  /// when pulling a fresh global model at the start of a round.
+  virtual void reset_state() {}
+
+ protected:
+  std::vector<nn::ParamRef> params_;
+  double lr_;
+};
+
+/// SGD with optional momentum and decoupled-from-loss L2 weight decay
+/// (decay is added to the gradient, as in torch.optim.SGD).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<nn::ParamRef> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+
+  void step() override;
+  void reset_state() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with L2 weight decay added to the gradient.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<nn::ParamRef> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void step() override;
+  void reset_state() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace apf::optim

@@ -1,0 +1,71 @@
+#include "tensor/conv.h"
+
+#include "util/error.h"
+
+namespace apf {
+
+Tensor im2col(const float* image, const ConvGeom& g) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t rows = g.channels * g.kernel * g.kernel;
+  Tensor cols({rows, oh * ow});
+  float* out = cols.raw();
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw) {
+        const std::size_t row = (c * g.kernel + kh) * g.kernel + kw;
+        float* orow = out + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Input row for this output row / kernel offset (with padding).
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            float v = 0.f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w)) {
+              v = image[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                        static_cast<std::size_t>(ix)];
+            }
+            orow[y * ow + x] = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void col2im(const Tensor& cols, const ConvGeom& g, float* image) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t rows = g.channels * g.kernel * g.kernel;
+  APF_CHECK(cols.rank() == 2 && cols.dim(0) == rows &&
+            cols.dim(1) == oh * ow);
+  const float* in = cols.raw();
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw) {
+        const std::size_t row = (c * g.kernel + kh) * g.kernel + kw;
+        const float* irow = in + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            image[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                  static_cast<std::size_t>(ix)] += irow[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace apf

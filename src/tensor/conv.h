@@ -1,0 +1,32 @@
+// im2col / col2im lowering for 2-D convolutions.
+//
+// Conv2d layers lower convolution to matmul through im2col: each output
+// spatial position becomes a column of unfolded input patches. col2im is the
+// adjoint, used in the backward pass to scatter patch gradients back to the
+// input image.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace apf {
+
+/// Geometry of a conv/pool window over one image.
+struct ConvGeom {
+  std::size_t channels = 0;
+  std::size_t in_h = 0, in_w = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/// Unfolds one image (C x H x W flat) to a (C*k*k) x (out_h*out_w) matrix.
+Tensor im2col(const float* image, const ConvGeom& g);
+
+/// Adjoint of im2col: accumulates a (C*k*k) x (out_h*out_w) matrix back into
+/// an image buffer of size C*H*W (caller zeroes the buffer first).
+void col2im(const Tensor& cols, const ConvGeom& g, float* image);
+
+}  // namespace apf

@@ -1,0 +1,126 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  APF_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  APF_CHECK_MSG(b.dim(0) == k, "matmul inner dims " << k << " vs " << b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      if (aval == 0.f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  // C(k x n) = A^T * B where A is (m x k), B is (m x n).
+  APF_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  APF_CHECK(b.dim(0) == m);
+  Tensor c({k, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = arow[kk];
+      if (aval == 0.f) continue;
+      float* crow = pc + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  // C(m x r) = A * B^T where A is (m x k), B is (r x k).
+  APF_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), r = b.dim(0);
+  APF_CHECK(b.dim(1) == k);
+  Tensor c({m, r});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < r; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(arow[kk]) * brow[kk];
+      pc[i * r + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  APF_CHECK(a.rank() == 2);
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) t[j * m + i] = a[i * n + j];
+  return t;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  APF_CHECK(logits.rank() == 2);
+  const std::size_t m = logits.dim(0), n = logits.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = logits.raw() + i * n;
+    float mx = row[0];
+    for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    float* orow = out.raw() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& t) {
+  APF_CHECK(t.rank() == 2);
+  const std::size_t m = t.dim(0), n = t.dim(1);
+  APF_CHECK(n > 0);
+  std::vector<std::size_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = t.raw() + i * n;
+    idx[i] = static_cast<std::size_t>(
+        std::max_element(row, row + n) - row);
+  }
+  return idx;
+}
+
+void add_bias_rows(Tensor& t, const Tensor& bias) {
+  APF_CHECK(t.rank() == 2);
+  const std::size_t m = t.dim(0), n = t.dim(1);
+  APF_CHECK(bias.numel() == n);
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = t.raw() + i * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+}  // namespace apf

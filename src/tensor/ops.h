@@ -1,0 +1,32 @@
+// Linear-algebra kernels over Tensor: matmul family, transpose, row softmax.
+//
+// These are the hot loops of the NN substrate. matmul uses a cache-friendly
+// ikj ordering; nothing here allocates beyond its output.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace apf {
+
+/// C = A(mxk) * B(kxn).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T(m x k -> k x m) * B ... computed without materializing A^T.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T, without materializing B^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor transpose(const Tensor& a);
+
+/// Row-wise softmax of a 2-D tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise argmax of a 2-D tensor.
+std::vector<std::size_t> argmax_rows(const Tensor& t);
+
+/// Adds bias vector (length n) to every row of a (m x n) tensor, in place.
+void add_bias_rows(Tensor& t, const Tensor& bias);
+
+}  // namespace apf

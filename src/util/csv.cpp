@@ -1,0 +1,34 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <iostream>
+
+namespace apf {
+
+void write_csv(std::ostream& os, const std::vector<CsvColumn>& columns) {
+  if (columns.empty()) return;
+  std::size_t rows = 0;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c) os << ',';
+    os << columns[c].name;
+    rows = std::max(rows, columns[c].values.size());
+  }
+  os << '\n';
+  os << std::setprecision(6);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) os << ',';
+      if (r < columns[c].values.size()) os << columns[c].values[r];
+    }
+    os << '\n';
+  }
+}
+
+void print_figure_csv(const std::string& title,
+                      const std::vector<CsvColumn>& columns) {
+  std::cout << "# figure: " << title << '\n';
+  write_csv(std::cout, columns);
+  std::cout << std::flush;
+}
+
+}  // namespace apf

@@ -1,0 +1,26 @@
+// CSV emission for experiment series.
+//
+// Figure benches print their curves as CSV blocks ("# series: <name>" headers
+// followed by rows) so results can be re-plotted externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace apf {
+
+/// A named column of doubles.
+struct CsvColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Writes columns side by side as CSV. Shorter columns pad with blanks.
+void write_csv(std::ostream& os, const std::vector<CsvColumn>& columns);
+
+/// Convenience: write to stdout with a "# figure: <title>" preamble.
+void print_figure_csv(const std::string& title,
+                      const std::vector<CsvColumn>& columns);
+
+}  // namespace apf

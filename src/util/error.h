@@ -1,0 +1,48 @@
+// Error-handling primitives shared across the library.
+//
+// The library throws `apf::Error` (derived from std::runtime_error) on
+// precondition violations. APF_CHECK is used for conditions that depend on
+// caller input; assert() remains for internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apf {
+
+/// Exception type thrown on precondition violations throughout the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "APF_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+}  // namespace detail
+
+}  // namespace apf
+
+/// Validates a caller-visible precondition; throws apf::Error on failure.
+#define APF_CHECK(cond)                                                       \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::apf::detail::raise_check_failure(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+/// APF_CHECK with a streamed message: APF_CHECK_MSG(x > 0, "x=" << x).
+#define APF_CHECK_MSG(cond, stream_expr)                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream apf_check_oss_;                                      \
+      apf_check_oss_ << stream_expr;                                          \
+      ::apf::detail::raise_check_failure(#cond, __FILE__, __LINE__,           \
+                                         apf_check_oss_.str());               \
+    }                                                                         \
+  } while (0)

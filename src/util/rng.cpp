@@ -1,0 +1,151 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace apf {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::uniform_float(float lo, float hi) {
+  return lo + (hi - lo) * static_cast<float>(uniform());
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  APF_CHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  APF_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_int(span));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller. uniform() can return exactly 0; guard the log.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::gamma(double shape) {
+  APF_CHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t k) {
+  return dirichlet(std::vector<double>(k, alpha));
+}
+
+std::vector<double> Rng::dirichlet(const std::vector<double>& alphas) {
+  APF_CHECK(!alphas.empty());
+  std::vector<double> out(alphas.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    out[i] = gamma(alphas[i]);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw (all gammas underflowed); fall back to uniform.
+    const double inv = 1.0 / static_cast<double>(out.size());
+    for (auto& x : out) x = inv;
+    return out;
+  }
+  for (auto& x : out) x /= sum;
+  return out;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  APF_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    APF_CHECK(w >= 0.0);
+    total += w;
+  }
+  APF_CHECK(total > 0.0);
+  const double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace apf

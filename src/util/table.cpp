@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace apf {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  APF_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  APF_CHECK_MSG(row.size() == headers_.size(),
+                "row arity " << row.size() << " != " << headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << ' ';
+    }
+    oss << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    oss << "|" << std::string(widths[c] + 2, '-');
+  }
+  oss << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+void TablePrinter::print() const { std::cout << render() << std::flush; }
+
+std::string TablePrinter::fmt(double v, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << v;
+  return oss.str();
+}
+
+std::string TablePrinter::fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes << ' '
+      << units[u];
+  return oss.str();
+}
+
+std::string TablePrinter::fmt_percent(double ratio, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << (ratio * 100.0) << '%';
+  return oss.str();
+}
+
+}  // namespace apf

@@ -1,0 +1,40 @@
+// Console table printing for the benchmark harness.
+//
+// Every bench binary reproduces a paper table or figure by printing rows to
+// stdout; TablePrinter renders them with aligned columns so the output reads
+// like the paper's artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apf {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string fmt(double v, int digits = 4);
+
+  /// Formats a byte count with human units (KB/MB/GB).
+  static std::string fmt_bytes(double bytes);
+
+  /// Formats a ratio as a percentage string, e.g. "63.3%".
+  static std::string fmt_percent(double ratio, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apf

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "compress/cmfl.h"
+#include "compress/gaia.h"
+#include "compress/quantize.h"
+#include "compress/quantized_sync.h"
+#include "compress/topk.h"
+#include "fl/sync_strategy.h"
+#include "util/rng.h"
+
+namespace apf {
+namespace {
+
+using compress::decode_fp16;
+using compress::encode_fp16;
+using compress::float_to_half;
+using compress::half_to_float;
+
+TEST(Fp16, ExactlyRepresentableValuesRoundTrip) {
+  for (float v : {0.f, 1.f, -1.f, 0.5f, 2.f, -0.25f, 1024.f, 0.125f}) {
+    EXPECT_EQ(half_to_float(float_to_half(v)), v) << v;
+  }
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform_float(-100.f, 100.f);
+    const float r = half_to_float(float_to_half(v));
+    // Half precision has 11 significand bits: eps ~ 2^-11.
+    EXPECT_NEAR(r, v, std::fabs(v) * 1e-3f + 1e-6f);
+  }
+}
+
+TEST(Fp16, SpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half_to_float(float_to_half(inf)), inf);
+  EXPECT_EQ(half_to_float(float_to_half(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(
+      half_to_float(float_to_half(std::numeric_limits<float>::quiet_NaN()))));
+  // Overflow saturates to infinity.
+  EXPECT_EQ(half_to_float(float_to_half(1e9f)), inf);
+  // Negative zero keeps its sign.
+  EXPECT_TRUE(std::signbit(half_to_float(float_to_half(-0.f))));
+}
+
+TEST(Fp16, SubnormalsPreserved) {
+  const float tiny = 1e-5f;  // subnormal in half precision
+  const float r = half_to_float(float_to_half(tiny));
+  EXPECT_NEAR(r, tiny, 1e-6f);
+  // Values below half's subnormal range flush to zero.
+  EXPECT_EQ(half_to_float(float_to_half(1e-12f)), 0.f);
+}
+
+TEST(Fp16, EncodeDecodeVectors) {
+  Rng rng(2);
+  std::vector<float> values(257);
+  for (auto& v : values) v = rng.uniform_float(-2.f, 2.f);
+  const auto halves = encode_fp16(values);
+  const auto back = decode_fp16(halves);
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(back[i], values[i], std::fabs(values[i]) * 1e-3f + 1e-6f);
+  }
+}
+
+TEST(Fp16, QuantizeInplaceIdempotent) {
+  Rng rng(3);
+  std::vector<float> values(100);
+  for (auto& v : values) v = rng.uniform_float(-1.f, 1.f);
+  compress::quantize_fp16_inplace(values);
+  auto once = values;
+  compress::quantize_fp16_inplace(values);
+  EXPECT_EQ(values, once);
+}
+
+// ---------------------------------------------------------------------------
+// Strategy-level tests drive strategies directly with hand-built vectors.
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<float>> clients_with(std::vector<float> a,
+                                             std::vector<float> b) {
+  return {std::move(a), std::move(b)};
+}
+
+TEST(FullSync, AveragesAndBroadcasts) {
+  fl::FullSync strategy;
+  strategy.init(std::vector<float>{0.f, 0.f}, 2);
+  auto params = clients_with({1.f, 3.f}, {3.f, 5.f});
+  const auto result = strategy.synchronize(1, params, {1.0, 1.0});
+  EXPECT_FLOAT_EQ(params[0][0], 2.f);
+  EXPECT_FLOAT_EQ(params[0][1], 4.f);
+  EXPECT_EQ(params[0], params[1]);
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0);
+  EXPECT_DOUBLE_EQ(result.bytes_down[1], 8.0);
+}
+
+TEST(FullSync, WeightsRespected) {
+  fl::FullSync strategy;
+  strategy.init(std::vector<float>{0.f}, 2);
+  auto params = clients_with({1.f}, {4.f});
+  strategy.synchronize(1, params, {3.0, 1.0});
+  EXPECT_FLOAT_EQ(params[0][0], (3.f * 1.f + 1.f * 4.f) / 4.f);
+}
+
+TEST(FullSync, ZeroWeightClientIgnored) {
+  fl::FullSync strategy;
+  strategy.init(std::vector<float>{0.f}, 2);
+  auto params = clients_with({1.f}, {100.f});
+  strategy.synchronize(1, params, {1.0, 0.0});
+  EXPECT_FLOAT_EQ(params[0][0], 1.f);
+  EXPECT_FLOAT_EQ(params[1][0], 1.f);  // dropped client still pulls
+}
+
+TEST(Gaia, InsignificantUpdatesAccumulateLocally) {
+  compress::GaiaOptions opt;
+  opt.significance_threshold = 0.5;  // 50% relative change required
+  opt.decay_threshold = false;
+  compress::GaiaSync strategy(opt);
+  strategy.init(std::vector<float>{10.f}, 1);
+  // Update of 1 on a value of 10 = 10% change: not significant.
+  auto params = std::vector<std::vector<float>>{{11.f}};
+  auto result = strategy.synchronize(1, params, {1.0});
+  EXPECT_FLOAT_EQ(strategy.global_params()[0], 10.f);  // not applied
+  EXPECT_LT(result.bytes_up[0], result.bytes_down[0]);
+  // Five more rounds of +1 each accumulate in the residual until the
+  // cumulative update crosses 50% of the magnitude, then it is applied.
+  for (int r = 2; r <= 5; ++r) {
+    params[0][0] = strategy.global_params()[0] + 1.f;
+    strategy.synchronize(r, params, {1.0});
+  }
+  EXPECT_GT(strategy.global_params()[0], 10.f);
+}
+
+TEST(Gaia, SignificantUpdateAppliedImmediately) {
+  compress::GaiaOptions opt;
+  opt.significance_threshold = 0.01;
+  opt.decay_threshold = false;
+  compress::GaiaSync strategy(opt);
+  strategy.init(std::vector<float>{1.f}, 1);
+  auto params = std::vector<std::vector<float>>{{2.f}};
+  strategy.synchronize(1, params, {1.0});
+  EXPECT_FLOAT_EQ(strategy.global_params()[0], 2.f);
+  EXPECT_FLOAT_EQ(params[0][0], 2.f);
+}
+
+TEST(Gaia, PushBytesScaleWithSignificance) {
+  compress::GaiaOptions opt;
+  opt.significance_threshold = 0.5;
+  opt.decay_threshold = false;
+  compress::GaiaSync strategy(opt);
+  strategy.init(std::vector<float>(100, 1.f), 1);
+  // Half of the components change a lot, half barely.
+  std::vector<float> local(100, 1.f);
+  for (std::size_t j = 0; j < 50; ++j) local[j] = 3.f;
+  for (std::size_t j = 50; j < 100; ++j) local[j] = 1.001f;
+  auto params = std::vector<std::vector<float>>{local};
+  const auto result = strategy.synchronize(1, params, {1.0});
+  // 50 values at 4 B + bitmap (100/8 B).
+  EXPECT_NEAR(result.bytes_up[0], 4.0 * 50 + 100.0 / 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 400.0);
+}
+
+TEST(Cmfl, IrrelevantUpdateIsDiscarded) {
+  compress::CmflOptions opt;
+  opt.relevance_threshold = 0.8;
+  compress::CmflSync strategy(opt);
+  strategy.init(std::vector<float>(10, 0.f), 2);
+  // Round 1 establishes the global update direction (+1 everywhere).
+  auto params = clients_with(std::vector<float>(10, 1.f),
+                             std::vector<float>(10, 1.f));
+  strategy.synchronize(1, params, {1.0, 1.0});
+  // Round 2: client 0 agrees with the previous direction, client 1 opposes.
+  std::vector<float> agree(10), oppose(10);
+  const float g = strategy.global_params()[0];
+  for (std::size_t j = 0; j < 10; ++j) {
+    agree[j] = g + 0.5f;
+    oppose[j] = g - 0.5f;
+  }
+  params = clients_with(agree, oppose);
+  const auto result = strategy.synchronize(2, params, {1.0, 1.0});
+  EXPECT_GT(result.bytes_up[0], 0.0);
+  EXPECT_EQ(result.bytes_up[1], 0.0);
+  // Aggregation used only the relevant client.
+  EXPECT_FLOAT_EQ(strategy.global_params()[0], g + 0.5f);
+}
+
+TEST(Cmfl, FallsBackWhenAllFiltered) {
+  compress::CmflSync strategy;
+  strategy.init(std::vector<float>(4, 0.f), 1);
+  auto params = std::vector<std::vector<float>>{{1.f, 1.f, 1.f, 1.f}};
+  strategy.synchronize(1, params, {1.0});
+  // Round 2 moves opposite to round 1 everywhere -> irrelevant, but the
+  // fallback still makes progress.
+  const float g = strategy.global_params()[0];
+  params[0] = std::vector<float>(4, g - 1.f);
+  strategy.synchronize(2, params, {1.0});
+  EXPECT_FLOAT_EQ(strategy.global_params()[0], g - 1.f);
+}
+
+TEST(TopK, KeepsLargestComponents) {
+  compress::TopKOptions opt;
+  opt.fraction = 0.25;
+  compress::TopKSync strategy(opt);
+  strategy.init(std::vector<float>(4, 0.f), 1);
+  auto params = std::vector<std::vector<float>>{{0.1f, 5.f, 0.2f, 0.1f}};
+  const auto result = strategy.synchronize(1, params, {1.0});
+  // Only the large component was applied; others sit in the residual.
+  EXPECT_FLOAT_EQ(strategy.global_params()[1], 5.f);
+  EXPECT_FLOAT_EQ(strategy.global_params()[0], 0.f);
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0);  // one (value, index) pair
+}
+
+TEST(TopK, ResidualEventuallyFlushes) {
+  compress::TopKOptions opt;
+  opt.fraction = 0.5;
+  compress::TopKSync strategy(opt);
+  strategy.init(std::vector<float>(2, 0.f), 1);
+  // Component 0 gets a big update once; component 1 drips small updates
+  // that accumulate until they dominate.
+  auto params = std::vector<std::vector<float>>{{1.0f, 0.1f}};
+  strategy.synchronize(1, params, {1.0});
+  EXPECT_FLOAT_EQ(strategy.global_params()[0], 1.f);
+  float g1 = strategy.global_params()[1];
+  EXPECT_EQ(g1, 0.f);
+  for (int r = 2; r < 6; ++r) {
+    params[0] = {strategy.global_params()[0],
+                 strategy.global_params()[1] + 0.1f};
+    strategy.synchronize(r, params, {1.0});
+  }
+  EXPECT_GT(strategy.global_params()[1], 0.3f);
+}
+
+TEST(QuantizedSync, HalvesBytesAndRoundsValues) {
+  auto inner = std::make_unique<fl::FullSync>();
+  compress::QuantizedSync strategy(std::move(inner));
+  strategy.init(std::vector<float>{0.f, 0.f}, 1);
+  auto params = std::vector<std::vector<float>>{{0.1f, 0.30000001f}};
+  const auto result = strategy.synchronize(1, params, {1.0});
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 4.0);  // 2 values * 2 B
+  // Values went through fp16.
+  EXPECT_EQ(params[0][0], half_to_float(float_to_half(0.1f)));
+}
+
+TEST(QuantizedSync, NamePropagates) {
+  compress::QuantizedSync strategy(std::make_unique<fl::FullSync>());
+  EXPECT_EQ(strategy.name(), "FedAvg+Q");
+}
+
+}  // namespace
+}  // namespace apf

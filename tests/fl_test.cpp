@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/loader.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/evaluate.h"
+#include "nn/layers.h"
+#include "fl/flat_view.h"
+#include "fl/network.h"
+#include "fl/runner.h"
+#include "fl/sync_strategy.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/param_vector.h"
+#include "optim/optimizer.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace apf {
+namespace {
+
+using data::SyntheticImageDataset;
+using data::SyntheticImageSpec;
+
+TEST(NetworkModel, TransferSeconds) {
+  fl::NetworkModel net;  // 9 down / 3 up Mbps
+  // 1 MB down at 9 Mbps = 8e6 bits / 9e6 bps.
+  EXPECT_NEAR(net.client_download_seconds(1e6), 8.0 / 9.0, 1e-9);
+  EXPECT_NEAR(net.client_upload_seconds(1e6), 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(net.server_seconds(1e6), 8e6 / 1e10, 1e-12);
+}
+
+TEST(FlatParamView, GatherScatterRoundTrip) {
+  Rng rng(1);
+  auto net = nn::make_mlp(rng, 4, 8, 1, 3);
+  fl::FlatParamView view(*net);
+  EXPECT_EQ(view.dim(), net->parameter_count());
+  std::vector<float> flat;
+  view.gather(flat);
+  EXPECT_EQ(flat, nn::flatten_params(*net));
+  for (auto& v : flat) v += 1.f;
+  view.scatter(flat);
+  EXPECT_EQ(nn::flatten_params(*net), flat);
+}
+
+TEST(FlatParamView, PinMaskedRestoresAnchors) {
+  Rng rng(2);
+  auto net = nn::make_mlp(rng, 3, 4, 1, 2);
+  fl::FlatParamView view(*net);
+  std::vector<float> anchor(view.dim(), 7.f);
+  Bitmap mask(view.dim(), false);
+  mask.set(0, true);
+  mask.set(view.dim() - 1, true);
+  view.pin_masked(mask, anchor);
+  const auto flat = nn::flatten_params(*net);
+  EXPECT_EQ(flat.front(), 7.f);
+  EXPECT_EQ(flat.back(), 7.f);
+  // An unmasked scalar keeps its trained value.
+  EXPECT_NE(flat[1], 7.f);
+}
+
+TEST(FlatParamView, SizeMismatchThrows) {
+  Rng rng(3);
+  auto net = nn::make_mlp(rng, 3, 4, 1, 2);
+  fl::FlatParamView view(*net);
+  std::vector<float> wrong(view.dim() + 1);
+  EXPECT_THROW(view.scatter(wrong), Error);
+}
+
+SyntheticImageSpec tiny_spec() {
+  SyntheticImageSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.noise_stddev = 0.3;
+  return spec;
+}
+
+fl::ModelFactory tiny_mlp_factory(std::size_t in, std::size_t classes) {
+  return [in, classes] {
+    Rng rng(4242);
+    auto net = std::make_unique<nn::Sequential>();
+    net->add(std::make_unique<nn::Flatten>(), "flatten");
+    auto mlp = nn::make_mlp(rng, in, 16, 1, classes);
+    net->add(std::move(mlp), "mlp");
+    return net;
+  };
+}
+
+TEST(Evaluate, PerfectModelScoresOne) {
+  // A model that ignores input and always predicts class 0 scores exactly
+  // the class-0 frequency.
+  SyntheticImageDataset ds(tiny_spec(), 40, 1);
+  Rng rng(5);
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Linear>(64, 4, rng);
+  fc->weight().value.zero();
+  fc->bias()->value = Tensor({4}, std::vector<float>{1.f, 0.f, 0.f, 0.f});
+  net->add(std::move(fc));
+  EXPECT_NEAR(fl::evaluate_accuracy(*net, ds), 0.25, 1e-9);
+}
+
+TEST(Runner, SingleClientFullSyncMatchesCentralizedSgd) {
+  // With one client, Fs = 1 and FullSync, the FL loop is plain SGD; the
+  // global model after k rounds must match a hand-rolled training loop on
+  // the same batches.
+  SyntheticImageDataset train(tiny_spec(), 32, 1);
+  SyntheticImageDataset test(tiny_spec(), 16, 2);
+
+  fl::FlConfig config;
+  config.num_clients = 1;
+  config.rounds = 5;
+  config.local_iters = 1;
+  config.batch_size = 8;
+  config.seed = 77;
+  config.eval_every = 100;  // skip most evals
+
+  std::vector<std::size_t> all(train.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  data::Partition partition = {all};
+
+  auto factory = tiny_mlp_factory(64, 4);
+  fl::FullSync strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, factory,
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.1);
+      },
+      strategy);
+  const auto result = runner.run();
+
+  // Hand-rolled replica: same model init, same loader seed stream.
+  auto net = factory();
+  optim::Sgd sgd(net->parameters(), 0.1);
+  Rng seed_rng(config.seed);
+  data::DataLoader loader(train, all, config.batch_size, seed_rng.split());
+  for (int k = 0; k < 5; ++k) {
+    const auto batch = loader.next_batch();
+    sgd.zero_grad();
+    const Tensor logits = net->forward(batch.inputs);
+    const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+    net->backward(loss.grad_logits);
+    sgd.step();
+  }
+  const auto expect = nn::flatten_params(*net);
+  ASSERT_EQ(result.final_global_params.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_NEAR(result.final_global_params[i], expect[i], 1e-6f) << i;
+  }
+}
+
+TEST(Runner, RecordsBytesAndTime) {
+  SyntheticImageDataset train(tiny_spec(), 64, 1);
+  SyntheticImageDataset test(tiny_spec(), 16, 2);
+  Rng prng(6);
+  auto partition = data::iid_partition(train.size(), 4, prng);
+
+  fl::FlConfig config;
+  config.num_clients = 4;
+  config.rounds = 3;
+  config.local_iters = 2;
+  config.batch_size = 8;
+  config.eval_every = 1;
+
+  auto factory = tiny_mlp_factory(64, 4);
+  fl::FullSync strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, factory,
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      strategy);
+  const auto result = runner.run();
+  ASSERT_EQ(result.rounds.size(), 3u);
+  const std::size_t dim = factory()->parameter_count();
+  for (const auto& r : result.rounds) {
+    EXPECT_DOUBLE_EQ(r.bytes_per_client, 2.0 * 4.0 * dim);  // up + down
+    EXPECT_GT(r.round_seconds, 0.0);
+    EXPECT_GE(r.test_accuracy, 0.0);
+  }
+  EXPECT_NEAR(result.total_bytes_per_client, 3 * 2.0 * 4.0 * dim, 1e-6);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  SyntheticImageDataset train(tiny_spec(), 64, 1);
+  SyntheticImageDataset test(tiny_spec(), 16, 2);
+  auto run_once = [&] {
+    Rng prng(7);
+    auto partition = data::iid_partition(train.size(), 2, prng);
+    fl::FlConfig config;
+    config.num_clients = 2;
+    config.rounds = 4;
+    config.local_iters = 2;
+    config.batch_size = 8;
+    fl::FullSync strategy;
+    fl::FederatedRunner runner(
+        config, train, partition, test, tiny_mlp_factory(64, 4),
+        [](nn::Module& m) {
+          return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+        },
+        strategy);
+    return runner.run().final_global_params;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Runner, StragglersDroppedUnderDropPolicy) {
+  SyntheticImageDataset train(tiny_spec(), 64, 1);
+  SyntheticImageDataset test(tiny_spec(), 16, 2);
+  Rng prng(8);
+  auto partition = data::iid_partition(train.size(), 2, prng);
+
+  fl::FlConfig config;
+  config.num_clients = 2;
+  config.rounds = 2;
+  config.local_iters = 4;
+  config.batch_size = 8;
+  config.workload_fraction = {1.0, 0.25};  // client 1 is a straggler
+  config.straggler_policy = fl::StragglerPolicy::kDrop;
+
+  // With the straggler dropped every round, the global trajectory must be
+  // identical to training client 0 alone on its own partition.
+  fl::FullSync strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, tiny_mlp_factory(64, 4),
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      strategy);
+  const auto dropped = runner.run();
+
+  fl::FlConfig solo = config;
+  solo.num_clients = 1;
+  solo.workload_fraction = {1.0};
+  data::Partition solo_partition = {partition[0]};
+  fl::FullSync solo_strategy;
+  fl::FederatedRunner solo_runner(
+      solo, train, solo_partition, test, tiny_mlp_factory(64, 4),
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      solo_strategy);
+  const auto alone = solo_runner.run();
+  EXPECT_EQ(dropped.final_global_params, alone.final_global_params);
+}
+
+TEST(Runner, LearnsSeparableTask) {
+  // End-to-end sanity: 4-class synthetic images, 3 clients, FedAvg; final
+  // accuracy should be far above chance.
+  SyntheticImageSpec spec = tiny_spec();
+  spec.noise_stddev = 0.2;
+  SyntheticImageDataset train(spec, 120, 1);
+  SyntheticImageDataset test(spec, 60, 2);
+  Rng prng(9);
+  auto partition = data::iid_partition(train.size(), 3, prng);
+
+  fl::FlConfig config;
+  config.num_clients = 3;
+  config.rounds = 30;
+  config.local_iters = 4;
+  config.batch_size = 16;
+  config.eval_every = 30;
+
+  fl::FullSync strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, tiny_mlp_factory(64, 4),
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.1, 0.9);
+      },
+      strategy);
+  const auto result = runner.run();
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(Runner, PartitionSizeMismatchThrows) {
+  SyntheticImageDataset train(tiny_spec(), 16, 1);
+  SyntheticImageDataset test(tiny_spec(), 8, 2);
+  fl::FlConfig config;
+  config.num_clients = 3;
+  data::Partition partition(2);  // wrong
+  fl::FullSync strategy;
+  EXPECT_THROW(
+      fl::FederatedRunner(config, train, partition, test,
+                          tiny_mlp_factory(64, 4),
+                          [](nn::Module& m) {
+                            return std::make_unique<optim::Sgd>(
+                                m.parameters(), 0.1);
+                          },
+                          strategy),
+      Error);
+}
+
+}  // namespace
+}  // namespace apf

@@ -1,0 +1,93 @@
+// Finite-difference gradient checking for nn::Module implementations.
+//
+// Builds the scalar loss L = sum_i w_i * module(x)_i for fixed random
+// weights w, obtains analytic gradients through backward(), and compares
+// them with central differences on a random subset of input and parameter
+// coordinates. float32 arithmetic limits attainable agreement; callers pick
+// eps/tolerance accordingly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace apf::test {
+
+struct GradCheckOptions {
+  double eps = 1e-2;
+  double rel_tol = 3e-2;
+  double abs_tol = 2e-3;
+  std::size_t max_coords = 40;  // coordinates sampled per tensor
+};
+
+inline double loss_of(nn::Module& module, const Tensor& input,
+                      const std::vector<float>& weights) {
+  const Tensor out = module.forward(input);
+  EXPECT_EQ(out.numel(), weights.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    loss += static_cast<double>(out[i]) * weights[i];
+  return loss;
+}
+
+/// Verifies analytic vs numeric gradients; reports failures via GTest.
+inline void check_gradients(nn::Module& module, Tensor input, Rng& rng,
+                            const GradCheckOptions& opt = {}) {
+  module.set_training(true);
+  // Fixed projection weights define a scalar loss.
+  Tensor probe = module.forward(input);
+  std::vector<float> weights(probe.numel());
+  for (auto& w : weights) w = rng.uniform_float(-1.f, 1.f);
+
+  // Analytic pass.
+  module.zero_grad();
+  Tensor out = module.forward(input);
+  Tensor grad_out(out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) grad_out[i] = weights[i];
+  Tensor grad_in = module.backward(grad_out);
+  ASSERT_TRUE(grad_in.same_shape(input));
+
+  auto compare = [&](double analytic, float* slot, const char* what,
+                     std::size_t coord) {
+    const float saved = *slot;
+    *slot = saved + static_cast<float>(opt.eps);
+    const double up = loss_of(module, input, weights);
+    *slot = saved - static_cast<float>(opt.eps);
+    const double down = loss_of(module, input, weights);
+    *slot = saved;
+    const double numeric = (up - down) / (2.0 * opt.eps);
+    const double scale =
+        std::max({std::fabs(analytic), std::fabs(numeric), 1.0});
+    EXPECT_NEAR(analytic, numeric, opt.rel_tol * scale + opt.abs_tol)
+        << what << " coordinate " << coord;
+  };
+
+  // Input gradient on sampled coordinates.
+  {
+    const std::size_t n = input.numel();
+    const std::size_t checks = std::min(opt.max_coords, n);
+    for (std::size_t c = 0; c < checks; ++c) {
+      const std::size_t i =
+          n <= opt.max_coords ? c : rng.uniform_int(std::uint64_t{n});
+      compare(grad_in[i], &input[i], "input", i);
+    }
+  }
+
+  // Parameter gradients on sampled coordinates.
+  for (auto& p : module.parameters()) {
+    const std::size_t n = p.param->numel();
+    const std::size_t checks = std::min(opt.max_coords, n);
+    for (std::size_t c = 0; c < checks; ++c) {
+      const std::size_t i =
+          n <= opt.max_coords ? c : rng.uniform_int(std::uint64_t{n});
+      compare(p.param->grad[i], &p.param->value[i],
+              p.name.c_str(), i);
+    }
+  }
+}
+
+}  // namespace apf::test

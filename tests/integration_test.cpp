@@ -1,0 +1,256 @@
+// Cross-module integration tests: APF inside the full FL loop, against the
+// paper's qualitative claims, plus an empirical check of the convergence
+// theory (Theorem 2) on a strongly convex objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "compress/quantized_sync.h"
+#include "core/apf_manager.h"
+#include "core/strawmen.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/runner.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+
+namespace apf {
+namespace {
+
+using data::SyntheticImageDataset;
+using data::SyntheticImageSpec;
+
+SyntheticImageSpec spec_for_integration() {
+  SyntheticImageSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.noise_stddev = 0.3;
+  return spec;
+}
+
+fl::ModelFactory mlp_factory() {
+  return [] {
+    Rng rng(555);
+    auto net = std::make_unique<nn::Sequential>();
+    net->add(std::make_unique<nn::Flatten>(), "flatten");
+    net->add(nn::make_mlp(rng, 64, 24, 1, 4), "mlp");
+    return net;
+  };
+}
+
+fl::OptimizerFactory sgd_factory(double lr) {
+  return [lr](nn::Module& m) {
+    return std::make_unique<optim::Sgd>(m.parameters(), lr, 0.9);
+  };
+}
+
+fl::SimulationResult run_with(fl::SyncStrategy& strategy,
+                              std::size_t rounds = 60) {
+  static SyntheticImageDataset train(spec_for_integration(), 160, 1);
+  static SyntheticImageDataset test(spec_for_integration(), 80, 2);
+  Rng prng(10);
+  auto partition = data::iid_partition(train.size(), 4, prng);
+  fl::FlConfig config;
+  config.num_clients = 4;
+  config.rounds = rounds;
+  config.local_iters = 4;
+  config.batch_size = 16;
+  config.eval_every = 10;
+  fl::FederatedRunner runner(config, train, partition, test, mlp_factory(),
+                             sgd_factory(0.1), strategy);
+  return runner.run();
+}
+
+TEST(Integration, ApfMatchesFedAvgAccuracyWithFewerBytes) {
+  fl::FullSync fedavg;
+  const auto base = run_with(fedavg);
+
+  core::ApfOptions opt;
+  opt.check_every_rounds = 2;
+  opt.ema_alpha = 0.9;
+  opt.stability_threshold = 0.1;
+  core::ApfManager apf(opt);
+  const auto ours = run_with(apf);
+
+  EXPECT_GT(ours.mean_frozen_fraction, 0.05);
+  EXPECT_LT(ours.total_bytes_per_client, base.total_bytes_per_client);
+  // Accuracy comparable (within a few points on this easy task).
+  EXPECT_GT(ours.best_accuracy, base.best_accuracy - 0.08);
+}
+
+TEST(Integration, ApfFrozenFractionGrowsOverTraining) {
+  core::ApfOptions opt;
+  opt.check_every_rounds = 2;
+  opt.ema_alpha = 0.9;
+  opt.stability_threshold = 0.1;
+  core::ApfManager apf(opt);
+  const auto result = run_with(apf, 80);
+  const auto& rounds = result.rounds;
+  double early = 0, late = 0;
+  for (std::size_t i = 0; i < 10; ++i) early += rounds[i].frozen_fraction;
+  for (std::size_t i = rounds.size() - 10; i < rounds.size(); ++i) {
+    late += rounds[i].frozen_fraction;
+  }
+  EXPECT_GT(late, early);
+}
+
+TEST(Integration, ApfRoundTimeBelowFedAvgOnceFrozen) {
+  fl::FullSync fedavg;
+  const auto base = run_with(fedavg, 40);
+  core::ApfOptions opt;
+  opt.check_every_rounds = 2;
+  opt.ema_alpha = 0.9;
+  opt.stability_threshold = 0.1;
+  core::ApfManager apf(opt);
+  const auto ours = run_with(apf, 40);
+  EXPECT_LT(ours.total_seconds, base.total_seconds);
+}
+
+TEST(Integration, QuantizedApfHalvesRemainingTraffic) {
+  auto apf_options = [] {
+    core::ApfOptions opt;
+    opt.check_every_rounds = 2;
+    opt.ema_alpha = 0.9;
+    opt.stability_threshold = 0.1;
+    opt.seed = 7;
+    return opt;
+  };
+  core::ApfManager plain(apf_options());
+  const auto base = run_with(plain, 30);
+  compress::QuantizedSync quantized(
+      std::make_unique<core::ApfManager>(apf_options()));
+  const auto ours = run_with(quantized, 30);
+  // Not exactly half (freezing trajectories differ slightly after fp16
+  // rounding), but decisively lower.
+  EXPECT_LT(ours.total_bytes_per_client, 0.7 * base.total_bytes_per_client);
+  EXPECT_GT(ours.best_accuracy, base.best_accuracy - 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Convergence theory (Theorem 1 / Theorem 2) on a strongly convex objective.
+// ---------------------------------------------------------------------------
+
+/// Federated gradient descent on f_i(x) = 0.5 ||x - c_i||^2 with stochastic
+/// gradient noise; the global optimum is mean(c_i). Drives a SyncStrategy
+/// directly (no neural network), mirroring the runner's pinning contract.
+struct QuadraticFederation {
+  QuadraticFederation(fl::SyncStrategy& strategy, std::size_t dim,
+                      std::size_t clients, std::uint64_t seed)
+      : strategy_(strategy), dim_(dim), n_(clients), rng_(seed) {
+    centers_.resize(n_);
+    optimum_.assign(dim, 0.f);
+    for (auto& c : centers_) {
+      c.resize(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        c[j] = rng_.uniform_float(-1.f, 1.f);
+        optimum_[j] += c[j] / static_cast<float>(n_);
+      }
+    }
+    std::vector<float> init(dim, 5.f);  // start far away
+    strategy_.init(init, n_);
+    params_.assign(n_, init);
+  }
+
+  void round(std::size_t k, double lr, double noise) {
+    const auto global = strategy_.global_params();
+    const Bitmap* mask = strategy_.frozen_mask();
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < dim_; ++j) {
+        const float g = (global[j] - centers_[i][j]) +
+                        static_cast<float>(rng_.normal(0.0, noise));
+        params_[i][j] = global[j] - static_cast<float>(lr) * g;
+        if (mask != nullptr && mask->get(j)) {
+          params_[i][j] = strategy_.frozen_anchor()[j];
+        }
+      }
+    }
+    strategy_.synchronize(k, params_, std::vector<double>(n_, 1.0));
+  }
+
+  double distance_to_optimum() const {
+    const auto global = strategy_.global_params();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const double d = global[j] - optimum_[j];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+
+  fl::SyncStrategy& strategy_;
+  std::size_t dim_, n_;
+  Rng rng_;
+  std::vector<std::vector<float>> centers_;
+  std::vector<float> optimum_;
+  std::vector<std::vector<float>> params_;
+};
+
+TEST(ConvergenceTheory, SgdReachesNoiseBall) {
+  // Theorem 1: distance contracts exponentially to a noise floor.
+  fl::FullSync strategy;
+  QuadraticFederation fed(strategy, 16, 3, 42);
+  const double initial = fed.distance_to_optimum();
+  for (std::size_t k = 1; k <= 400; ++k) fed.round(k, 0.2, 0.05);
+  EXPECT_LT(fed.distance_to_optimum(), initial * 0.05);
+}
+
+TEST(ConvergenceTheory, ApfConvergesOnStronglyConvexObjective) {
+  // Theorem 2: APF preserves convergence; the frozen/unfrozen dynamics must
+  // still land in the same noise ball as vanilla synchronization.
+  core::ApfOptions opt;
+  opt.check_every_rounds = 2;
+  opt.ema_alpha = 0.9;
+  opt.stability_threshold = 0.2;
+  core::ApfManager apf(opt);
+  QuadraticFederation fed(apf, 16, 3, 42);
+  for (std::size_t k = 1; k <= 600; ++k) fed.round(k, 0.2, 0.05);
+  EXPECT_LT(fed.distance_to_optimum(), 0.3);
+  // And it actually froze something along the way.
+  EXPECT_GT(apf.stable_fraction(), 0.0);
+}
+
+TEST(ConvergenceTheory, ApfWithDecayingLrConvergesTighter) {
+  // Theorem 2's condition (eq. 16): eta_k = O(1/sqrt(k)) drives the bound
+  // to zero; empirically the final distance shrinks vs constant lr.
+  auto run = [](bool decay) {
+    core::ApfOptions opt;
+    opt.check_every_rounds = 2;
+    opt.ema_alpha = 0.9;
+    opt.stability_threshold = 0.2;
+    core::ApfManager apf(opt);
+    QuadraticFederation fed(apf, 16, 3, 1234);
+    for (std::size_t k = 1; k <= 800; ++k) {
+      const double lr = decay ? 0.3 / std::sqrt(static_cast<double>(k)) : 0.3;
+      fed.round(k, lr, 0.1);
+    }
+    return fed.distance_to_optimum();
+  };
+  EXPECT_LT(run(true), run(false) + 1e-9);
+}
+
+TEST(ConvergenceTheory, PermanentFreezingLocksInItsBias) {
+  // The §4.1 lesson: once permanently frozen, a parameter can never move
+  // again — the model's error is locked at whatever bias remained.
+  core::StrawmanOptions opt;
+  opt.check_every_rounds = 2;
+  opt.ema_alpha = 0.5;
+  opt.stability_threshold = 0.9;  // aggressive: freeze almost immediately
+  core::PermanentFreeze frozen(opt);
+  QuadraticFederation fed(frozen, 16, 3, 42);
+  for (std::size_t k = 1; k <= 400; ++k) fed.round(k, 0.2, 0.05);
+  // Everything ends up frozen under so loose a threshold...
+  EXPECT_DOUBLE_EQ(frozen.excluded_fraction(), 1.0);
+  // ...and from then on the model is completely inert: 200 more rounds of
+  // training change nothing.
+  const double locked_distance = fed.distance_to_optimum();
+  EXPECT_GT(locked_distance, 0.0);
+  for (std::size_t k = 401; k <= 600; ++k) fed.round(k, 0.2, 0.05);
+  EXPECT_DOUBLE_EQ(fed.distance_to_optimum(), locked_distance);
+}
+
+}  // namespace
+}  // namespace apf

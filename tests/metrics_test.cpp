@@ -1,0 +1,69 @@
+// Tests for the metrics export helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fl/metrics.h"
+#include "util/error.h"
+
+namespace apf {
+namespace {
+
+fl::SimulationResult sample_result() {
+  fl::SimulationResult result;
+  fl::RoundRecord r1;
+  r1.round = 1;
+  r1.test_accuracy = 0.5;
+  r1.train_loss = 1.2;
+  r1.bytes_per_client = 100;
+  r1.cumulative_bytes_per_client = 100;
+  r1.frozen_fraction = 0.0;
+  r1.round_seconds = 2.0;
+  r1.cumulative_seconds = 2.0;
+  fl::RoundRecord r2 = r1;
+  r2.round = 2;
+  r2.test_accuracy = -1.0;  // not evaluated
+  r2.cumulative_bytes_per_client = 200;
+  r2.frozen_fraction = 0.25;
+  result.rounds = {r1, r2};
+  result.best_accuracy = 0.5;
+  result.final_accuracy = 0.5;
+  result.total_bytes_per_client = 200;
+  result.total_seconds = 4.0;
+  result.mean_frozen_fraction = 0.125;
+  return result;
+}
+
+TEST(Metrics, CsvHasHeaderAndRows) {
+  std::ostringstream oss;
+  fl::write_round_csv(sample_result(), oss);
+  const std::string csv = oss.str();
+  EXPECT_NE(csv.find("round,test_accuracy"), std::string::npos);
+  EXPECT_NE(csv.find("\n1,0.5,"), std::string::npos);
+  // Unevaluated round leaves the accuracy cell empty.
+  EXPECT_NE(csv.find("\n2,,"), std::string::npos);
+}
+
+TEST(Metrics, SummaryMentionsKeyNumbers) {
+  const std::string s = fl::summarize(sample_result());
+  EXPECT_NE(s.find("best=0.500"), std::string::npos);
+  EXPECT_NE(s.find("avg_frozen=12.5%"), std::string::npos);
+}
+
+TEST(Metrics, FileWriteFailsOnBadPath) {
+  EXPECT_THROW(
+      fl::write_round_csv_file(sample_result(), "/nonexistent/dir/x.csv"),
+      Error);
+}
+
+TEST(Metrics, AccuracySeriesSkipsUnevaluatedRounds) {
+  const auto result = sample_result();
+  const auto series = result.accuracy_series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 0.5);
+  EXPECT_EQ(result.frozen_series().size(), 2u);
+  EXPECT_EQ(result.cumulative_bytes_series().back(), 200.0);
+}
+
+}  // namespace
+}  // namespace apf

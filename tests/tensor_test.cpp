@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace apf {
+namespace {
+
+TEST(Shape, NumelAndString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_str({2, 3, 4}), "2x3x4");
+}
+
+TEST(Tensor, ZeroConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FillConstruction) {
+  Tensor t({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataAdoption) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 0), 3.f);
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2}), Error);
+}
+
+TEST(Tensor, MultiDimAccessors) {
+  Tensor t4({2, 3, 4, 5});
+  t4.at(1, 2, 3, 4) = 7.f;
+  EXPECT_EQ(t4[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.f);
+  Tensor t3({2, 3, 4});
+  t3.at(1, 2, 3) = 9.f;
+  EXPECT_EQ(t3[(1 * 3 + 2) * 4 + 3], 9.f);
+}
+
+TEST(Tensor, BoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(4), Error);
+  EXPECT_THROW(t.at(2, 0), Error);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.f);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(Tensor, ArithmeticInPlace) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.f);
+  a -= b;
+  EXPECT_EQ(a[2], 3.f);
+  a *= 2.f;
+  EXPECT_EQ(a[0], 2.f);
+  a += 1.f;
+  EXPECT_EQ(a[0], 3.f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(a += b, Error);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a({2}, std::vector<float>{1, 1});
+  Tensor b({2}, std::vector<float>{2, 4});
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a[0], 2.f);
+  EXPECT_EQ(a[1], 3.f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{1, -2, 3, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 6.f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.5f);
+  EXPECT_FLOAT_EQ(t.min(), -2.f);
+  EXPECT_FLOAT_EQ(t.max(), 4.f);
+  EXPECT_FLOAT_EQ(t.norm(), std::sqrt(30.f));
+}
+
+TEST(Tensor, RandomInitRanges) {
+  Rng rng(1);
+  Tensor u = Tensor::uniform({1000}, rng, -0.5f, 0.5f);
+  EXPECT_GE(u.min(), -0.5f);
+  EXPECT_LT(u.max(), 0.5f);
+  Tensor n = Tensor::normal({10000}, rng, 0.f, 1.f);
+  EXPECT_NEAR(n.mean(), 0.f, 0.05f);
+}
+
+TEST(Tensor, HadamardAndDot) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  Tensor h = hadamard(a, b);
+  EXPECT_EQ(h[2], 18.f);
+  EXPECT_FLOAT_EQ(dot(a, b), 32.f);
+}
+
+TEST(Ops, MatmulHandComputed) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(Ops, MatmulInnerDimChecked) {
+  Tensor a({2, 3}), b({2, 2});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Ops, MatmulTnMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::uniform({5, 4}, rng);
+  Tensor b = Tensor::uniform({5, 6}, rng);
+  Tensor expect = matmul(transpose(a), b);
+  Tensor got = matmul_tn(a, b);
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (std::size_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-5f);
+}
+
+TEST(Ops, MatmulNtMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::uniform({5, 4}, rng);
+  Tensor b = Tensor::uniform({6, 4}, rng);
+  Tensor expect = matmul(a, transpose(b));
+  Tensor got = matmul_nt(a, b);
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (std::size_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-5f);
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(4);
+  Tensor a = Tensor::uniform({3, 7}, rng);
+  Tensor tt = transpose(transpose(a));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(tt[i], a[i]);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor logits = Tensor::uniform({8, 10}, rng, -5.f, 5.f);
+  Tensor p = softmax_rows(logits);
+  for (std::size_t i = 0; i < 8; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_GT(p.at(i, j), 0.f);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStable) {
+  Tensor logits({1, 3}, std::vector<float>{1000.f, 1000.f, 1000.f});
+  Tensor p = softmax_rows(logits);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(p[j], 1.f / 3.f, 1e-5f);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor t({2, 3}, std::vector<float>{0, 5, 2, 9, 1, 1});
+  const auto idx = argmax_rows(t);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(Ops, AddBiasRows) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b({2}, std::vector<float>{10, 20});
+  add_bias_rows(t, b);
+  EXPECT_EQ(t.at(0, 0), 11.f);
+  EXPECT_EQ(t.at(1, 1), 24.f);
+}
+
+TEST(Conv, GeomOutputSizes) {
+  ConvGeom g{3, 32, 32, 5, 1, 0};
+  EXPECT_EQ(g.out_h(), 28u);
+  g.pad = 1;
+  g.kernel = 3;
+  EXPECT_EQ(g.out_h(), 32u);
+  g.stride = 2;
+  EXPECT_EQ(g.out_h(), 16u);
+}
+
+TEST(Conv, Im2colIdentityKernel) {
+  // 1x1 kernel, stride 1: im2col is the identity layout.
+  ConvGeom g{2, 3, 3, 1, 1, 0};
+  std::vector<float> img(18);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  Tensor cols = im2col(img.data(), g);
+  ASSERT_EQ(cols.shape(), (Shape{2, 9}));
+  for (std::size_t i = 0; i < 18; ++i) EXPECT_EQ(cols[i], static_cast<float>(i));
+}
+
+TEST(Conv, Im2colKnownPatch) {
+  // Single channel 3x3 image, 2x2 kernel, stride 1 -> 4 columns.
+  ConvGeom g{1, 3, 3, 2, 1, 0};
+  std::vector<float> img = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Tensor cols = im2col(img.data(), g);
+  ASSERT_EQ(cols.shape(), (Shape{4, 4}));
+  // Column 0 is the top-left patch [1,2,4,5] spread over rows.
+  EXPECT_EQ(cols.at(0, 0), 1.f);
+  EXPECT_EQ(cols.at(1, 0), 2.f);
+  EXPECT_EQ(cols.at(2, 0), 4.f);
+  EXPECT_EQ(cols.at(3, 0), 5.f);
+  // Column 3 is the bottom-right patch [5,6,8,9].
+  EXPECT_EQ(cols.at(0, 3), 5.f);
+  EXPECT_EQ(cols.at(3, 3), 9.f);
+}
+
+TEST(Conv, PaddingYieldsZeros) {
+  ConvGeom g{1, 2, 2, 3, 1, 1};
+  std::vector<float> img = {1, 2, 3, 4};
+  Tensor cols = im2col(img.data(), g);
+  ASSERT_EQ(cols.shape(), (Shape{9, 4}));
+  // Top-left output position, kernel offset (0,0) reads padded zero.
+  EXPECT_EQ(cols.at(0, 0), 0.f);
+  // Center taps read real pixels.
+  EXPECT_EQ(cols.at(4, 0), 1.f);
+}
+
+TEST(Conv, Col2imIsAdjointOfIm2col) {
+  // Adjoint test: <im2col(x), y> == <x, col2im(y)> for random x, y.
+  Rng rng(6);
+  ConvGeom g{2, 5, 5, 3, 2, 1};
+  std::vector<float> x(2 * 5 * 5);
+  for (auto& v : x) v = rng.uniform_float(-1.f, 1.f);
+  Tensor cols = im2col(x.data(), g);
+  Tensor y = Tensor::uniform(cols.shape(), rng);
+  // lhs = <im2col(x), y>
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols[i]) * y[i];
+  // rhs = <x, col2im(y)>
+  std::vector<float> back(x.size(), 0.f);
+  col2im(y, g, back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace apf
