@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_bench_common.dir/common.cpp.o"
+  "CMakeFiles/apf_bench_common.dir/common.cpp.o.d"
+  "libapf_bench_common.a"
+  "libapf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

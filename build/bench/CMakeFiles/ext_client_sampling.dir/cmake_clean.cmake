@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_client_sampling.dir/ext_client_sampling.cpp.o"
+  "CMakeFiles/ext_client_sampling.dir/ext_client_sampling.cpp.o.d"
+  "ext_client_sampling"
+  "ext_client_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_client_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dp_interplay.dir/ext_dp_interplay.cpp.o"
+  "CMakeFiles/ext_dp_interplay.dir/ext_dp_interplay.cpp.o.d"
+  "ext_dp_interplay"
+  "ext_dp_interplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dp_interplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

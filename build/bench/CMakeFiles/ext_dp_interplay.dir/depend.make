@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dp_interplay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_granularity_ablation.dir/ext_granularity_ablation.cpp.o"
+  "CMakeFiles/ext_granularity_ablation.dir/ext_granularity_ablation.cpp.o.d"
+  "ext_granularity_ablation"
+  "ext_granularity_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_granularity_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_quantizer_comparison.dir/ext_quantizer_comparison.cpp.o"
+  "CMakeFiles/ext_quantizer_comparison.dir/ext_quantizer_comparison.cpp.o.d"
+  "ext_quantizer_comparison"
+  "ext_quantizer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quantizer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_param_evolution.dir/fig01_param_evolution.cpp.o"
+  "CMakeFiles/fig01_param_evolution.dir/fig01_param_evolution.cpp.o.d"
+  "fig01_param_evolution"
+  "fig01_param_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_param_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_effective_perturbation.dir/fig02_effective_perturbation.cpp.o"
+  "CMakeFiles/fig02_effective_perturbation.dir/fig02_effective_perturbation.cpp.o.d"
+  "fig02_effective_perturbation"
+  "fig02_effective_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_effective_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_layer_stability.dir/fig03_layer_stability.cpp.o"
+  "CMakeFiles/fig03_layer_stability.dir/fig03_layer_stability.cpp.o.d"
+  "fig03_layer_stability"
+  "fig03_layer_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_layer_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_divergence.dir/fig04_divergence.cpp.o"
+  "CMakeFiles/fig04_divergence.dir/fig04_divergence.cpp.o.d"
+  "fig04_divergence"
+  "fig04_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_partial_sync.dir/fig05_partial_sync.cpp.o"
+  "CMakeFiles/fig05_partial_sync.dir/fig05_partial_sync.cpp.o.d"
+  "fig05_partial_sync"
+  "fig05_partial_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_partial_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

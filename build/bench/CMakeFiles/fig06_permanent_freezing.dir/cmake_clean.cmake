@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_permanent_freezing.dir/fig06_permanent_freezing.cpp.o"
+  "CMakeFiles/fig06_permanent_freezing.dir/fig06_permanent_freezing.cpp.o.d"
+  "fig06_permanent_freezing"
+  "fig06_permanent_freezing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_permanent_freezing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

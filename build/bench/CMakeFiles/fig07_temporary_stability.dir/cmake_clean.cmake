@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_temporary_stability.dir/fig07_temporary_stability.cpp.o"
+  "CMakeFiles/fig07_temporary_stability.dir/fig07_temporary_stability.cpp.o.d"
+  "fig07_temporary_stability"
+  "fig07_temporary_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_temporary_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

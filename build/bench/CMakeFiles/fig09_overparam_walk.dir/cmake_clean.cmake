@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_overparam_walk.dir/fig09_overparam_walk.cpp.o"
+  "CMakeFiles/fig09_overparam_walk.dir/fig09_overparam_walk.cpp.o.d"
+  "fig09_overparam_walk"
+  "fig09_overparam_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_overparam_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_extreme_noniid.dir/fig12_extreme_noniid.cpp.o"
+  "CMakeFiles/fig12_extreme_noniid.dir/fig12_extreme_noniid.cpp.o.d"
+  "fig12_extreme_noniid"
+  "fig12_extreme_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_extreme_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

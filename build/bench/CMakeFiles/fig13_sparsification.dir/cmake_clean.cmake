@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sparsification.dir/fig13_sparsification.cpp.o"
+  "CMakeFiles/fig13_sparsification.dir/fig13_sparsification.cpp.o.d"
+  "fig13_sparsification"
+  "fig13_sparsification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sparsification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_control_ablation.dir/fig15_control_ablation.cpp.o"
+  "CMakeFiles/fig15_control_ablation.dir/fig15_control_ablation.cpp.o.d"
+  "fig15_control_ablation"
+  "fig15_control_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_control_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_apf_sharp.dir/fig16_apf_sharp.cpp.o"
+  "CMakeFiles/fig16_apf_sharp.dir/fig16_apf_sharp.cpp.o.d"
+  "fig16_apf_sharp"
+  "fig16_apf_sharp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_apf_sharp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

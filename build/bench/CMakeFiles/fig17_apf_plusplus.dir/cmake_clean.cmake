@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_apf_plusplus.dir/fig17_apf_plusplus.cpp.o"
+  "CMakeFiles/fig17_apf_plusplus.dir/fig17_apf_plusplus.cpp.o.d"
+  "fig17_apf_plusplus"
+  "fig17_apf_plusplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_apf_plusplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_apf_plusplus.
+# This may be replaced when dependencies are built.

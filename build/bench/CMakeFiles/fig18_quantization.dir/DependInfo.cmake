@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_quantization.cpp" "bench/CMakeFiles/fig18_quantization.dir/fig18_quantization.cpp.o" "gcc" "bench/CMakeFiles/fig18_quantization.dir/fig18_quantization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/apf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/apf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/apf_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/apf_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/apf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/apf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

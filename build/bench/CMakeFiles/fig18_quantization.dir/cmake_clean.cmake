@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_quantization.dir/fig18_quantization.cpp.o"
+  "CMakeFiles/fig18_quantization.dir/fig18_quantization.cpp.o.d"
+  "fig18_quantization"
+  "fig18_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

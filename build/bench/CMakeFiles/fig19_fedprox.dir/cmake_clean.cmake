@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_fedprox.dir/fig19_fedprox.cpp.o"
+  "CMakeFiles/fig19_fedprox.dir/fig19_fedprox.cpp.o.d"
+  "fig19_fedprox"
+  "fig19_fedprox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_fedprox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_sensitivity.dir/fig20_sensitivity.cpp.o"
+  "CMakeFiles/fig20_sensitivity.dir/fig20_sensitivity.cpp.o.d"
+  "fig20_sensitivity"
+  "fig20_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

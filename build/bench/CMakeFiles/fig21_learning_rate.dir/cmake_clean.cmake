@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_learning_rate.dir/fig21_learning_rate.cpp.o"
+  "CMakeFiles/fig21_learning_rate.dir/fig21_learning_rate.cpp.o.d"
+  "fig21_learning_rate"
+  "fig21_learning_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_learning_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_sync_frequency.dir/fig22_sync_frequency.cpp.o"
+  "CMakeFiles/fig22_sync_frequency.dir/fig22_sync_frequency.cpp.o.d"
+  "fig22_sync_frequency"
+  "fig22_sync_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_sync_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsim.dir/flsim.cpp.o"
+  "CMakeFiles/flsim.dir/flsim.cpp.o.d"
+  "flsim"
+  "flsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

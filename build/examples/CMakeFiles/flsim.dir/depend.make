@@ -1,0 +1,2 @@
+# Empty dependencies file for flsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_spotting.dir/keyword_spotting.cpp.o"
+  "CMakeFiles/keyword_spotting.dir/keyword_spotting.cpp.o.d"
+  "keyword_spotting"
+  "keyword_spotting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_spotting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/cmfl.cpp" "src/compress/CMakeFiles/apf_compress.dir/cmfl.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/cmfl.cpp.o.d"
+  "/root/repo/src/compress/codecs.cpp" "src/compress/CMakeFiles/apf_compress.dir/codecs.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/codecs.cpp.o.d"
+  "/root/repo/src/compress/gaia.cpp" "src/compress/CMakeFiles/apf_compress.dir/gaia.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/gaia.cpp.o.d"
+  "/root/repo/src/compress/quantize.cpp" "src/compress/CMakeFiles/apf_compress.dir/quantize.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/quantize.cpp.o.d"
+  "/root/repo/src/compress/quantized_sync.cpp" "src/compress/CMakeFiles/apf_compress.dir/quantized_sync.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/quantized_sync.cpp.o.d"
+  "/root/repo/src/compress/randk.cpp" "src/compress/CMakeFiles/apf_compress.dir/randk.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/randk.cpp.o.d"
+  "/root/repo/src/compress/topk.cpp" "src/compress/CMakeFiles/apf_compress.dir/topk.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/topk.cpp.o.d"
+  "/root/repo/src/compress/wrappers.cpp" "src/compress/CMakeFiles/apf_compress.dir/wrappers.cpp.o" "gcc" "src/compress/CMakeFiles/apf_compress.dir/wrappers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/apf_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/apf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/apf_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/apf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_compress.dir/cmfl.cpp.o"
+  "CMakeFiles/apf_compress.dir/cmfl.cpp.o.d"
+  "CMakeFiles/apf_compress.dir/codecs.cpp.o"
+  "CMakeFiles/apf_compress.dir/codecs.cpp.o.d"
+  "CMakeFiles/apf_compress.dir/gaia.cpp.o"
+  "CMakeFiles/apf_compress.dir/gaia.cpp.o.d"
+  "CMakeFiles/apf_compress.dir/quantize.cpp.o"
+  "CMakeFiles/apf_compress.dir/quantize.cpp.o.d"
+  "CMakeFiles/apf_compress.dir/quantized_sync.cpp.o"
+  "CMakeFiles/apf_compress.dir/quantized_sync.cpp.o.d"
+  "CMakeFiles/apf_compress.dir/randk.cpp.o"
+  "CMakeFiles/apf_compress.dir/randk.cpp.o.d"
+  "CMakeFiles/apf_compress.dir/topk.cpp.o"
+  "CMakeFiles/apf_compress.dir/topk.cpp.o.d"
+  "CMakeFiles/apf_compress.dir/wrappers.cpp.o"
+  "CMakeFiles/apf_compress.dir/wrappers.cpp.o.d"
+  "libapf_compress.a"
+  "libapf_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

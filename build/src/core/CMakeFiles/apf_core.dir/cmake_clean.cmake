@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_core.dir/apf_manager.cpp.o"
+  "CMakeFiles/apf_core.dir/apf_manager.cpp.o.d"
+  "CMakeFiles/apf_core.dir/freeze_controller.cpp.o"
+  "CMakeFiles/apf_core.dir/freeze_controller.cpp.o.d"
+  "CMakeFiles/apf_core.dir/masked_pack.cpp.o"
+  "CMakeFiles/apf_core.dir/masked_pack.cpp.o.d"
+  "CMakeFiles/apf_core.dir/perturbation.cpp.o"
+  "CMakeFiles/apf_core.dir/perturbation.cpp.o.d"
+  "CMakeFiles/apf_core.dir/strawmen.cpp.o"
+  "CMakeFiles/apf_core.dir/strawmen.cpp.o.d"
+  "libapf_core.a"
+  "libapf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_data.dir/dataset.cpp.o"
+  "CMakeFiles/apf_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/apf_data.dir/loader.cpp.o"
+  "CMakeFiles/apf_data.dir/loader.cpp.o.d"
+  "CMakeFiles/apf_data.dir/partition.cpp.o"
+  "CMakeFiles/apf_data.dir/partition.cpp.o.d"
+  "CMakeFiles/apf_data.dir/synthetic_images.cpp.o"
+  "CMakeFiles/apf_data.dir/synthetic_images.cpp.o.d"
+  "CMakeFiles/apf_data.dir/synthetic_sequences.cpp.o"
+  "CMakeFiles/apf_data.dir/synthetic_sequences.cpp.o.d"
+  "libapf_data.a"
+  "libapf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/evaluate.cpp" "src/fl/CMakeFiles/apf_fl.dir/evaluate.cpp.o" "gcc" "src/fl/CMakeFiles/apf_fl.dir/evaluate.cpp.o.d"
+  "/root/repo/src/fl/flat_view.cpp" "src/fl/CMakeFiles/apf_fl.dir/flat_view.cpp.o" "gcc" "src/fl/CMakeFiles/apf_fl.dir/flat_view.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/fl/CMakeFiles/apf_fl.dir/metrics.cpp.o" "gcc" "src/fl/CMakeFiles/apf_fl.dir/metrics.cpp.o.d"
+  "/root/repo/src/fl/network.cpp" "src/fl/CMakeFiles/apf_fl.dir/network.cpp.o" "gcc" "src/fl/CMakeFiles/apf_fl.dir/network.cpp.o.d"
+  "/root/repo/src/fl/runner.cpp" "src/fl/CMakeFiles/apf_fl.dir/runner.cpp.o" "gcc" "src/fl/CMakeFiles/apf_fl.dir/runner.cpp.o.d"
+  "/root/repo/src/fl/sync_strategy.cpp" "src/fl/CMakeFiles/apf_fl.dir/sync_strategy.cpp.o" "gcc" "src/fl/CMakeFiles/apf_fl.dir/sync_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/apf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/apf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/apf_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_fl.dir/evaluate.cpp.o"
+  "CMakeFiles/apf_fl.dir/evaluate.cpp.o.d"
+  "CMakeFiles/apf_fl.dir/flat_view.cpp.o"
+  "CMakeFiles/apf_fl.dir/flat_view.cpp.o.d"
+  "CMakeFiles/apf_fl.dir/metrics.cpp.o"
+  "CMakeFiles/apf_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/apf_fl.dir/network.cpp.o"
+  "CMakeFiles/apf_fl.dir/network.cpp.o.d"
+  "CMakeFiles/apf_fl.dir/runner.cpp.o"
+  "CMakeFiles/apf_fl.dir/runner.cpp.o.d"
+  "CMakeFiles/apf_fl.dir/sync_strategy.cpp.o"
+  "CMakeFiles/apf_fl.dir/sync_strategy.cpp.o.d"
+  "libapf_fl.a"
+  "libapf_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/apf_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv_layers.cpp" "src/nn/CMakeFiles/apf_nn.dir/conv_layers.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/conv_layers.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/apf_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/apf_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/apf_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/apf_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/apf_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/apf_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/apf_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/param_vector.cpp" "src/nn/CMakeFiles/apf_nn.dir/param_vector.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/param_vector.cpp.o.d"
+  "/root/repo/src/nn/resnet.cpp" "src/nn/CMakeFiles/apf_nn.dir/resnet.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/resnet.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/apf_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/apf_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/apf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

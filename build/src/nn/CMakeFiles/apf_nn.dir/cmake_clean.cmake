@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/apf_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/conv_layers.cpp.o"
+  "CMakeFiles/apf_nn.dir/conv_layers.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/dropout.cpp.o"
+  "CMakeFiles/apf_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/gru.cpp.o"
+  "CMakeFiles/apf_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/layers.cpp.o"
+  "CMakeFiles/apf_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/loss.cpp.o"
+  "CMakeFiles/apf_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/lstm.cpp.o"
+  "CMakeFiles/apf_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/models.cpp.o"
+  "CMakeFiles/apf_nn.dir/models.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/module.cpp.o"
+  "CMakeFiles/apf_nn.dir/module.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/param_vector.cpp.o"
+  "CMakeFiles/apf_nn.dir/param_vector.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/resnet.cpp.o"
+  "CMakeFiles/apf_nn.dir/resnet.cpp.o.d"
+  "CMakeFiles/apf_nn.dir/serialize.cpp.o"
+  "CMakeFiles/apf_nn.dir/serialize.cpp.o.d"
+  "libapf_nn.a"
+  "libapf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

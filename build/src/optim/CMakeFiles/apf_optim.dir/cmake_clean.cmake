@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_optim.dir/clip.cpp.o"
+  "CMakeFiles/apf_optim.dir/clip.cpp.o.d"
+  "CMakeFiles/apf_optim.dir/fedprox.cpp.o"
+  "CMakeFiles/apf_optim.dir/fedprox.cpp.o.d"
+  "CMakeFiles/apf_optim.dir/lr_schedule.cpp.o"
+  "CMakeFiles/apf_optim.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/apf_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/apf_optim.dir/optimizer.cpp.o.d"
+  "libapf_optim.a"
+  "libapf_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_tensor.dir/conv.cpp.o"
+  "CMakeFiles/apf_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/apf_tensor.dir/ops.cpp.o"
+  "CMakeFiles/apf_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/apf_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/apf_tensor.dir/tensor.cpp.o.d"
+  "libapf_tensor.a"
+  "libapf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

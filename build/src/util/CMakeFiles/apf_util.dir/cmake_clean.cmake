@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_util.dir/bitmap.cpp.o"
+  "CMakeFiles/apf_util.dir/bitmap.cpp.o.d"
+  "CMakeFiles/apf_util.dir/csv.cpp.o"
+  "CMakeFiles/apf_util.dir/csv.cpp.o.d"
+  "CMakeFiles/apf_util.dir/logging.cpp.o"
+  "CMakeFiles/apf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/apf_util.dir/rng.cpp.o"
+  "CMakeFiles/apf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/apf_util.dir/stats.cpp.o"
+  "CMakeFiles/apf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/apf_util.dir/table.cpp.o"
+  "CMakeFiles/apf_util.dir/table.cpp.o.d"
+  "libapf_util.a"
+  "libapf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapf_util.a"
+)

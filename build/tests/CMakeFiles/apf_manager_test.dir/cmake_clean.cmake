@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_manager_test.dir/apf_manager_test.cpp.o"
+  "CMakeFiles/apf_manager_test.dir/apf_manager_test.cpp.o.d"
+  "apf_manager_test"
+  "apf_manager_test.pdb"
+  "apf_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_test.dir/fl_test.cpp.o"
+  "CMakeFiles/fl_test.dir/fl_test.cpp.o.d"
+  "fl_test"
+  "fl_test.pdb"
+  "fl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

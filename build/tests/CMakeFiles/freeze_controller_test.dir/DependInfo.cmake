@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/freeze_controller_test.cpp" "tests/CMakeFiles/freeze_controller_test.dir/freeze_controller_test.cpp.o" "gcc" "tests/CMakeFiles/freeze_controller_test.dir/freeze_controller_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/apf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/apf_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/apf_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/apf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/apf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

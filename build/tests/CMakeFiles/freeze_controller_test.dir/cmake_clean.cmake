@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeze_controller_test.dir/freeze_controller_test.cpp.o"
+  "CMakeFiles/freeze_controller_test.dir/freeze_controller_test.cpp.o.d"
+  "freeze_controller_test"
+  "freeze_controller_test.pdb"
+  "freeze_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeze_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
