@@ -7,6 +7,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/debug.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -27,6 +28,11 @@ ApfManager::ApfManager(ApfOptions options) : options_(options) {
 }
 
 void ApfManager::set_segments(std::vector<TensorSegment> segments) {
+  APF_CHECK_MSG(!segments.empty(), "segment list must not be empty");
+  for (const auto& segment : segments) {
+    APF_CHECK_MSG(segment.size > 0, "zero-sized tensor segment at offset "
+                                        << segment.offset);
+  }
   segments_ = std::move(segments);
 }
 
@@ -62,6 +68,8 @@ void ApfManager::init(std::span<const float> initial_params,
 fl::SyncStrategy::Result ApfManager::synchronize(
     std::size_t round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  APF_CHECK_MSG(perturbation_.has_value(), "synchronize() before init()");
+  APF_CHECK(client_params.size() == weights.size());
   const std::size_t dim = global_.size();
   const std::size_t n = client_params.size();
 
@@ -81,6 +89,9 @@ fl::SyncStrategy::Result ApfManager::synchronize(
     weight_total += w;
   }
   APF_CHECK_MSG(weight_total > 0.0, "all aggregation weights are zero");
+  APF_DEBUG_ASSERT_MSG(frozen_count <= dim,
+                       "mask count " << frozen_count << " exceeds dim "
+                                     << dim);
   const std::size_t payload_size = dim - frozen_count;
   std::vector<double> payload_acc(payload_size, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -88,17 +99,26 @@ fl::SyncStrategy::Result ApfManager::synchronize(
     APF_CHECK(client_params[i].size() == dim);
     const std::vector<float> payload =
         pack_unfrozen(client_params[i], effective_mask_);
+    APF_DEBUG_ASSERT_MSG(payload.size() == payload_size,
+                         "client " << i << " payload " << payload.size()
+                                   << " != unfrozen count " << payload_size);
+    APF_DEBUG_CHECK_FINITE(std::span<const float>(payload),
+                           "ApfManager::synchronize client payload");
     const double w = weights[i] / weight_total;
     for (std::size_t p = 0; p < payload_size; ++p) {
       payload_acc[p] += w * static_cast<double>(payload[p]);
     }
   }
+  APF_DEBUG_CHECK_FINITE(std::span<const double>(payload_acc),
+                         "ApfManager::synchronize aggregated payload");
   std::vector<float> merged_payload(payload_size);
   for (std::size_t p = 0; p < payload_size; ++p) {
     merged_payload[p] = static_cast<float>(payload_acc[p]);
   }
   std::vector<float> new_global = global_;
   unpack_unfrozen(merged_payload, effective_mask_, new_global);
+  APF_DEBUG_CHECK_FINITE(std::span<const float>(new_global),
+                         "ApfManager::synchronize merged global model");
 
   // Track the accumulated global update for the next stability check, and
   // remember which scalars were frozen at any point during the window.

@@ -53,6 +53,7 @@ void FreezeController::restore(std::span<const std::uint32_t> periods,
 void FreezeController::check(
     const std::function<bool(std::size_t)>& evaluable,
     const std::function<bool(std::size_t)>& stable) {
+  APF_CHECK_MSG(evaluable && stable, "null predicate passed to check()");
   for (std::size_t j = 0; j < period_.size(); ++j) {
     if (remaining_[j] > 0) {
       // Still serving a freezing period; tick down.

@@ -1,5 +1,6 @@
 #include "core/masked_pack.h"
 
+#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::core {
@@ -7,11 +8,15 @@ namespace apf::core {
 std::vector<float> pack_unfrozen(std::span<const float> full,
                                  const Bitmap& frozen_mask) {
   APF_CHECK(full.size() == frozen_mask.size());
+  const std::size_t unfrozen = full.size() - frozen_mask.count();
   std::vector<float> payload;
-  payload.reserve(full.size() - frozen_mask.count());
+  payload.reserve(unfrozen);
   for (std::size_t j = 0; j < full.size(); ++j) {
     if (!frozen_mask.get(j)) payload.push_back(full[j]);
   }
+  APF_DEBUG_ASSERT_MSG(payload.size() == unfrozen,
+                       "packed " << payload.size() << " scalars, mask implies "
+                                 << unfrozen);
   return payload;
 }
 
@@ -26,6 +31,9 @@ void unpack_unfrozen(std::span<const float> payload, const Bitmap& frozen_mask,
   for (std::size_t j = 0; j < full.size(); ++j) {
     if (!frozen_mask.get(j)) full[j] = payload[cursor++];
   }
+  APF_DEBUG_ASSERT_MSG(cursor == payload.size(),
+                       "consumed " << cursor << " of " << payload.size()
+                                   << " payload scalars");
 }
 
 }  // namespace apf::core

@@ -11,6 +11,7 @@ StrawmanBase::StrawmanBase(StrawmanOptions options) : options_(options) {
   APF_CHECK(options_.check_every_rounds >= 1);
 }
 
+// lint-apf: no-input-checks(SyncStrategyBase::init validates both arguments)
 void StrawmanBase::init(std::span<const float> initial_params,
                         std::size_t num_clients) {
   SyncStrategyBase::init(initial_params, num_clients);
@@ -21,6 +22,8 @@ void StrawmanBase::init(std::span<const float> initial_params,
 }
 
 void StrawmanBase::observe_round(std::span<const float> new_global) {
+  APF_CHECK_MSG(perturbation_.has_value(), "synchronize() before init()");
+  APF_CHECK(new_global.size() == global_.size());
   const std::size_t dim = global_.size();
   for (std::size_t j = 0; j < dim; ++j) {
     delta_accum_[j] += new_global[j] - global_[j];
@@ -40,6 +43,7 @@ void StrawmanBase::observe_round(std::span<const float> new_global) {
 
 PartialSync::PartialSync(StrawmanOptions options) : StrawmanBase(options) {}
 
+// lint-apf: no-input-checks(weighted_average validates params and weights)
 fl::SyncStrategy::Result PartialSync::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
@@ -71,6 +75,7 @@ fl::SyncStrategy::Result PartialSync::synchronize(
 PermanentFreeze::PermanentFreeze(StrawmanOptions options)
     : StrawmanBase(options) {}
 
+// lint-apf: no-input-checks(weighted_average validates params and weights)
 fl::SyncStrategy::Result PermanentFreeze::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {

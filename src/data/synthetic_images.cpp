@@ -17,7 +17,7 @@ void box_blur(std::vector<float>& img, std::size_t c, std::size_t h,
     float* o = out.data() + ch * h * w;
     for (std::size_t y = 0; y < h; ++y) {
       for (std::size_t x = 0; x < w; ++x) {
-        float acc = 0.f;
+        double acc = 0.0;
         for (int dy = -1; dy <= 1; ++dy) {
           for (int dx = -1; dx <= 1; ++dx) {
             const std::size_t yy = (y + h + static_cast<std::size_t>(dy + 1) - 1) % h;
@@ -25,7 +25,7 @@ void box_blur(std::vector<float>& img, std::size_t c, std::size_t h,
             acc += in[yy * w + xx];
           }
         }
-        o[y * w + x] = acc / 9.f;
+        o[y * w + x] = static_cast<float>(acc / 9.0);
       }
     }
   }

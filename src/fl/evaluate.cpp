@@ -25,6 +25,7 @@ void for_each_batch(const data::Dataset& dataset, std::size_t batch_size,
 
 double evaluate_accuracy(nn::Module& module, const data::Dataset& dataset,
                          std::size_t batch_size) {
+  APF_CHECK(batch_size > 0);
   const bool was_training = module.training();
   module.set_training(false);
   std::size_t correct = 0;
@@ -44,6 +45,7 @@ double evaluate_accuracy(nn::Module& module, const data::Dataset& dataset,
 
 double evaluate_loss(nn::Module& module, const data::Dataset& dataset,
                      std::size_t batch_size) {
+  APF_CHECK(batch_size > 0);
   const bool was_training = module.training();
   module.set_training(false);
   double total = 0.0;

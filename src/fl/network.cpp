@@ -12,14 +12,17 @@ double seconds(double bytes, double mbps) {
 }  // namespace
 
 double NetworkModel::client_download_seconds(double bytes) const {
+  APF_CHECK(bytes >= 0.0);
   return seconds(bytes, client_download_mbps);
 }
 
 double NetworkModel::client_upload_seconds(double bytes) const {
+  APF_CHECK(bytes >= 0.0);
   return seconds(bytes, client_upload_mbps);
 }
 
 double NetworkModel::server_seconds(double total_bytes) const {
+  APF_CHECK(total_bytes >= 0.0);
   return seconds(total_bytes, server_bandwidth_mbps);
 }
 

@@ -36,6 +36,7 @@ void SyncStrategyBase::weighted_average(
   for (std::size_t j = 0; j < dim; ++j) out[j] = static_cast<float>(acc[j]);
 }
 
+// lint-apf: no-input-checks(weighted_average validates params and weights)
 SyncStrategy::Result FullSync::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {

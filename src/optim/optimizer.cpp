@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::optim {
@@ -45,6 +46,8 @@ void Sgd::step() {
       }
       value[i] -= lr * g;
     }
+    APF_DEBUG_CHECK_FINITE(std::span<const float>(value.data()),
+                           "Sgd::step updated parameters");
   }
 }
 
@@ -93,6 +96,8 @@ void Adam::step() {
       const float vhat = v * inv_bias2;
       value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
     }
+    APF_DEBUG_CHECK_FINITE(std::span<const float>(value.data()),
+                           "Adam::step updated parameters");
   }
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "util/debug.h"
 #include "util/rng.h"
 
 namespace apf {
@@ -58,8 +59,16 @@ class Tensor {
   float* raw() { return data_.data(); }
   const float* raw() const { return data_.data(); }
 
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) {
+    APF_DEBUG_ASSERT_MSG(i < data_.size(),
+                         "tensor index " << i << " >= " << data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    APF_DEBUG_ASSERT_MSG(i < data_.size(),
+                         "tensor index " << i << " >= " << data_.size());
+    return data_[i];
+  }
 
   /// Bounds-checked flat access.
   float& at(std::size_t i);

@@ -99,6 +99,12 @@ Bitmap Bitmap::from_bytes(std::size_t size,
                           const std::vector<std::uint8_t>& bytes) {
   APF_CHECK_MSG(bytes.size() == (size + 7) / 8,
                 "bitmap payload size mismatch: " << bytes.size());
+  const std::size_t rem = size % 8;
+  if (rem != 0 && !bytes.empty()) {
+    APF_CHECK_MSG((bytes.back() & static_cast<std::uint8_t>(
+                                      ~((1u << rem) - 1))) == 0,
+                  "bitmap payload has bits set beyond size " << size);
+  }
   Bitmap out(size, false);
   for (std::size_t i = 0; i < size; ++i) {
     if (bytes[i / 8] & (1u << (i % 8))) out.set(i, true);

@@ -1,0 +1,418 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint for the APF codebase.
+
+Generic linters cannot enforce the contracts this library actually depends
+on, so this tool does. Rules:
+
+  entry-check        Every public entry point defined in src/core/*.cpp and
+                     src/fl/*.cpp (out-of-line public method or header-declared
+                     free function taking at least one argument) must validate
+                     its inputs: the body has to contain APF_CHECK /
+                     APF_CHECK_MSG / APF_DEBUG_ASSERT / APF_DEBUG_CHECK_FINITE,
+                     or carry an explicit waiver (see below). Frozen-parameter
+                     bit-exactness dies silently when unvalidated sizes or
+                     masks disagree; this keeps the wire path honest.
+
+  determinism        No std::rand / srand / time(nullptr) / std::random_device
+                     / std::mt19937 / default_random_engine anywhere in src/
+                     outside src/util/rng.*. All stochasticity must flow
+                     through apf::Rng so simulations stay bit-reproducible
+                     (clients derive identical freezing masks from shared
+                     seeds — any ad-hoc RNG breaks mask agreement).
+
+  float-accumulator  A `float x = 0;` local that is later `+=`-accumulated is
+                     a reduction running at float precision. Reductions must
+                     accumulate in double (the EMA/stats paths depend on it);
+                     cast once at the end.
+
+  test-include       src/ must not include test headers (tests/..., gtest,
+                     gmock, *_test.h). The library cannot depend on its tests.
+
+Waivers (use sparingly, always with a reason):
+  // lint-apf: no-input-checks(<reason>)       on or directly above a
+                                               definition, for entry-check
+  // lint-apf: allow-float-accumulator(<reason>)  on or directly above the
+                                               declaration line
+
+Usage: tools/lint_apf.py [--root DIR] [paths...]
+Exit status 0 when clean, 1 when any rule fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "throw",
+    "new", "delete", "alignof", "decltype", "static_assert", "noexcept",
+    "static_cast", "const_cast", "dynamic_cast", "reinterpret_cast",
+    "defined", "assert", "operator",
+}
+
+CHECK_TOKENS = re.compile(
+    r"\b(APF_CHECK|APF_CHECK_MSG|APF_DEBUG_ASSERT|APF_DEBUG_ASSERT_MSG|"
+    r"APF_DEBUG_CHECK_FINITE)\b")
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"\bsrand\s*\("), "srand"),
+    (re.compile(r"(?<![\w:])rand\s*\("), "rand()"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"\b(?:std::)?random_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:std::)?mt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\b(?:std::)?default_random_engine\b"),
+     "std::default_random_engine"),
+]
+
+TEST_INCLUDE = re.compile(
+    r'#\s*include\s+["<](?:tests/|gtest|gmock|[^">]*_test\.h)')
+
+FLOAT_ACCUM_DECL = re.compile(
+    r"\bfloat\s+([A-Za-z_]\w*)\s*=\s*0(?:\.0?f?|\.f)?\s*[;,]")
+
+WAIVER_NO_INPUT = "lint-apf: no-input-checks"
+WAIVER_FLOAT = "lint-apf: allow-float-accumulator"
+
+
+class Finding:
+    def __init__(self, path, line, rule, msg):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+            out.append(" ")
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                if i < n and text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+            out.append(" ")
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# entry-check: header parsing (public/protected/private method maps)
+# --------------------------------------------------------------------------
+
+CLASS_OPEN = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)[^;{]*\{")
+ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
+NAME_CALL = re.compile(r"\b(~?[A-Za-z_]\w*)\s*\(")
+FREE_DECL = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*?\b([A-Za-z_]\w*)\s*\(")
+
+
+def parse_header(text: str):
+    """Returns ({class: {method: access}}, {free function names})."""
+    stripped = strip_comments_and_strings(text)
+    lines = stripped.split("\n")
+    classes: dict[str, dict[str, str]] = {}
+    free: set[str] = set()
+    ns_scope: list[str] = []  # namespace-scope text, for free declarations
+    # Stack of (kind, name, access, entry_depth); kind in {class, other}.
+    stack: list[list] = []
+    depth = 0
+    for line in lines:
+        m = CLASS_OPEN.search(line)
+        is_namespace = re.match(r"\s*namespace\b", line) is not None
+        access_m = ACCESS_RE.match(line)
+        if access_m and stack and stack[-1][0] == "class":
+            stack[-1][2] = access_m.group(1)
+        # Record declarations before applying this line's braces.
+        in_class = stack and stack[-1][0] == "class" and depth == stack[-1][3]
+        at_ns_scope = all(entry[0] == "namespace" for entry in stack)
+        if in_class and not m:
+            cls, access = stack[-1][1], stack[-1][2]
+            for name in NAME_CALL.findall(line):
+                bare = name.lstrip("~")
+                if bare in CPP_KEYWORDS:
+                    continue
+                classes.setdefault(cls, {}).setdefault(name, access)
+        elif at_ns_scope and not m:
+            ns_scope.append(line)
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if m is not None:
+                    kind, name = m.group(1), m.group(2)
+                    default = "private" if kind == "class" else "public"
+                    stack.append(["class", name, default, depth])
+                    classes.setdefault(name, {})
+                    m = None
+                elif is_namespace:
+                    stack.append(["namespace", "", "", depth])
+                    is_namespace = False
+                else:
+                    stack.append(["other", "", "", depth])
+            elif ch == "}":
+                if stack and stack[-1][3] == depth:
+                    stack.pop()
+                depth -= 1
+    # Free-function declarations: namespace-scope statements ending in ';'
+    # (joined so multi-line declarations are seen whole).
+    for chunk in " ".join(ns_scope).split(";"):
+        if "(" not in chunk or chunk.lstrip().startswith("#"):
+            continue
+        fm = re.search(r"\b([A-Za-z_]\w*)\s*\(", chunk)
+        if fm and fm.group(1) not in CPP_KEYWORDS:
+            free.add(fm.group(1))
+    return classes, free
+
+
+DEF_START = re.compile(
+    r"^(?:template\s*<[^>]*>\s*)?"
+    r"(?:[A-Za-z_][\w:<>,&*\s]*?\s+)?"      # optional return type
+    r"(?:([A-Za-z_]\w*)::)?(~?[A-Za-z_]\w*)"  # optional Class:: + name
+    r"\s*\(")
+
+
+def iter_definitions(stripped: str):
+    """Yields (line_no, class_or_None, name, params, body) for namespace-scope
+    function definitions in a clang-formatted .cpp (definitions start at
+    column 0)."""
+    lines = stripped.split("\n")
+    i = 0
+    depth = 0
+    anon_ns_depth = []
+    while i < len(lines):
+        line = lines[i]
+        if re.match(r"^namespace\b[^{;]*\{", line):
+            if re.match(r"^namespace\s*\{", line):
+                anon_ns_depth.append(depth + 1)
+            depth += line.count("{") - line.count("}")
+            i += 1
+            continue
+        m = DEF_START.match(line) if not line.startswith((" ", "\t")) else None
+        interesting = (
+            m is not None
+            and m.group(2) not in CPP_KEYWORDS
+            and not anon_ns_depth
+            and "=" not in line[: m.end() - 1]
+        )
+        if not interesting:
+            depth += line.count("{") - line.count("}")
+            while anon_ns_depth and depth < anon_ns_depth[-1]:
+                anon_ns_depth.pop()
+            i += 1
+            continue
+        # Collect the parameter list (balance parens from the match).
+        start_line = i
+        buf = line[m.end() - 1:]
+        j = i
+        while buf.count("(") != buf.count(")") and j + 1 < len(lines):
+            j += 1
+            buf += "\n" + lines[j]
+        close = 0
+        bal = 0
+        for k, ch in enumerate(buf):
+            if ch == "(":
+                bal += 1
+            elif ch == ")":
+                bal -= 1
+                if bal == 0:
+                    close = k
+                    break
+        params = buf[1:close]
+        rest = buf[close + 1:]
+        # Find the body opener; a ';' first means pure declaration.
+        while "{" not in rest and ";" not in rest and j + 1 < len(lines):
+            j += 1
+            rest += "\n" + lines[j]
+        if ";" in rest.split("{", 1)[0]:
+            i = j + 1
+            continue
+        body = rest.split("{", 1)[1] if "{" in rest else ""
+        bal = 1
+        while bal != 0 and j + 1 < len(lines):
+            bal = 1 + body.count("{") - body.count("}")
+            if bal == 0:
+                break
+            j += 1
+            body += "\n" + lines[j]
+        # Trim anything past the closing brace of the body.
+        bal, end = 1, len(body)
+        for k, ch in enumerate(body):
+            if ch == "{":
+                bal += 1
+            elif ch == "}":
+                bal -= 1
+                if bal == 0:
+                    end = k
+                    break
+        body = body[:end]
+        yield (start_line + 1, m.group(1), m.group(2), params, body)
+        i = j + 1
+
+
+def has_waiver(raw_lines, line_no, token):
+    for ln in (line_no - 1, line_no):
+        if 1 <= ln <= len(raw_lines) and token in raw_lines[ln - 1]:
+            return True
+    return False
+
+
+def check_entry_points(path, text, classes, free_decls, findings):
+    raw_lines = text.split("\n")
+    stripped = strip_comments_and_strings(text)
+    for line_no, cls, name, params, body in iter_definitions(stripped):
+        p = params.strip()
+        if not p or p == "void":
+            continue
+        if not body.strip():
+            continue  # empty body: delegating/defaulted constructor
+        if cls is not None:
+            access = classes.get(cls, {}).get(name)
+            if access is not None and access != "public":
+                continue
+            if access is None and not name[0].isupper() and name != cls:
+                # Not declared in any parsed header: internal helper.
+                continue
+        else:
+            if name not in free_decls:
+                continue  # file-local free function
+        if CHECK_TOKENS.search(body):
+            continue
+        if has_waiver(raw_lines, line_no, WAIVER_NO_INPUT):
+            continue
+        target = f"{cls}::{name}" if cls else name
+        findings.append(Finding(
+            path, line_no, "entry-check",
+            f"public entry point '{target}' takes arguments but contains no "
+            f"APF_CHECK/APF_DEBUG_ASSERT; validate inputs or waive with "
+            f"'// {WAIVER_NO_INPUT}(<reason>)'"))
+
+
+# --------------------------------------------------------------------------
+# determinism / test-include / float-accumulator
+# --------------------------------------------------------------------------
+
+def check_determinism(path, text, findings):
+    if path.name.startswith("rng."):
+        return
+    stripped = strip_comments_and_strings(text)
+    for line_no, line in enumerate(stripped.split("\n"), 1):
+        for pattern, label in DETERMINISM_PATTERNS:
+            if pattern.search(line):
+                findings.append(Finding(
+                    path, line_no, "determinism",
+                    f"'{label}' breaks bit-reproducibility; route all "
+                    f"randomness through apf::Rng (src/util/rng.h)"))
+
+
+def check_test_includes(path, text, findings):
+    for line_no, line in enumerate(text.split("\n"), 1):
+        if TEST_INCLUDE.search(line):
+            findings.append(Finding(
+                path, line_no, "test-include",
+                "library sources must not include test headers"))
+
+
+def check_float_accumulators(path, text, findings):
+    raw_lines = text.split("\n")
+    stripped = strip_comments_and_strings(text).split("\n")
+    for idx, line in enumerate(stripped):
+        m = FLOAT_ACCUM_DECL.search(line)
+        if not m:
+            continue
+        name = m.group(1)
+        accum = re.compile(rf"\b{re.escape(name)}\s*\+=")
+        # Scan until the block containing the declaration closes.
+        depth = 0
+        for j in range(idx + 1, len(stripped)):
+            depth += stripped[j].count("{") - stripped[j].count("}")
+            if depth < 0:
+                break
+            if accum.search(stripped[j]):
+                if not has_waiver(raw_lines, idx + 1, WAIVER_FLOAT):
+                    findings.append(Finding(
+                        path, idx + 1, "float-accumulator",
+                        f"'float {name} = 0' is accumulated with '+=' at line "
+                        f"{j + 1}; reductions must accumulate in double "
+                        f"(cast once at the end)"))
+                break
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to these files (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root).resolve() if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if args.paths:
+        files = [pathlib.Path(p).resolve() for p in args.paths]
+    else:
+        files = sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp"))
+
+    # Public-API maps for the entry-check rule.
+    classes: dict[str, dict[str, str]] = {}
+    free_decls: set[str] = set()
+    for sub in ("core", "fl"):
+        for header in sorted((src / sub).glob("*.h")):
+            cls, free = parse_header(header.read_text())
+            for name, methods in cls.items():
+                classes.setdefault(name, {}).update(methods)
+            free_decls |= free
+
+    findings: list[Finding] = []
+    for path in files:
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            continue
+        rel = path.relative_to(root) if path.is_relative_to(root) else path
+        check_determinism(rel if isinstance(rel, pathlib.Path) else path,
+                          text, findings)
+        check_test_includes(rel, text, findings)
+        check_float_accumulators(rel, text, findings)
+        if path.suffix == ".cpp" and path.parent.name in ("core", "fl") \
+                and path.parent.parent == src:
+            check_entry_points(rel, text, classes, free_decls, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_apf: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_apf: {len(files)} file(s) clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

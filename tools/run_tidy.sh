@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources (src/**/*.cpp) using the repo
+# .clang-tidy configuration and a compile_commands.json database.
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir]
+#
+# With no argument, configures a dedicated build tree at build-tidy/ with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON. Exits 0 with a notice when clang-tidy is
+# not installed (e.g. minimal containers); CI installs it explicitly.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "run_tidy.sh: ${tidy_bin} not found on PATH; skipping (install clang-tidy to run)." >&2
+  exit 0
+fi
+
+build_dir="${1:-build-tidy}"
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_tidy.sh: configuring ${build_dir} for compile_commands.json" >&2
+  cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "run_tidy.sh: checking ${#sources[@]} sources with $(${tidy_bin} --version | head -n1)" >&2
+
+status=0
+for src in "${sources[@]}"; do
+  if ! "${tidy_bin}" -p "${build_dir}" --quiet "${src}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_tidy.sh: clang-tidy reported violations" >&2
+fi
+exit ${status}
