@@ -4,42 +4,71 @@
 #include <numeric>
 
 #include "nn/loss.h"
+#include "tensor/ops.h"
 #include "util/error.h"
 
 namespace apf::fl {
 
 namespace {
+/// Evaluation order is the identity permutation chopped into consecutive
+/// batches; batch b covers indices [b * batch_size, ...).
+std::size_t num_batches(const data::Dataset& dataset, std::size_t batch_size) {
+  return (dataset.size() + batch_size - 1) / batch_size;
+}
+
+data::Batch nth_batch(const data::Dataset& dataset, std::size_t batch_size,
+                      std::size_t b) {
+  const std::size_t start = b * batch_size;
+  const std::size_t end = std::min(start + batch_size, dataset.size());
+  std::vector<std::size_t> idx(end - start);
+  std::iota(idx.begin(), idx.end(), start);
+  return dataset.get_batch(idx);
+}
+
+/// Exact argmax-match count for one forward pass (integer, no float
+/// round-trip through an accuracy fraction).
+std::size_t batch_correct(const Tensor& logits,
+                          const std::vector<std::size_t>& labels) {
+  const auto preds = argmax_rows(logits);
+  APF_CHECK(preds.size() == labels.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return correct;
+}
+
 template <typename Fn>
 void for_each_batch(const data::Dataset& dataset, std::size_t batch_size,
                     Fn&& fn) {
   APF_CHECK(batch_size > 0);
-  std::vector<std::size_t> idx(dataset.size());
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  for (std::size_t start = 0; start < idx.size(); start += batch_size) {
-    const std::size_t end = std::min(start + batch_size, idx.size());
-    const std::span<const std::size_t> slice(idx.data() + start, end - start);
-    fn(dataset.get_batch(slice));
+  const std::size_t batches = num_batches(dataset, batch_size);
+  for (std::size_t b = 0; b < batches; ++b) {
+    fn(nth_batch(dataset, batch_size, b));
   }
 }
 }  // namespace
 
-double evaluate_accuracy(nn::Module& module, const data::Dataset& dataset,
-                         std::size_t batch_size) {
+std::size_t count_correct(nn::Module& module, const data::Dataset& dataset,
+                          std::size_t batch_size) {
   APF_CHECK(batch_size > 0);
   const bool was_training = module.training();
   module.set_training(false);
   std::size_t correct = 0;
   for_each_batch(dataset, batch_size, [&](const data::Batch& batch) {
     const Tensor logits = module.forward(batch.inputs);
-    correct += static_cast<std::size_t>(
-        nn::accuracy(logits, batch.labels) *
-            static_cast<double>(batch.size()) +
-        0.5);
+    correct += batch_correct(logits, batch.labels);
   });
   module.set_training(was_training);
+  return correct;
+}
+
+double evaluate_accuracy(nn::Module& module, const data::Dataset& dataset,
+                         std::size_t batch_size) {
+  APF_CHECK(batch_size > 0);
   return dataset.size() == 0
              ? 0.0
-             : static_cast<double>(correct) /
+             : static_cast<double>(count_correct(module, dataset, batch_size)) /
                    static_cast<double>(dataset.size());
 }
 
@@ -59,6 +88,43 @@ double evaluate_loss(nn::Module& module, const data::Dataset& dataset,
   return dataset.size() == 0
              ? 0.0
              : total / static_cast<double>(dataset.size());
+}
+
+EvalSums evaluate_sums_parallel(std::span<nn::Module* const> replicas,
+                                const data::Dataset& dataset,
+                                std::size_t batch_size,
+                                util::ThreadPool& pool) {
+  APF_CHECK(batch_size > 0 && !replicas.empty());
+  for (nn::Module* replica : replicas) APF_CHECK(replica != nullptr);
+  EvalSums sums;
+  if (dataset.size() == 0) return sums;
+  const std::size_t batches = num_batches(dataset, batch_size);
+  // Replica r walks batches r, r + R, ...; per-batch results land in
+  // batch-indexed slots and are folded in batch order below, so the sums are
+  // bit-identical for any replica count (replicas hold identical state).
+  const std::size_t lanes = std::min(replicas.size(), batches);
+  std::vector<EvalSums> per_batch(batches);
+  pool.parallel_for(lanes, [&](std::size_t r) {
+    nn::Module& module = *replicas[r];
+    const bool was_training = module.training();
+    module.set_training(false);
+    for (std::size_t b = r; b < batches; b += lanes) {
+      const data::Batch batch = nth_batch(dataset, batch_size, b);
+      const Tensor logits = module.forward(batch.inputs);
+      const auto result = nn::softmax_cross_entropy(logits, batch.labels);
+      per_batch[b].correct = batch_correct(logits, batch.labels);
+      per_batch[b].loss_sum = static_cast<double>(result.loss) *
+                              static_cast<double>(batch.size());
+      per_batch[b].total = batch.size();
+    }
+    module.set_training(was_training);
+  });
+  for (const EvalSums& b : per_batch) {
+    sums.correct += b.correct;
+    sums.loss_sum += b.loss_sum;
+    sums.total += b.total;
+  }
+  return sums;
 }
 
 }  // namespace apf::fl

@@ -1,19 +1,49 @@
 // Model evaluation helpers.
 #pragma once
 
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "data/dataset.h"
 #include "nn/module.h"
+#include "util/thread_pool.h"
 
 namespace apf::fl {
 
+/// Exact number of rows whose argmax prediction equals the label, summed as
+/// integers over the whole dataset (no float round-trip).
+std::size_t count_correct(nn::Module& module, const data::Dataset& dataset,
+                          std::size_t batch_size = 128);
+
 /// Test accuracy of `module` over the whole dataset, evaluated in eval mode
 /// (BatchNorm running stats) with mini-batches of `batch_size`. Restores the
-/// module's previous train/eval mode before returning.
+/// module's previous train/eval mode before returning. Implemented as
+/// count_correct / dataset.size(), so the result is exact.
 double evaluate_accuracy(nn::Module& module, const data::Dataset& dataset,
                          std::size_t batch_size = 128);
 
 /// Mean cross-entropy loss over the dataset (eval mode).
 double evaluate_loss(nn::Module& module, const data::Dataset& dataset,
                      std::size_t batch_size = 128);
+
+/// Correct-count and loss sums accumulated over the dataset in one pass.
+struct EvalSums {
+  std::size_t correct = 0;   // exact argmax matches
+  double loss_sum = 0.0;     // sum over samples of per-sample mean-batch loss
+  std::size_t total = 0;     // samples seen
+};
+
+/// Parallel single-pass evaluation over `replicas`, which must be
+/// bit-identical copies of the model (same params and buffers); replica r
+/// processes batches r, r + R, r + 2R, ... so no module is shared between
+/// lanes. Per-batch results are recombined in batch-index order — correct
+/// counts are integers and the loss reduction is ordered — so the result is
+/// bit-identical for any replica count, including 1.
+EvalSums evaluate_sums_parallel(std::span<nn::Module* const> replicas,
+                                const data::Dataset& dataset,
+                                std::size_t batch_size,
+                                util::ThreadPool& pool);
 
 }  // namespace apf::fl

@@ -1,9 +1,7 @@
 #include "fl/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "data/loader.h"
 #include "fl/evaluate.h"
@@ -15,6 +13,7 @@
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace apf::fl {
 
@@ -92,8 +91,24 @@ SimulationResult FederatedRunner::run() {
                frac * static_cast<double>(config_.local_iters))));
   }
 
-  // Evaluation model (receives global params before each eval).
-  std::unique_ptr<nn::Module> eval_model = model_factory_();
+  // One persistent pool serves the whole simulation: client training fans
+  // out over it every round, and evaluation reuses it with model replicas.
+  util::ThreadPool pool(config_.worker_threads);
+
+  // Evaluation replicas (each receives the global params before each eval);
+  // one per pool lane, capped by the number of evaluation batches so small
+  // test sets don't pay for idle copies.
+  const std::size_t eval_batch_size = 128;
+  const std::size_t eval_batches =
+      (test_.size() + eval_batch_size - 1) / eval_batch_size;
+  const std::size_t eval_replica_count =
+      std::max<std::size_t>(1, std::min(pool.lanes(), eval_batches));
+  std::vector<std::unique_ptr<nn::Module>> eval_models;
+  std::vector<std::unique_ptr<FlatParamView>> eval_views;
+  for (std::size_t r = 0; r < eval_replica_count; ++r) {
+    eval_models.push_back(model_factory_());
+    eval_views.push_back(std::make_unique<FlatParamView>(*eval_models[r]));
+  }
 
   const std::size_t dim = clients[0].view->dim();
   std::vector<float> init_params;
@@ -157,10 +172,15 @@ SimulationResult FederatedRunner::run() {
     const Bitmap* mask = strategy_.frozen_mask();
 
     // Local training. Clients are independent between synchronizations, so
-    // they can be trained on worker threads with bit-identical results.
+    // they can be trained on pool lanes with bit-identical results. Losses
+    // accumulate into per-CLIENT slots (never per-lane: which lane trains
+    // which client varies run to run) and are summed in client index order
+    // below, so train_loss is bit-identical for any worker count.
     double loss_sum = 0.0;
     std::size_t loss_count = 0;
     double max_compute_seconds = 0.0;
+    std::vector<double> client_loss(n, 0.0);
+    std::vector<std::size_t> client_iters(n, 0);
     auto train_client = [&](std::size_t i, double& local_loss_sum,
                             std::size_t& local_loss_count) {
       Client& client = clients[i];
@@ -192,33 +212,14 @@ SimulationResult FederatedRunner::run() {
     for (std::size_t i = 0; i < n; ++i) {
       if (participates[i]) active.push_back(i);
     }
-    std::size_t threads = config_.worker_threads == 0
-                              ? std::max(1u, std::thread::hardware_concurrency())
-                              : config_.worker_threads;
-    threads = std::min(threads, active.size());
-    if (threads <= 1) {
-      for (std::size_t i : active) train_client(i, loss_sum, loss_count);
-    } else {
-      std::vector<double> partial_loss(threads, 0.0);
-      std::vector<std::size_t> partial_count(threads, 0);
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      std::atomic<std::size_t> next{0};
-      for (std::size_t t = 0; t < threads; ++t) {
-        pool.emplace_back([&, t] {
-          for (;;) {
-            const std::size_t slot =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (slot >= active.size()) break;
-            train_client(active[slot], partial_loss[t], partial_count[t]);
-          }
-        });
-      }
-      for (auto& th : pool) th.join();
-      for (std::size_t t = 0; t < threads; ++t) {
-        loss_sum += partial_loss[t];
-        loss_count += partial_count[t];
-      }
+    pool.parallel_for(active.size(), [&](std::size_t slot) {
+      const std::size_t i = active[slot];
+      train_client(i, client_loss[i], client_iters[i]);
+    });
+    // Ordered reduction: client index order, independent of lane count.
+    for (std::size_t i : active) {
+      loss_sum += client_loss[i];
+      loss_count += client_iters[i];
     }
     for (std::size_t i : active) {
       max_compute_seconds =
@@ -275,21 +276,26 @@ SimulationResult FederatedRunner::run() {
 
     // Byte and time accounting: BSP barrier = slowest participant, and the
     // server link carries everyone's traffic.
-    double mean_bytes = 0.0;
     double max_client_comm_seconds = 0.0;
     double total_bytes_all_clients = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       if (!participates[i]) continue;
       const double up = sync.bytes_up[i] + buffer_bytes;
       const double down = sync.bytes_down[i] + buffer_bytes;
-      mean_bytes += up + down;
       total_bytes_all_clients += up + down;
       max_client_comm_seconds =
           std::max(max_client_comm_seconds,
                    config_.network.client_upload_seconds(up) +
                        config_.network.client_download_seconds(down));
     }
-    mean_bytes /= static_cast<double>(n);
+    // bytes_per_client amortizes the round's traffic over ALL n clients
+    // (non-participants contribute zero traffic but stay in the
+    // denominator); bytes_per_participant divides by participants only. See
+    // the RoundRecord field docs in runner.h.
+    const double mean_bytes =
+        total_bytes_all_clients / static_cast<double>(n);
+    const double participant_bytes =
+        total_bytes_all_clients / static_cast<double>(active.size());
     const double comm_seconds =
         std::max(max_client_comm_seconds,
                  config_.network.server_seconds(total_bytes_all_clients));
@@ -305,17 +311,31 @@ SimulationResult FederatedRunner::run() {
         loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
     record.bytes_per_client = mean_bytes;
     record.cumulative_bytes_per_client = cum_bytes;
+    record.participants = active.size();
+    record.bytes_per_participant = participant_bytes;
     record.frozen_fraction = sync.frozen_fraction;
     record.round_seconds = round_seconds;
     record.cumulative_seconds = cum_seconds;
     if (round % config_.eval_every == 0 || round == config_.rounds) {
-      // Evaluate the server-side global model.
-      FlatParamView eval_view(*eval_model);
-      eval_view.scatter(strategy_.global_params());
-      if (buffer_dim > 0) {
-        nn::load_buffers(*eval_model, global_buffers);
+      // Evaluate the server-side global model on the pool: every replica
+      // receives the identical global state, batches are interleaved across
+      // replicas, and counts recombine in batch order, so the accuracy is
+      // bit-identical for any worker count.
+      std::vector<nn::Module*> replicas;
+      replicas.reserve(eval_models.size());
+      for (std::size_t r = 0; r < eval_models.size(); ++r) {
+        eval_views[r]->scatter(strategy_.global_params());
+        if (buffer_dim > 0) {
+          nn::load_buffers(*eval_models[r], global_buffers);
+        }
+        replicas.push_back(eval_models[r].get());
       }
-      record.test_accuracy = evaluate_accuracy(*eval_model, test_);
+      const EvalSums eval =
+          evaluate_sums_parallel(replicas, test_, eval_batch_size, pool);
+      record.test_accuracy =
+          eval.total == 0 ? 0.0
+                          : static_cast<double>(eval.correct) /
+                                static_cast<double>(eval.total);
       result.best_accuracy =
           std::max(result.best_accuracy, record.test_accuracy);
       result.final_accuracy = record.test_accuracy;

@@ -62,9 +62,12 @@ struct FlConfig {
   /// 0 disables clipping.
   double grad_clip_norm = 0.0;
 
-  /// Threads used to train clients in parallel within a round. Clients are
-  /// fully independent between synchronizations, so results are
-  /// bit-identical for any thread count. 0 = one thread per hardware core.
+  /// Execution lanes used to train clients in parallel within a round (one
+  /// persistent util::ThreadPool serves the whole simulation). Clients are
+  /// fully independent between synchronizations and every cross-client
+  /// reduction is combined in client index order, so the full
+  /// SimulationResult is bit-identical for any lane count. 0 = one lane per
+  /// hardware core.
   std::size_t worker_threads = 1;
 };
 
@@ -73,8 +76,22 @@ struct RoundRecord {
   std::size_t round = 0;
   double test_accuracy = -1.0;  // -1 when not evaluated this round
   double train_loss = 0.0;      // mean local loss across clients
-  double bytes_per_client = 0.0;       // this round, up + down, mean
+
+  /// Traffic this round (up + down) amortized over ALL `num_clients`
+  /// clients, participants or not. Under partial participation this is the
+  /// paper's per-device budget view: a device that sat the round out still
+  /// "spends" its share of zero, pulling the mean down. Use
+  /// `bytes_per_participant` for the mean over the clients that actually
+  /// communicated this round.
+  double bytes_per_client = 0.0;
   double cumulative_bytes_per_client = 0.0;
+
+  /// Number of clients that trained and communicated this round.
+  std::size_t participants = 0;
+  /// Traffic this round (up + down) averaged over participants only. Equal
+  /// to bytes_per_client when participation_fraction == 1.
+  double bytes_per_participant = 0.0;
+
   double frozen_fraction = 0.0;
   double round_seconds = 0.0;  // simulated BSP barrier time
   double cumulative_seconds = 0.0;

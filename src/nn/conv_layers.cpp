@@ -5,8 +5,22 @@
 
 #include "tensor/ops.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace apf::nn {
+
+namespace {
+// Batch samples fan out to the compute pool when the per-batch arithmetic is
+// heavy enough; per-sample work (im2col + matmul + bias) is identical to the
+// serial path, so the fan-out never changes results.
+constexpr std::size_t kConvParallelFlopThreshold = std::size_t{1} << 18;
+
+bool use_pool_for_batch(std::size_t samples, std::size_t flops_total) {
+  if (samples < 2 || flops_total < kConvParallelFlopThreshold) return false;
+  if (util::ThreadPool::in_worker()) return false;
+  return util::compute_pool().lanes() > 1;
+}
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, Rng& rng, std::size_t stride,
@@ -41,12 +55,14 @@ Tensor Conv2d::forward(const Tensor& input) {
   APF_CHECK(geom_.in_h + 2 * pad_ >= kernel_ && geom_.in_w + 2 * pad_ >= kernel_);
   const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
   input_ = input;
-  cols_.clear();
-  cols_.reserve(n);
+  cols_.assign(n, Tensor());
   Tensor out({n, out_channels_, oh, ow});
   const std::size_t image_elems = in_channels_ * geom_.in_h * geom_.in_w;
   const std::size_t out_elems = out_channels_ * oh * ow;
-  for (std::size_t s = 0; s < n; ++s) {
+  const std::size_t fan_in = in_channels_ * kernel_ * kernel_;
+  // Each sample writes only its own output slice and cols_ entry, so the
+  // batch loop fans out to the pool without synchronization.
+  auto forward_sample = [&](std::size_t s) {
     Tensor cols = im2col(input.raw() + s * image_elems, geom_);
     Tensor y = matmul(weight_.value, cols);  // (out_c, oh*ow)
     if (has_bias_) {
@@ -57,7 +73,12 @@ Tensor Conv2d::forward(const Tensor& input) {
       }
     }
     std::copy(y.raw(), y.raw() + out_elems, out.raw() + s * out_elems);
-    cols_.push_back(std::move(cols));
+    cols_[s] = std::move(cols);
+  };
+  if (use_pool_for_batch(n, 2 * n * out_channels_ * fan_in * oh * ow)) {
+    util::compute_pool().parallel_for(n, forward_sample);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) forward_sample(s);
   }
   return out;
 }
@@ -71,23 +92,52 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   Tensor grad_input(input_.shape());
   const std::size_t image_elems = in_channels_ * geom_.in_h * geom_.in_w;
   const std::size_t out_elems = out_channels_ * oh * ow;
-  for (std::size_t s = 0; s < n; ++s) {
+  const std::size_t fan_in = in_channels_ * kernel_ * kernel_;
+  // Per-sample weight/bias contributions; grad_input slices are disjoint.
+  auto sample_grads = [&](std::size_t s, Tensor& dw, Tensor& db) {
     Tensor gy({out_channels_, oh * ow},
               std::vector<float>(grad_output.raw() + s * out_elems,
                                  grad_output.raw() + (s + 1) * out_elems));
-    // dW += gy * cols^T
-    weight_.grad += matmul_nt(gy, cols_[s]);
+    dw = matmul_nt(gy, cols_[s]);  // dW contribution: gy * cols^T
     if (has_bias_) {
+      db = Tensor({out_channels_});
       for (std::size_t c = 0; c < out_channels_; ++c) {
         const float* row = gy.raw() + c * oh * ow;
         double acc = 0.0;
         for (std::size_t i = 0; i < oh * ow; ++i) acc += row[i];
-        bias_.grad[c] += static_cast<float>(acc);
+        db[c] = static_cast<float>(acc);
       }
     }
     // grad_cols = W^T * gy; scatter back through col2im.
     Tensor grad_cols = matmul_tn(weight_.value, gy);
     col2im(grad_cols, geom_, grad_input.raw() + s * image_elems);
+  };
+  if (use_pool_for_batch(n, 4 * n * out_channels_ * fan_in * oh * ow)) {
+    // Materialize per-sample partials in parallel, then fold them into the
+    // shared gradients in sample order — the same float additions, in the
+    // same order, as the serial loop below, for any lane count.
+    std::vector<Tensor> dws(n), dbs(n);
+    util::compute_pool().parallel_for(
+        n, [&](std::size_t s) { sample_grads(s, dws[s], dbs[s]); });
+    for (std::size_t s = 0; s < n; ++s) {
+      weight_.grad += dws[s];
+      if (has_bias_) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          bias_.grad[c] += dbs[s][c];
+        }
+      }
+    }
+  } else {
+    Tensor dw, db;
+    for (std::size_t s = 0; s < n; ++s) {
+      sample_grads(s, dw, db);
+      weight_.grad += dw;
+      if (has_bias_) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          bias_.grad[c] += db[c];
+        }
+      }
+    }
   }
   return grad_input;
 }

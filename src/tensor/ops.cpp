@@ -4,8 +4,24 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace apf {
+
+namespace {
+// Kernels fan rows out to the compute pool only when the arithmetic is heavy
+// enough to amortize dispatch. Below the threshold (or inside an enclosing
+// pool task, where parallel_for runs inline anyway) they stay serial.
+// Parallel and serial paths perform bit-identical arithmetic per output
+// element, so this decision never changes results.
+constexpr std::size_t kParallelFlopThreshold = std::size_t{1} << 18;
+
+bool use_pool(std::size_t flops) {
+  if (flops < kParallelFlopThreshold) return false;
+  if (util::ThreadPool::in_worker()) return false;
+  return util::compute_pool().lanes() > 1;
+}
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   APF_CHECK(a.rank() == 2 && b.rank() == 2);
@@ -15,7 +31,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
-  for (std::size_t i = 0; i < m; ++i) {
+  // Each output row is produced start-to-finish by one thread, so the
+  // per-element accumulation order is the serial order for any lane count.
+  auto compute_row = [&](std::size_t i) {
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float aval = pa[i * k + kk];
       if (aval == 0.f) continue;
@@ -23,6 +41,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       float* crow = pc + i * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
     }
+  };
+  if (use_pool(2 * m * k * n)) {
+    util::compute_pool().parallel_for(m, compute_row);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) compute_row(i);
   }
   return c;
 }
@@ -36,6 +59,22 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
+  if (use_pool(2 * m * k * n)) {
+    // Output rows (one per kk) are independent; within a row the reduction
+    // over i runs ascending, matching the serial kernel's per-element
+    // addition order exactly (the i-outer serial loop also touches each
+    // (kk, j) element for i = 0, 1, ... with the same zero-skip).
+    util::compute_pool().parallel_for(k, [&](std::size_t kk) {
+      float* crow = pc + kk * n;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float aval = pa[i * k + kk];
+        if (aval == 0.f) continue;
+        const float* brow = pb + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
+    });
+    return c;
+  }
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = pa + i * k;
     const float* brow = pb + i * n;
@@ -58,7 +97,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
-  for (std::size_t i = 0; i < m; ++i) {
+  auto compute_row = [&](std::size_t i) {
     const float* arow = pa + i * k;
     for (std::size_t j = 0; j < r; ++j) {
       const float* brow = pb + j * k;
@@ -67,6 +106,11 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
         acc += static_cast<double>(arow[kk]) * brow[kk];
       pc[i * r + j] = static_cast<float>(acc);
     }
+  };
+  if (use_pool(2 * m * k * r)) {
+    util::compute_pool().parallel_for(m, compute_row);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) compute_row(i);
   }
   return c;
 }

@@ -1,11 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace apf {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Serializes emission so concurrent worker-thread messages never interleave.
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +23,14 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
   std::cerr << '[' << level_name(level) << "] " << msg << '\n';
 }
 }  // namespace detail

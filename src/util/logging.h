@@ -1,8 +1,9 @@
 // Minimal leveled logger writing to stderr.
 //
 // The FL simulator logs per-round progress at Info level; tests silence the
-// logger by raising the threshold. Not thread-safe by design — the simulator
-// is single-threaded and deterministic.
+// logger by raising the threshold. Thread-safe: worker threads (pool tasks,
+// APF_WARN from tripwires) may emit concurrently — messages are serialized
+// by a mutex so lines never interleave, and the level is atomic.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,140 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace apf::util {
+
+namespace {
+// Set while a thread executes chunks of any pool's job; nested parallel
+// regions check it and run inline instead of re-entering a pool.
+thread_local bool t_in_worker = false;
+
+struct InWorkerScope {
+  bool previous = t_in_worker;
+  InWorkerScope() { t_in_worker = true; }
+  ~InWorkerScope() { t_in_worker = previous; }
+  InWorkerScope(const InWorkerScope&) = delete;
+  InWorkerScope& operator=(const InWorkerScope&) = delete;
+};
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+ThreadPool::ThreadPool(std::size_t lanes) {
+  if (lanes == 0) {
+    lanes = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(lanes - 1);
+  for (std::size_t t = 0; t + 1 < lanes; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_seq_ != seen_seq);
+      });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;
+      ++job->active;
+    }
+    run_chunks(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->active;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  InWorkerScope scope;
+  for (;;) {
+    const std::size_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    const std::size_t end = std::min(begin + job.chunk, job.n);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.done.fetch_add(end - begin, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Inline when there is nothing to fan out to, or when already inside a
+  // pool task (nested regions must not wait on workers that may themselves
+  // be blocked in an enclosing region).
+  if (workers_.empty() || n == 1 || t_in_worker) {
+    InWorkerScope scope;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One parallel region at a time; concurrent submitters queue up here.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.chunk = std::max<std::size_t>(1, n / (lanes() * 4));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++job_seq_;
+    ++job.active;  // the caller participates as a lane
+  }
+  wake_cv_.notify_all();
+  run_chunks(job);
+  std::unique_lock<std::mutex> lock(mutex_);
+  --job.active;
+  // `job` lives on this stack frame: wait until no worker still holds a
+  // reference (active == 0) besides finishing the index space.
+  done_cv_.wait(lock, [&] {
+    return job.done.load(std::memory_order_acquire) >= job.n &&
+           job.active == 0;
+  });
+  job_ = nullptr;
+  lock.unlock();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+namespace {
+std::atomic<ThreadPool*> g_compute_pool{nullptr};
+}  // namespace
+
+ThreadPool& compute_pool() {
+  ThreadPool* pool = g_compute_pool.load(std::memory_order_acquire);
+  return pool != nullptr ? *pool : ThreadPool::global();
+}
+
+void set_compute_pool(ThreadPool* pool) {
+  g_compute_pool.store(pool, std::memory_order_release);
+}
+
+}  // namespace apf::util

@@ -1,0 +1,113 @@
+// Shared deterministic thread-pool runtime.
+//
+// The simulator's contract is that results are bit-identical for any worker
+// count, so every parallel construct in the repo is built from two
+// order-preserving primitives provided here:
+//
+//  - parallel_for(n, fn): runs fn(i) for i in [0, n) on the pool. Each index
+//    is executed exactly once by exactly one thread; work is handed out in
+//    dynamically sized chunks, so *which* thread runs an index varies between
+//    runs — any state fn touches must be per-index.
+//  - ordered_reduce(n, init, produce, combine): materializes per-index
+//    partials with parallel_for and then combines them serially in index
+//    order 0..n-1. Floating-point summation order is therefore a function of
+//    n alone, never of the worker count or scheduling — this is what makes
+//    reductions bit-identical for any thread count.
+//
+// One pool instance owns `lanes - 1` persistent worker threads; the caller of
+// parallel_for is the extra lane. Nested parallel_for calls (a task that
+// itself reaches a parallel region, e.g. a runner worker training a client
+// whose matmuls are pool-aware) execute inline on the calling thread, so the
+// pool never deadlocks and never oversubscribes the machine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace apf::util {
+
+class ThreadPool {
+ public:
+  /// `lanes` = total concurrent execution lanes (worker threads + the
+  /// calling thread). 0 picks one lane per hardware core. A pool with one
+  /// lane spawns no threads and runs everything inline.
+  explicit ThreadPool(std::size_t lanes = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + caller).
+  std::size_t lanes() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n); blocks until all complete. The first
+  /// exception thrown by fn is rethrown on the caller after all indices
+  /// finish. Calls from inside a pool task run inline (see header comment).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is executing a ThreadPool task (any pool).
+  static bool in_worker();
+
+  /// Deterministic reduction: partials[i] = produce(i) in parallel, then
+  /// acc = combine(acc, partials[i]) serially for i = 0..n-1. The combine
+  /// order is independent of the worker count, so floating-point results are
+  /// bit-identical for any pool size.
+  template <typename T, typename Produce, typename Combine>
+  T ordered_reduce(std::size_t n, T init, Produce&& produce,
+                   Combine&& combine) {
+    std::vector<T> partials(n);
+    parallel_for(n, [&](std::size_t i) { partials[i] = produce(i); });
+    T acc = std::move(init);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = combine(std::move(acc), std::move(partials[i]));
+    }
+    return acc;
+  }
+
+  /// Process-wide pool shared by the tensor/evaluation hot paths, sized to
+  /// the hardware (lazily constructed). See compute_pool() below.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    int active = 0;                   // lanes inside run_chunks; guarded by mutex_
+    std::exception_ptr error;         // first failure; guarded by mutex_
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  // workers wait here for a job
+  std::condition_variable done_cv_;  // the submitter waits here
+  std::mutex submit_mutex_;          // serializes concurrent parallel_for calls
+  Job* job_ = nullptr;               // guarded by mutex_
+  std::uint64_t job_seq_ = 0;        // guarded by mutex_
+  bool stop_ = false;                // guarded by mutex_
+};
+
+/// Pool used by the library's internal hot paths (tensor kernels, parallel
+/// evaluation) when the caller does not pass one explicitly. Defaults to
+/// ThreadPool::global(); benchmarks and tests may substitute their own pool
+/// to control the lane count. Not synchronized — swap only while no kernels
+/// are running.
+ThreadPool& compute_pool();
+
+/// Replaces the compute pool (nullptr restores the process-wide default).
+/// The caller keeps ownership of `pool`, which must outlive the replacement.
+void set_compute_pool(ThreadPool* pool);
+
+}  // namespace apf::util
