@@ -1,0 +1,247 @@
+// fuzz_apf — deterministic fuzz harness for every binary decode path.
+//
+//   fuzz_apf --target masked --seed 7 --iters 20000
+//   fuzz_apf --target all --seed 1 --iters 5000
+//   fuzz_apf --replay fuzz/corpus            # replay the checked-in corpus
+//   fuzz_apf --replay crash.bin --target qsgd
+//   fuzz_apf --emit-corpus fuzz/corpus       # regenerate seed corpus files
+//   fuzz_apf --list
+//
+// Runs are pure functions of (target, seed, iters): the summary line
+// (accepted/rejected counts + digest) is byte-for-byte reproducible. On a
+// finding, the offending buffer is written to fuzz_crash_<target>.bin and
+// the process exits 2; `--dump-last FILE` additionally persists every
+// candidate buffer before execution so even a sanitizer abort (which cannot
+// be caught) leaves the crasher on disk.
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzz/targets.h"
+#include "util/error.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using apf::fuzz::FuzzOptions;
+using apf::fuzz::FuzzSummary;
+using apf::fuzz::FuzzTarget;
+using apf::fuzz::ReplayOutcome;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --list                 list targets\n"
+      << "  --target NAME|all      target to fuzz (required for fuzzing)\n"
+      << "  --seed N               rng seed (default 1)\n"
+      << "  --iters N              iterations per target (default 10000)\n"
+      << "  --max-len N            max candidate buffer size (default 4096)\n"
+      << "  --dump-last FILE       persist each candidate before executing\n"
+      << "  --replay PATH          replay a corpus file/directory instead of\n"
+      << "                         fuzzing (dirs: subdirectory name selects\n"
+      << "                         the target; files need --target)\n"
+      << "  --emit-corpus DIR      write deterministic seed corpus files\n";
+  return 1;
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw apf::Error("cannot read " + path.string());
+  std::vector<char> data((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  return {data.begin(), data.end()};
+}
+
+void write_file(const fs::path& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os.good()) throw apf::Error("cannot write " + path.string());
+}
+
+/// Replays one file; returns false on a finding (non-apf::Error escape).
+bool replay_file(const FuzzTarget& target, const fs::path& path) {
+  const auto bytes = read_file(path);
+  try {
+    const ReplayOutcome outcome = apf::fuzz::replay_buffer(target, bytes);
+    std::cout << "replay " << path.string() << " target=" << target.name
+              << " outcome="
+              << (outcome == ReplayOutcome::kAccepted ? "accepted"
+                                                      : "rejected")
+              << "\n";
+    return true;
+  } catch (const std::exception& e) {
+    std::cerr << "FINDING: replay " << path.string() << " target="
+              << target.name << " escaped with: " << e.what() << "\n";
+    return false;
+  }
+}
+
+int replay_path(const std::string& path_arg, const std::string& target_arg) {
+  const fs::path path(path_arg);
+  if (!fs::exists(path)) {
+    std::cerr << "fuzz_apf: no such path: " << path_arg << "\n";
+    return 1;
+  }
+  std::size_t files = 0;
+  bool clean = true;
+  if (fs::is_directory(path)) {
+    // corpus/<target>/<case>.bin — the subdirectory names the target.
+    std::vector<fs::path> entries;
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".bin") {
+        entries.push_back(entry.path());
+      }
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& file : entries) {
+      const std::string dir_name = file.parent_path().filename().string();
+      const FuzzTarget* target = apf::fuzz::find_target(dir_name);
+      if (target == nullptr && !target_arg.empty()) {
+        target = apf::fuzz::find_target(target_arg);
+      }
+      if (target == nullptr) {
+        std::cerr << "fuzz_apf: cannot infer target for " << file.string()
+                  << " (directory '" << dir_name << "')\n";
+        return 1;
+      }
+      ++files;
+      clean = replay_file(*target, file) && clean;
+    }
+  } else {
+    const FuzzTarget* target = apf::fuzz::find_target(target_arg);
+    if (target == nullptr) {
+      std::cerr << "fuzz_apf: replaying a single file needs --target\n";
+      return 1;
+    }
+    ++files;
+    clean = replay_file(*target, path);
+  }
+  std::cout << "fuzz_apf: replayed " << files << " corpus file(s): "
+            << (clean ? "clean" : "FINDINGS") << "\n";
+  return clean ? 0 : 2;
+}
+
+int emit_corpus(const std::string& dir_arg) {
+  // Three deterministic valid encodings per target. Regression entries for
+  // specific fixed bugs are separate checked-in files (see corpus/README).
+  for (const auto& target : apf::fuzz::all_targets()) {
+    const fs::path dir = fs::path(dir_arg) / target.name;
+    fs::create_directories(dir);
+    apf::Rng rng(0x5EEDC0DEULL);
+    for (int i = 0; i < 3; ++i) {
+      const auto bytes = target.generate(rng);
+      write_file(dir / ("valid-" + std::to_string(i) + ".bin"), bytes);
+    }
+  }
+  std::cout << "fuzz_apf: corpus seeds written to " << dir_arg << "\n";
+  return 0;
+}
+
+int fuzz(const std::string& target_arg, std::uint64_t seed,
+         std::uint64_t iters, const FuzzOptions& options) {
+  std::vector<const FuzzTarget*> selected;
+  if (target_arg == "all") {
+    for (const auto& target : apf::fuzz::all_targets()) {
+      selected.push_back(&target);
+    }
+  } else {
+    const FuzzTarget* target = apf::fuzz::find_target(target_arg);
+    if (target == nullptr) {
+      std::cerr << "fuzz_apf: unknown target '" << target_arg
+                << "' (--list shows targets)\n";
+      return 1;
+    }
+    selected.push_back(target);
+  }
+  for (const FuzzTarget* target : selected) {
+    const fs::path crash_path =
+        "fuzz_crash_" + std::string(target->name) + ".bin";
+    FuzzOptions per_target = options;
+    const std::string dump =
+        options.dump_last_path.empty() ? std::string()
+                                       : std::string(options.dump_last_path);
+    try {
+      const FuzzSummary summary = apf::fuzz::run_fuzz(*target, seed, iters,
+                                                      per_target);
+      std::cout << "fuzz_apf: target=" << target->name << " seed=" << seed
+                << " iters=" << summary.iterations
+                << " accepted=" << summary.accepted
+                << " rejected=" << summary.rejected << " digest=0x"
+                << std::hex << summary.digest << std::dec << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "FINDING: target=" << target->name << " seed=" << seed
+                << " escaped with: " << e.what() << "\n"
+                << "  replay: fuzz_apf --target " << target->name
+                << " --seed " << seed << " --iters " << iters
+                << " --dump-last " << crash_path.string() << "\n";
+      if (!dump.empty()) {
+        std::cerr << "  last candidate buffer is in " << dump << "\n";
+      }
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target_arg;
+  std::string replay_arg;
+  std::string emit_arg;
+  std::string dump_arg;
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 10000;
+  FuzzOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fuzz_apf: " << arg << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      for (const auto& target : apf::fuzz::all_targets()) {
+        std::cout << target.name << "\t" << target.description << "\n";
+      }
+      return 0;
+    } else if (arg == "--target") {
+      target_arg = next();
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--iters") {
+      iters = std::stoull(next());
+    } else if (arg == "--max-len") {
+      options.max_len = std::stoull(next());
+    } else if (arg == "--dump-last") {
+      dump_arg = next();
+      options.dump_last_path = dump_arg;
+    } else if (arg == "--replay") {
+      replay_arg = next();
+    } else if (arg == "--emit-corpus") {
+      emit_arg = next();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!emit_arg.empty()) return emit_corpus(emit_arg);
+    if (!replay_arg.empty()) return replay_path(replay_arg, target_arg);
+    if (target_arg.empty()) return usage(argv[0]);
+    return fuzz(target_arg, seed, iters, options);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_apf: " << e.what() << "\n";
+    return 1;
+  }
+}

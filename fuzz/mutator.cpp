@@ -1,0 +1,91 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+
+namespace apf::fuzz {
+
+namespace {
+
+// Values that length/count fields are most likely to mishandle.
+constexpr std::uint32_t kInterestingU32[] = {
+    0u,          1u,           7u,          8u,         0xFFu,
+    0x100u,      0x7FFFu,      0x8000u,     0xFFFFu,    0x10000u,
+    0x7FFFFFFFu, 0x80000000u,  0xFFFFFFFEu, 0xFFFFFFFFu};
+
+void write_u32_le(std::vector<std::uint8_t>& buf, std::size_t at,
+                  std::uint32_t v) {
+  for (int i = 0; i < 4 && at + static_cast<std::size_t>(i) < buf.size();
+       ++i) {
+    buf[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mutate(Rng& rng,
+                                 const std::vector<std::uint8_t>& base,
+                                 std::size_t max_len) {
+  std::vector<std::uint8_t> buf = base;
+  const std::uint64_t ops = 1 + rng.uniform_int(std::uint64_t{8});
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    switch (rng.uniform_int(std::uint64_t{6})) {
+      case 0: {  // bit flip
+        if (buf.empty()) break;
+        const std::size_t at = rng.uniform_int(buf.size());
+        buf[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(
+                                                 std::uint64_t{8}));
+        break;
+      }
+      case 1: {  // byte overwrite
+        if (buf.empty()) break;
+        buf[rng.uniform_int(buf.size())] =
+            static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256}));
+        break;
+      }
+      case 2: {  // truncate
+        if (buf.empty()) break;
+        buf.resize(rng.uniform_int(buf.size()));
+        break;
+      }
+      case 3: {  // extend with random bytes
+        const std::size_t extra = 1 + rng.uniform_int(std::uint64_t{16});
+        for (std::size_t i = 0; i < extra && buf.size() < max_len; ++i) {
+          buf.push_back(
+              static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+        }
+        break;
+      }
+      case 4: {  // duplicate a span onto another position
+        if (buf.size() < 2) break;
+        const std::size_t from = rng.uniform_int(buf.size());
+        const std::size_t to = rng.uniform_int(buf.size());
+        const std::size_t len = std::min(
+            {static_cast<std::size_t>(1 + rng.uniform_int(std::uint64_t{8})),
+             buf.size() - from, buf.size() - to});
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(from), len,
+                    buf.begin() + static_cast<std::ptrdiff_t>(to));
+        break;
+      }
+      case 5: {  // plant an interesting u32 (length-field attack)
+        if (buf.empty()) break;
+        const std::uint32_t v = kInterestingU32[rng.uniform_int(
+            std::uint64_t{std::size(kInterestingU32)})];
+        write_u32_le(buf, rng.uniform_int(buf.size()), v);
+        break;
+      }
+    }
+  }
+  if (buf.size() > max_len) buf.resize(max_len);
+  return buf;
+}
+
+std::vector<std::uint8_t> random_buffer(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> buf(rng.uniform_int(max_len + 1));
+  for (auto& b : buf) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256}));
+  }
+  return buf;
+}
+
+}  // namespace apf::fuzz

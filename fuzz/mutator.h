@@ -1,0 +1,27 @@
+// Deterministic mutation engine for the wire-path fuzz harness.
+//
+// All randomness flows through apf::Rng (the repo-wide determinism
+// contract), so a fuzz run is a pure function of (seed, iterations): every
+// crash replays exactly from the pair, with no libFuzzer or OS entropy
+// involved. Mutations are the classic wire-level ones — bit flips, byte
+// writes, truncation/extension, span duplication, and little-endian length
+// field tweaks aimed at header counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apf::fuzz {
+
+/// Returns a mutated copy of `base` (never more than `max_len` bytes).
+/// Applies 1-8 stacked mutation ops drawn from `rng`.
+std::vector<std::uint8_t> mutate(Rng& rng,
+                                 const std::vector<std::uint8_t>& base,
+                                 std::size_t max_len);
+
+/// A fully random buffer of length <= max_len (the structure-blind probe).
+std::vector<std::uint8_t> random_buffer(Rng& rng, std::size_t max_len);
+
+}  // namespace apf::fuzz

@@ -1,0 +1,398 @@
+#include "fuzz/targets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "compress/quantize.h"
+#include "compress/wire.h"
+#include "core/masked_pack.h"
+#include "fuzz/mutator.h"
+#include "nn/models.h"
+#include "nn/serialize.h"
+#include "util/bitmap.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace apf::fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// A violated decode invariant is a BUG, not a rejection, so it must not
+/// surface as apf::Error (which the driver treats as "input rejected").
+void require_invariant(bool cond, const char* msg) {
+  if (!cond) throw std::logic_error(std::string("fuzz invariant: ") + msg);
+}
+
+std::uint64_t hash_bytes(std::span<const std::uint8_t> bytes) {
+  return fnv1a(kFnvOffset, bytes);
+}
+
+std::uint64_t hash_floats(std::span<const float> values) {
+  std::uint64_t h = kFnvOffset;
+  for (const float v : values) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = fnv1a_u64(h, bits);
+  }
+  return h;
+}
+
+std::vector<float> random_floats(Rng& rng, std::size_t n) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = rng.uniform_float(-2.f, 2.f);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// masked — framed masked update ("APM1", core/masked_pack)
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> gen_masked(Rng& rng) {
+  const std::size_t dim = rng.uniform_int(std::uint64_t{96});
+  Bitmap mask(dim, false);
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (rng.bernoulli(0.4)) mask.set(j, true);
+  }
+  const std::vector<float> full = random_floats(rng, dim);
+  return core::encode_masked_update(full, mask);
+}
+
+std::uint64_t exec_masked(std::span<const std::uint8_t> bytes) {
+  const core::MaskedUpdate update = core::decode_masked_update(bytes);
+  require_invariant(
+      update.payload.size() ==
+          update.frozen_mask.size() - update.frozen_mask.count(),
+      "masked payload size disagrees with mask");
+  // Rebuild a full vector with the payload scattered into the clear bits;
+  // re-framing it must reproduce the input exactly.
+  std::vector<float> full(update.frozen_mask.size(), 0.f);
+  core::unpack_unfrozen(update.payload, update.frozen_mask, full);
+  const auto round_trip = core::encode_masked_update(full, update.frozen_mask);
+  require_invariant(std::ranges::equal(round_trip, bytes),
+                    "masked update re-encode drifted");
+  return hash_floats(update.payload);
+}
+
+// ---------------------------------------------------------------------------
+// bitmap — Bitmap::from_bytes under a [size u32 | bytes] framing
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> gen_bitmap(Rng& rng) {
+  const std::size_t bits = rng.uniform_int(std::uint64_t{257});
+  Bitmap bitmap(bits, false);
+  for (std::size_t j = 0; j < bits; ++j) {
+    if (rng.bernoulli(0.5)) bitmap.set(j, true);
+  }
+  ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(bits));
+  writer.raw(bitmap.to_bytes());
+  return writer.take();
+}
+
+std::uint64_t exec_bitmap(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes, "bitmap frame");
+  const std::uint32_t bits = reader.u32();
+  // Validate the byte count BEFORE materializing the payload vector, so a
+  // lying size field cannot drive a huge allocation.
+  reader.require((static_cast<std::size_t>(bits) + 7) / 8);
+  const auto payload = reader.raw(reader.remaining());
+  const Bitmap bitmap = Bitmap::from_bytes(
+      bits, std::vector<std::uint8_t>(payload.begin(), payload.end()));
+  require_invariant(bitmap.size() == bits, "bitmap size drifted");
+  require_invariant(bitmap.count() <= bits, "bitmap count exceeds size");
+  const auto round_trip = bitmap.to_bytes();
+  require_invariant(std::ranges::equal(round_trip, payload),
+                    "bitmap re-encode drifted");
+  return fnv1a(kFnvOffset, round_trip);
+}
+
+// ---------------------------------------------------------------------------
+// compress wire formats
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> gen_sparse(Rng& rng) {
+  compress::SparsePayload payload;
+  payload.dim = static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{128}));
+  for (std::uint32_t j = 0; j < payload.dim; ++j) {
+    if (rng.bernoulli(0.25)) {
+      payload.indices.push_back(j);
+      payload.values.push_back(rng.uniform_float(-2.f, 2.f));
+    }
+  }
+  return compress::encode_sparse(payload);
+}
+
+std::uint64_t exec_sparse(std::span<const std::uint8_t> bytes) {
+  const compress::SparsePayload payload = compress::decode_sparse(bytes);
+  const auto round_trip = compress::encode_sparse(payload);
+  require_invariant(std::ranges::equal(round_trip, bytes),
+                    "sparse re-encode drifted");
+  return hash_floats(payload.values);
+}
+
+std::vector<std::uint8_t> gen_randk(Rng& rng) {
+  compress::RandkPayload payload;
+  payload.dim = static_cast<std::uint32_t>(
+      1 + rng.uniform_int(std::uint64_t{128}));
+  payload.count = static_cast<std::uint32_t>(
+      rng.uniform_int(std::uint64_t{payload.dim} + 1));
+  payload.seed = rng.next_u64();
+  payload.scale = rng.uniform_float(0.1f, 10.f);
+  payload.values = random_floats(rng, payload.count);
+  return compress::encode_randk(payload);
+}
+
+std::uint64_t exec_randk(std::span<const std::uint8_t> bytes) {
+  const compress::RandkPayload payload = compress::decode_randk(bytes);
+  const auto round_trip = compress::encode_randk(payload);
+  require_invariant(std::ranges::equal(round_trip, bytes),
+                    "randk re-encode drifted");
+  return fnv1a_u64(hash_floats(payload.values), payload.seed);
+}
+
+std::vector<std::uint8_t> gen_fp16(Rng& rng) {
+  const std::vector<float> values =
+      random_floats(rng, rng.uniform_int(std::uint64_t{128}));
+  return compress::encode_fp16_payload(values);
+}
+
+std::uint64_t exec_fp16(std::span<const std::uint8_t> bytes) {
+  const std::vector<float> values = compress::decode_fp16_payload(bytes);
+  // half -> float -> half is the identity except that NaNs may carry any
+  // payload on the wire; re-encoding canonicalizes them. So compare half by
+  // half, accepting (NaN in, NaN out) pairs.
+  ByteReader reader(bytes, "fp16 frame");
+  reader.u32();  // tag, already validated by the decoder
+  const std::uint32_t count = reader.u32();
+  require_invariant(count == values.size(), "fp16 count drifted");
+  for (std::uint32_t j = 0; j < count; ++j) {
+    const std::uint16_t in = reader.u16();
+    const std::uint16_t out = compress::float_to_half(values[j]);
+    const bool in_nan = (in & 0x7C00u) == 0x7C00u && (in & 0x3FFu) != 0;
+    const bool out_nan = (out & 0x7C00u) == 0x7C00u && (out & 0x3FFu) != 0;
+    require_invariant(in == out || (in_nan && out_nan),
+                      "fp16 re-encode drifted");
+  }
+  return hash_floats(values);
+}
+
+std::vector<std::uint8_t> gen_dense(Rng& rng) {
+  return compress::encode_dense(
+      random_floats(rng, rng.uniform_int(std::uint64_t{128})));
+}
+
+std::uint64_t exec_dense(std::span<const std::uint8_t> bytes) {
+  const std::vector<float> values = compress::decode_dense(bytes);
+  const auto round_trip = compress::encode_dense(values);
+  require_invariant(std::ranges::equal(round_trip, bytes),
+                    "dense re-encode drifted");
+  return hash_floats(values);
+}
+
+std::vector<std::uint8_t> gen_qsgd(Rng& rng) {
+  const unsigned bits =
+      static_cast<unsigned>(1 + rng.uniform_int(std::uint64_t{8}));
+  const std::vector<float> update =
+      random_floats(rng, rng.uniform_int(std::uint64_t{96}));
+  return compress::encode_qsgd(compress::qsgd_quantize(update, bits, rng));
+}
+
+std::uint64_t exec_qsgd(std::span<const std::uint8_t> bytes) {
+  const compress::QsgdPayload payload = compress::decode_qsgd(bytes);
+  const auto round_trip = compress::encode_qsgd(payload);
+  require_invariant(std::ranges::equal(round_trip, bytes),
+                    "qsgd re-encode drifted");
+  const std::vector<float> values = compress::qsgd_dequantize(payload);
+  for (const float v : values) {
+    require_invariant(std::isfinite(v), "qsgd dequantized to non-finite");
+  }
+  return hash_floats(values);
+}
+
+std::vector<std::uint8_t> gen_terngrad(Rng& rng) {
+  const std::vector<float> update =
+      random_floats(rng, rng.uniform_int(std::uint64_t{96}));
+  return compress::encode_terngrad(compress::terngrad_quantize(update, rng));
+}
+
+std::uint64_t exec_terngrad(std::span<const std::uint8_t> bytes) {
+  const compress::TernPayload payload = compress::decode_terngrad(bytes);
+  const auto round_trip = compress::encode_terngrad(payload);
+  require_invariant(std::ranges::equal(round_trip, bytes),
+                    "terngrad re-encode drifted");
+  const std::vector<float> values = compress::terngrad_dequantize(payload);
+  for (const float v : values) {
+    require_invariant(
+        v == 0.f || v == payload.scale || v == -payload.scale,
+        "terngrad dequantized off the ternary grid");
+  }
+  return hash_floats(values);
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint — nn/serialize load path on a small fixed-architecture MLP
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<nn::Sequential> checkpoint_model() {
+  Rng rng(0xC0FFEEULL);  // fixed: the architecture is part of the target
+  return nn::make_mlp(rng, /*in_features=*/4, /*width=*/8, /*hidden=*/1,
+                      /*num_classes=*/3);
+}
+
+std::vector<std::uint8_t> gen_checkpoint(Rng& rng) {
+  auto model = checkpoint_model();
+  // Randomize the weights so payload bytes vary between seed inputs.
+  for (const auto& p : model->parameters()) {
+    float* data = p.param->value.raw();
+    for (std::size_t j = 0; j < p.param->value.numel(); ++j) {
+      data[j] = rng.uniform_float(-1.f, 1.f);
+    }
+  }
+  std::ostringstream os(std::ios::binary);
+  nn::save_checkpoint(*model, os);
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+std::uint64_t exec_checkpoint(std::span<const std::uint8_t> bytes) {
+  auto model = checkpoint_model();
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      std::ios::binary);
+  nn::load_checkpoint(*model, is);
+  // Accepted checkpoints must re-serialize byte-for-byte.
+  std::ostringstream os(std::ios::binary);
+  nn::save_checkpoint(*model, os);
+  const std::string round_trip = os.str();
+  require_invariant(round_trip.size() == bytes.size() &&
+                        std::memcmp(round_trip.data(), bytes.data(),
+                                    bytes.size()) == 0,
+                    "checkpoint re-save drifted");
+  return hash_bytes(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + driver
+// ---------------------------------------------------------------------------
+
+constexpr FuzzTarget kTargets[] = {
+    {"masked", "core/masked_pack framed masked update (APM1)", gen_masked,
+     exec_masked},
+    {"bitmap", "util/bitmap Bitmap::from_bytes", gen_bitmap, exec_bitmap},
+    {"sparse", "compress/wire sparse index/value payload (APS1)", gen_sparse,
+     exec_sparse},
+    {"randk", "compress/wire rand-k payload (APR1)", gen_randk, exec_randk},
+    {"fp16", "compress/wire half-precision payload (APH1)", gen_fp16,
+     exec_fp16},
+    {"dense", "compress/wire dense fp32 payload (APD1)", gen_dense,
+     exec_dense},
+    {"qsgd", "compress/wire QSGD packed payload (APQ1)", gen_qsgd, exec_qsgd},
+    {"terngrad", "compress/wire TernGrad packed payload (APT1)", gen_terngrad,
+     exec_terngrad},
+    {"checkpoint", "nn/serialize load_checkpoint stream", gen_checkpoint,
+     exec_checkpoint},
+};
+
+}  // namespace
+
+std::span<const FuzzTarget> all_targets() { return kTargets; }
+
+const FuzzTarget* find_target(std::string_view name) {
+  for (const auto& target : kTargets) {
+    if (name == target.name) return &target;
+  }
+  return nullptr;
+}
+
+FuzzSummary run_fuzz(const FuzzTarget& target, std::uint64_t seed,
+                     std::uint64_t iters, const FuzzOptions& options) {
+  // Mix the target name into the seed so `--target all` runs distinct
+  // streams per target from one CLI seed.
+  std::uint64_t state = seed ^ fnv1a(
+      kFnvOffset,
+      {reinterpret_cast<const std::uint8_t*>(target.name),
+       std::strlen(target.name)});
+  Rng rng(splitmix64(state));
+
+  FuzzSummary summary;
+  std::vector<std::uint8_t> last_accepted = target.generate(rng);
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    std::vector<std::uint8_t> buf;
+    switch (rng.uniform_int(std::uint64_t{4})) {
+      case 0:  // fresh valid encoding (exercises the accept path)
+        buf = target.generate(rng);
+        break;
+      case 1:  // structure-aware: mutate a fresh valid encoding
+        buf = mutate(rng, target.generate(rng), options.max_len);
+        break;
+      case 2:  // mutate the last accepted buffer
+        buf = mutate(rng, last_accepted, options.max_len);
+        break;
+      default:  // structure-blind random bytes
+        buf = random_buffer(rng, options.max_len);
+        break;
+    }
+    if (!options.dump_last_path.empty()) {
+      std::ofstream dump(std::string(options.dump_last_path),
+                         std::ios::binary | std::ios::trunc);
+      dump.write(reinterpret_cast<const char*>(buf.data()),
+                 static_cast<std::streamsize>(buf.size()));
+    }
+    ++summary.iterations;
+    try {
+      const std::uint64_t result = target.execute(buf);
+      ++summary.accepted;
+      summary.digest = fnv1a_u64(fnv1a(summary.digest ^ 'A', buf), result);
+      last_accepted = std::move(buf);
+    } catch (const Error&) {
+      // Malformed input rejected with apf::Error: the expected outcome.
+      ++summary.rejected;
+      summary.digest = fnv1a(summary.digest ^ 'R', buf);
+    }
+    // Anything else (std::logic_error from a violated round-trip invariant,
+    // std::bad_alloc from an unchecked length field, sanitizer aborts)
+    // propagates: a finding.
+  }
+  return summary;
+}
+
+ReplayOutcome replay_buffer(const FuzzTarget& target,
+                            std::span<const std::uint8_t> bytes) {
+  try {
+    target.execute(bytes);
+    return ReplayOutcome::kAccepted;
+  } catch (const Error&) {
+    return ReplayOutcome::kRejected;
+  }
+}
+
+}  // namespace apf::fuzz

@@ -1,0 +1,73 @@
+// Fuzz targets: every binary decode path in the library, wrapped in an
+// adversarial round-trip check.
+//
+// Contract per target:
+//   - generate(rng) emits a valid wire buffer (the structure-aware seed for
+//     mutation).
+//   - execute(bytes) decodes the buffer. Malformed input MUST be rejected
+//     with apf::Error (the driver counts it as "rejected"). A successful
+//     decode is held to the round-trip invariant — re-encoding reproduces
+//     the input byte-for-byte (all formats are bijective on their valid
+//     domain) — and any violation, out-of-bounds access (caught by ASan),
+//     unexpected exception type (std::bad_alloc, std::length_error, ...),
+//     or silent wrong result is a bug.
+//
+// The harness itself is deterministic: run_fuzz(target, seed, iters) is a
+// pure function of its arguments, so its summary (counts + digest) is
+// byte-for-byte reproducible and every finding replays from (seed, iters).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apf::fuzz {
+
+struct FuzzTarget {
+  const char* name;
+  const char* description;
+  std::vector<std::uint8_t> (*generate)(Rng& rng);
+  /// Decodes and validates; returns a hash of the decoded result (mixed
+  /// into the run digest). Throws apf::Error to reject malformed input;
+  /// throws anything else to report a bug.
+  std::uint64_t (*execute)(std::span<const std::uint8_t> bytes);
+};
+
+/// All registered targets (masked, bitmap, sparse, randk, fp16, dense,
+/// qsgd, terngrad, checkpoint).
+std::span<const FuzzTarget> all_targets();
+
+/// Looks a target up by name; nullptr when unknown.
+const FuzzTarget* find_target(std::string_view name);
+
+struct FuzzOptions {
+  std::size_t max_len = 4096;
+  /// When non-empty, every candidate buffer is written here before it is
+  /// executed, so after a sanitizer abort the file holds the crasher.
+  std::string_view dump_last_path = {};
+};
+
+struct FuzzSummary {
+  std::uint64_t iterations = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  /// FNV-1a over (outcome, buffer, result-hash) of every iteration; equal
+  /// seeds give equal digests, which CI uses as the reproducibility check.
+  std::uint64_t digest = 0xCBF29CE484222325ULL;
+};
+
+/// Runs the deterministic fuzz loop. Throws (propagating the target's
+/// non-apf::Error exception) on the first bug found.
+FuzzSummary run_fuzz(const FuzzTarget& target, std::uint64_t seed,
+                     std::uint64_t iters, const FuzzOptions& options = {});
+
+enum class ReplayOutcome { kAccepted, kRejected };
+
+/// Replays one buffer through a target; same exception contract as execute.
+ReplayOutcome replay_buffer(const FuzzTarget& target,
+                            std::span<const std::uint8_t> bytes);
+
+}  // namespace apf::fuzz

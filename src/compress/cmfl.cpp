@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compress/wire.h"
+#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -79,6 +81,15 @@ fl::SyncStrategy::Result CmflSync::synchronize(
   std::vector<double> acc(dim, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     if (!upload[i]) continue;
+    if constexpr (debug::kChecksEnabled) {
+      // Wire conformance: a relevant upload ships the full parameter
+      // vector; framed as the "APD1" dense byte format it must survive
+      // encode/decode bit-exactly.
+      const std::vector<float> round_trip =
+          decode_dense(encode_dense(client_params[i]));
+      APF_DEBUG_ASSERT_MSG(round_trip == client_params[i],
+                           "cmfl dense wire round trip drifted");
+    }
     const double w = weights[i] / weight_total;
     for (std::size_t j = 0; j < dim; ++j) {
       acc[j] += w * static_cast<double>(client_params[i][j] - global_[j]);

@@ -1,7 +1,8 @@
 #include "compress/codecs.h"
 
-#include <cmath>
+#include <algorithm>
 
+#include "compress/wire.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -12,18 +13,13 @@ QsgdCodec::QsgdCodec(unsigned bits)
 }
 
 void QsgdCodec::encode_decode(std::span<float> update, Rng& rng) const {
-  double norm_sq = 0.0;
-  for (float v : update) norm_sq += static_cast<double>(v) * v;
-  const double norm = std::sqrt(norm_sq);
-  if (norm == 0.0) return;
-  const double s = static_cast<double>(levels_);
-  for (auto& v : update) {
-    const double ratio = std::fabs(static_cast<double>(v)) / norm * s;
-    const double lower = std::floor(ratio);
-    const double level = lower + (rng.bernoulli(ratio - lower) ? 1.0 : 0.0);
-    const double q = norm * level / s;
-    v = static_cast<float>(v < 0 ? -q : q);
-  }
+  // Quantize/dequantize through the shared wire helpers so the in-place
+  // value distortion is bit-identical to what a receiver decodes from the
+  // "APQ1" byte format (including the fp32 rounding of the transmitted
+  // norm).
+  const QsgdPayload payload = qsgd_quantize(update, bits_, rng);
+  const std::vector<float> decoded = qsgd_dequantize(payload);
+  std::copy(decoded.begin(), decoded.end(), update.begin());
 }
 
 double QsgdCodec::wire_bytes(std::size_t n) const {
@@ -36,14 +32,9 @@ std::string QsgdCodec::name() const {
 }
 
 void TernGradCodec::encode_decode(std::span<float> update, Rng& rng) const {
-  float scale = 0.f;
-  for (float v : update) scale = std::max(scale, std::fabs(v));
-  if (scale == 0.f) return;
-  for (auto& v : update) {
-    const double p = std::fabs(v) / scale;
-    const float t = rng.bernoulli(p) ? scale : 0.f;
-    v = v < 0 ? -t : t;
-  }
+  const TernPayload payload = terngrad_quantize(update, rng);
+  const std::vector<float> decoded = terngrad_dequantize(payload);
+  std::copy(decoded.begin(), decoded.end(), update.begin());
 }
 
 double TernGradCodec::wire_bytes(std::size_t n) const {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "compress/wire.h"
+#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -49,6 +51,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
     }
     std::size_t sent = 0;
     const double w = weights[i] / weight_total;
+    SparsePayload dbg_payload;  // filled only when debug checks are compiled in
     for (std::size_t j = 0; j < dim; ++j) {
       // Pending update = this round's local change plus carried residual.
       const float u = client_params[i][j] - global_[j] + residual_[i][j];
@@ -60,9 +63,23 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
         acc[j] += w * static_cast<double>(u);
         residual_[i][j] = 0.f;
         ++sent;
+        if constexpr (debug::kChecksEnabled) {
+          dbg_payload.indices.push_back(static_cast<std::uint32_t>(j));
+          dbg_payload.values.push_back(u);
+        }
       } else {
         residual_[i][j] = u;
       }
+    }
+    if constexpr (debug::kChecksEnabled) {
+      // Wire conformance: the significant set, framed as the "APS1" sparse
+      // byte format, must survive encode/decode bit-exactly.
+      dbg_payload.dim = static_cast<std::uint32_t>(dim);
+      const SparsePayload round_trip =
+          decode_sparse(encode_sparse(dbg_payload));
+      APF_DEBUG_ASSERT_MSG(round_trip.indices == dbg_payload.indices &&
+                               round_trip.values == dbg_payload.values,
+                           "gaia sparse wire round trip drifted");
     }
     // Sparse payload: 4 B per value plus a presence bitmap.
     result.bytes_up[i] =

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "compress/wire.h"
+#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -62,12 +64,16 @@ fl::SyncStrategy::Result RandKSync::synchronize(
       continue;
     }
     const double w = weights[i] / weight_total;
+    RandkPayload dbg_payload;  // filled only when debug checks are compiled in
     for (std::size_t j = 0; j < dim; ++j) {
       const float pending =
           client_params[i][j] - global_[j] + residual_[i][j];
       if (selected[j]) {
         acc[j] += w * static_cast<double>(pending) * scale;
         residual_[i][j] = 0.f;
+        if constexpr (debug::kChecksEnabled) {
+          dbg_payload.values.push_back(pending);
+        }
       } else {
         residual_[i][j] = pending;
       }
@@ -75,6 +81,21 @@ fl::SyncStrategy::Result RandKSync::synchronize(
     // Values only — the coordinate set is derivable from the round index,
     // so just 8 B of seed material rides along.
     result.bytes_up[i] = 4.0 * static_cast<double>(k) + 8.0;
+    if constexpr (debug::kChecksEnabled) {
+      // Wire conformance: the transmitted values for the round's coordinate
+      // set (ascending coordinate order — the order both sides derive from
+      // the shared seed), framed as the "APR1" byte format, must survive
+      // encode/decode bit-exactly.
+      dbg_payload.dim = static_cast<std::uint32_t>(dim);
+      dbg_payload.count = static_cast<std::uint32_t>(k);
+      dbg_payload.seed = options_.seed + 0x9E3779B97F4A7C15ULL * round;
+      dbg_payload.scale = scale;
+      const RandkPayload round_trip =
+          decode_randk(encode_randk(dbg_payload));
+      APF_DEBUG_ASSERT_MSG(round_trip.values == dbg_payload.values &&
+                               round_trip.seed == dbg_payload.seed,
+                           "rand-k wire round trip drifted");
+    }
   }
   for (std::size_t j = 0; j < dim; ++j) {
     global_[j] += static_cast<float>(acc[j]);

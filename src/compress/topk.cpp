@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "compress/wire.h"
+#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -68,6 +70,25 @@ fl::SyncStrategy::Result TopKSync::synchronize(
     }
     // 4 B value + 4 B index per transmitted component.
     result.bytes_up[i] = 8.0 * static_cast<double>(k);
+    if constexpr (debug::kChecksEnabled) {
+      // Wire conformance: the transmitted (index, value) set, framed as the
+      // "APS1" sparse byte format, must survive encode/decode bit-exactly.
+      SparsePayload payload;
+      payload.dim = static_cast<std::uint32_t>(dim);
+      std::vector<std::size_t> sent(order.begin(),
+                                    order.begin() +
+                                        static_cast<std::ptrdiff_t>(k));
+      std::sort(sent.begin(), sent.end());
+      for (const std::size_t j : sent) {
+        payload.indices.push_back(static_cast<std::uint32_t>(j));
+        payload.values.push_back(pending[j]);
+      }
+      const SparsePayload round_trip =
+          decode_sparse(encode_sparse(payload));
+      APF_DEBUG_ASSERT_MSG(round_trip.indices == payload.indices &&
+                               round_trip.values == payload.values,
+                           "top-k sparse wire round trip drifted");
+    }
   }
   for (std::size_t j = 0; j < dim; ++j) {
     global_[j] += static_cast<float>(acc[j]);

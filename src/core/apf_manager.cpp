@@ -119,6 +119,18 @@ fl::SyncStrategy::Result ApfManager::synchronize(
   unpack_unfrozen(merged_payload, effective_mask_, new_global);
   APF_DEBUG_CHECK_FINITE(std::span<const float>(new_global),
                          "ApfManager::synchronize merged global model");
+  if constexpr (debug::kChecksEnabled) {
+    // Wire conformance: the merged update, framed as actual wire bytes,
+    // must survive an encode/decode round trip bit-exactly (mask and
+    // payload). Catches any drift between the byte format and the
+    // masked_select/masked_fill path the aggregation uses.
+    const auto wire_bytes = encode_masked_update(new_global, effective_mask_);
+    const MaskedUpdate round_trip = decode_masked_update(wire_bytes);
+    APF_DEBUG_ASSERT_MSG(round_trip.frozen_mask == effective_mask_,
+                         "masked wire round trip changed the frozen mask");
+    APF_DEBUG_ASSERT_MSG(round_trip.payload == merged_payload,
+                         "masked wire round trip changed the payload");
+  }
 
   // Track the accumulated global update for the next stability check, and
   // remember which scalars were frozen at any point during the window.

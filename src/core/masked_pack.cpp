@@ -1,5 +1,6 @@
 #include "core/masked_pack.h"
 
+#include "util/bytes.h"
 #include "util/debug.h"
 #include "util/error.h"
 
@@ -34,6 +35,40 @@ void unpack_unfrozen(std::span<const float> payload, const Bitmap& frozen_mask,
   APF_DEBUG_ASSERT_MSG(cursor == payload.size(),
                        "consumed " << cursor << " of " << payload.size()
                                    << " payload scalars");
+}
+
+namespace {
+constexpr std::uint32_t kTagMasked = 0x314D5041;  // "APM1"
+}
+
+std::vector<std::uint8_t> encode_masked_update(std::span<const float> full,
+                                               const Bitmap& frozen_mask) {
+  APF_CHECK(full.size() == frozen_mask.size());
+  ByteWriter writer;
+  writer.u32(kTagMasked);
+  writer.u32(static_cast<std::uint32_t>(full.size()));
+  writer.raw(frozen_mask.to_bytes());
+  for (const float v : pack_unfrozen(full, frozen_mask)) writer.f32(v);
+  return writer.take();
+}
+
+MaskedUpdate decode_masked_update(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes, "masked update");
+  const std::uint32_t tag = reader.u32();
+  APF_CHECK_MSG(tag == kTagMasked, "masked update: bad tag 0x" << std::hex
+                                                               << tag);
+  const std::uint32_t dim = reader.u32();
+  const std::size_t mask_bytes = (static_cast<std::size_t>(dim) + 7) / 8;
+  const auto mask_span = reader.raw(mask_bytes);
+  MaskedUpdate out;
+  out.frozen_mask = Bitmap::from_bytes(
+      dim, std::vector<std::uint8_t>(mask_span.begin(), mask_span.end()));
+  const std::size_t payload_count = dim - out.frozen_mask.count();
+  reader.require(payload_count * 4);
+  out.payload.resize(payload_count);
+  for (auto& v : out.payload) v = reader.f32();
+  reader.expect_exhausted();
+  return out;
 }
 
 }  // namespace apf::core

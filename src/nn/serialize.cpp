@@ -14,6 +14,11 @@ namespace {
 constexpr std::uint32_t kMagic = 0x41504643;  // "APFC"
 constexpr std::uint32_t kVersion = 1;
 
+// A malformed/corrupted stream can claim any name length; cap it so the
+// length field is validated before the allocation it sizes (no module has
+// tensor names anywhere near this long).
+constexpr std::uint32_t kMaxNameLen = 4096;
+
 void write_u32(std::ostream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -48,6 +53,10 @@ void write_named_tensor(std::ostream& os, const std::string& name,
 void read_named_tensor(std::istream& is, const std::string& expected_name,
                        Tensor& tensor) {
   const std::uint32_t name_len = read_u32(is);
+  APF_CHECK_MSG(name_len <= kMaxNameLen,
+                "checkpoint tensor name length " << name_len
+                                                 << " exceeds limit "
+                                                 << kMaxNameLen);
   std::string name(name_len, '\0');
   is.read(name.data(), name_len);
   APF_CHECK_MSG(is.good(), "truncated checkpoint stream");
@@ -89,6 +98,10 @@ void load_checkpoint(Module& module, std::istream& is) {
   APF_CHECK_MSG(read_u64(is) == buffers.size(),
                 "checkpoint buffer count mismatch");
   for (const auto& b : buffers) read_named_tensor(is, b.name, *b.buffer);
+  // A valid checkpoint is consumed exactly; trailing bytes mean the stream
+  // is not the checkpoint it claims to be.
+  is.peek();
+  APF_CHECK_MSG(is.eof(), "trailing bytes after checkpoint payload");
 }
 
 void save_checkpoint_file(Module& module, const std::string& path) {

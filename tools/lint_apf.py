@@ -28,13 +28,43 @@ on, so this tool does. Rules:
   test-include       src/ must not include test headers (tests/..., gtest,
                      gmock, *_test.h). The library cannot depend on its tests.
 
+  concurrency-hygiene  No raw std::thread / std::jthread / std::async /
+                     .detach() anywhere in src/ outside src/util/thread_pool.*.
+                     All parallelism goes through the deterministic thread
+                     pool; ad-hoc threads reintroduce the thread-count-
+                     dependent reduction orders the pool exists to prevent,
+                     and a detached thread can outlive the tensors it touches.
+
+  unordered-iteration  No iteration (range-for or .begin()) over
+                     unordered_map / unordered_set in src/core, src/fl,
+                     src/compress. Hash-order iteration silently varies
+                     across libstdc++ versions and insertion histories; on
+                     the wire path it breaks the bit-exactness contract
+                     between client and server. Iterate a sorted view or
+                     use std::map/std::set instead.
+
+  layering           The module include graph must stay the acyclic hierarchy
+                     util(0) < tensor(1) < {nn, data}(2) < optim(3) < fl(4)
+                     < compress(5) < core(6). A file may include its own
+                     module or any strictly lower level; upward or same-level
+                     cross-module includes, and any file-level include cycle,
+                     fail the build. (compress sits above fl because the
+                     compression baselines implement fl::SyncStrategy; core
+                     composes everything.)
+
 Waivers (use sparingly, always with a reason):
   // lint-apf: no-input-checks(<reason>)       on or directly above a
                                                definition, for entry-check
   // lint-apf: allow-float-accumulator(<reason>)  on or directly above the
                                                declaration line
+  // lint-apf: allow-raw-thread(<reason>)      on or directly above the line,
+                                               for concurrency-hygiene
+  // lint-apf: allow-unordered-iteration(<reason>)  on or directly above the
+                                               iterating line
+  // lint-apf: allow-layering(<reason>)        on the #include line (cycles
+                                               cannot be waived)
 
-Usage: tools/lint_apf.py [--root DIR] [paths...]
+Usage: tools/lint_apf.py [--root DIR] [--self-test] [paths...]
 Exit status 0 when clean, 1 when any rule fires.
 """
 
@@ -75,6 +105,37 @@ FLOAT_ACCUM_DECL = re.compile(
 
 WAIVER_NO_INPUT = "lint-apf: no-input-checks"
 WAIVER_FLOAT = "lint-apf: allow-float-accumulator"
+WAIVER_RAW_THREAD = "lint-apf: allow-raw-thread"
+WAIVER_UNORDERED = "lint-apf: allow-unordered-iteration"
+WAIVER_LAYERING = "lint-apf: allow-layering"
+
+CONCURRENCY_PATTERNS = [
+    (re.compile(r"\bstd::jthread\b"), "std::jthread"),
+    (re.compile(r"\bstd::thread\b"), "std::thread"),
+    (re.compile(r"\bstd::async\b"), "std::async"),
+    (re.compile(r"\.\s*detach\s*\("), ".detach()"),
+]
+
+UNORDERED_MODULES = ("core", "fl", "compress")
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*"
+    r"([A-Za-z_]\w*)\s*(?:[;={(]|$)")
+
+# Module hierarchy for the layering rule: a file may include its own module
+# or any module at a strictly lower level. This encodes the repo's real DAG
+# (compress implements fl::SyncStrategy, so it sits ABOVE fl; core composes
+# everything); see docs/STATIC_ANALYSIS.md for the rationale.
+MODULE_LEVELS = {
+    "util": 0,
+    "tensor": 1,
+    "nn": 2,
+    "data": 2,
+    "optim": 3,
+    "fl": 4,
+    "compress": 5,
+    "core": 6,
+}
+SRC_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
 
 
 class Finding:
@@ -361,22 +422,263 @@ def check_float_accumulators(path, text, findings):
 
 
 # --------------------------------------------------------------------------
+# concurrency-hygiene / unordered-iteration
+# --------------------------------------------------------------------------
+
+def check_concurrency(path, text, findings):
+    if path.name.startswith("thread_pool."):
+        return  # the one sanctioned home for raw threads
+    raw_lines = text.split("\n")
+    stripped = strip_comments_and_strings(text)
+    for line_no, line in enumerate(stripped.split("\n"), 1):
+        for pattern, label in CONCURRENCY_PATTERNS:
+            if pattern.search(line):
+                if has_waiver(raw_lines, line_no, WAIVER_RAW_THREAD):
+                    continue
+                findings.append(Finding(
+                    path, line_no, "concurrency-hygiene",
+                    f"'{label}' outside src/util/thread_pool.*; use the "
+                    f"deterministic ThreadPool (ad-hoc threads reintroduce "
+                    f"thread-count-dependent results) or waive with "
+                    f"'// {WAIVER_RAW_THREAD}(<reason>)'"))
+                break  # one finding per line
+
+
+def check_unordered_iteration(path, text, unordered_names, findings):
+    """Flags range-for / .begin() iteration over unordered containers.
+
+    `unordered_names` is the set of identifiers declared with an unordered
+    type anywhere in this file's module (headers included), so iterating a
+    member declared in the .h from the .cpp is still caught.
+    """
+    raw_lines = text.split("\n")
+    stripped = strip_comments_and_strings(text)
+    # Direct iteration over a freshly named unordered temporary/declaration
+    # plus iteration over any known unordered identifier.
+    for line_no, line in enumerate(stripped.split("\n"), 1):
+        hit = None
+        if re.search(r"\bunordered_(?:map|set|multimap|multiset)\b", line) \
+                and re.search(r"\bfor\s*\(", line):
+            hit = "unordered container"
+        else:
+            for name in unordered_names:
+                if re.search(rf":\s*{re.escape(name)}\s*\)", line) \
+                        and re.search(r"\bfor\s*\(", line):
+                    hit = name
+                    break
+                if re.search(rf"\b{re.escape(name)}\s*\.\s*(?:c?begin|"
+                             rf"c?end)\s*\(", line):
+                    hit = name
+                    break
+        if hit is None:
+            continue
+        if has_waiver(raw_lines, line_no, WAIVER_UNORDERED):
+            continue
+        findings.append(Finding(
+            path, line_no, "unordered-iteration",
+            f"iteration over unordered container '{hit}': hash order is not "
+            f"deterministic across platforms/insertion histories and breaks "
+            f"the wire-path bit-exactness contract; iterate a sorted view or "
+            f"waive with '// {WAIVER_UNORDERED}(<reason>)'"))
+
+
+def collect_unordered_names(text):
+    names = set()
+    stripped = strip_comments_and_strings(text)
+    for m in UNORDERED_DECL.finditer(stripped):
+        names.add(m.group(1))
+    return names
+
+
+# --------------------------------------------------------------------------
+# layering: module-DAG + file-level cycle analysis of the include graph
+# --------------------------------------------------------------------------
+
+def module_of(rel_src_path):
+    """Module name for a path relative to src/ ('util/rng.h' -> 'util')."""
+    parts = pathlib.PurePosixPath(str(rel_src_path).replace("\\", "/")).parts
+    return parts[0] if parts and parts[0] in MODULE_LEVELS else None
+
+
+def check_layering(src, findings):
+    """Validates the include graph of src/: no upward/same-level cross-module
+    includes, no file-level cycles."""
+    files = sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp"))
+    edges = {}  # rel path (str) -> [(line_no, target rel path str)]
+    for path in files:
+        rel = str(path.relative_to(src)).replace("\\", "/")
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            continue
+        # Includes are parsed from the RAW text: stripping would blank the
+        # quoted path. Commented-out includes are excluded explicitly.
+        raw_lines = text.split("\n")
+        out = []
+        for line_no, line in enumerate(raw_lines, 1):
+            if line.lstrip().startswith("//"):
+                continue
+            m = SRC_INCLUDE.search(line)
+            if not m:
+                continue
+            target = m.group(1)
+            tgt_module = module_of(target)
+            if tgt_module is None:
+                continue  # system/third-party header
+            own_module = module_of(rel)
+            out.append((line_no, target))
+            if own_module is None:
+                continue
+            allowed = tgt_module == own_module or \
+                MODULE_LEVELS[tgt_module] < MODULE_LEVELS[own_module]
+            if not allowed:
+                if has_waiver(raw_lines, line_no, WAIVER_LAYERING):
+                    continue
+                findings.append(Finding(
+                    pathlib.Path("src") / rel, line_no, "layering",
+                    f"module '{own_module}' (level "
+                    f"{MODULE_LEVELS[own_module]}) must not include "
+                    f"'{target}' from module '{tgt_module}' (level "
+                    f"{MODULE_LEVELS[tgt_module]}); the hierarchy is "
+                    f"util < tensor < nn,data < optim < fl < compress < core"))
+        edges[rel] = out
+
+    # File-level cycle detection (DFS, iterative). Includes resolve relative
+    # to src/; a header that does not exist on disk is simply a leaf.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in edges}
+    for start in sorted(edges):
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(edges.get(start, ())))]
+        color[start] = GRAY
+        path_stack = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for _line_no, target in it:
+                if target not in edges:
+                    continue
+                if color[target] == GRAY:
+                    cycle_start = path_stack.index(target)
+                    cycle = path_stack[cycle_start:] + [target]
+                    findings.append(Finding(
+                        pathlib.Path("src") / target, 1, "layering",
+                        "include cycle: " + " -> ".join(cycle)))
+                elif color[target] == WHITE:
+                    color[target] = GRAY
+                    stack.append((target, iter(edges[target])))
+                    path_stack.append(target)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path_stack.pop()
+
+
+# --------------------------------------------------------------------------
+# self-test: seeded violations must fire, clean code must pass
+# --------------------------------------------------------------------------
+
+def self_test():
+    import tempfile
+
+    cases = {
+        # Raw thread + detach in src/fl.
+        "src/fl/bad_thread.cpp": (
+            "#include <thread>\n"
+            "void spawn() {\n"
+            "  std::thread worker([] {});\n"
+            "  worker.detach();\n"
+            "}\n",
+            {"concurrency-hygiene"}),
+        # Upward include: tensor (level 1) pulling in fl (level 4).
+        "src/tensor/bad_dep.h": (
+            '#include "fl/client.h"\n',
+            {"layering"}),
+        # Hash-order iteration in src/core.
+        "src/core/bad_iter.cpp": (
+            "#include <unordered_map>\n"
+            "int sum() {\n"
+            "  std::unordered_map<int, int> table;\n"
+            "  int s = 0;\n"
+            "  for (const auto& kv : table) s += kv.second;\n"
+            "  return s;\n"
+            "}\n",
+            {"unordered-iteration"}),
+        # Include cycle between two util headers. The cycle is reported once,
+        # attributed to the file where DFS closes it; the partner file gets
+        # no assertion (expected = None).
+        "src/util/cyc_a.h": ('#include "util/cyc_b.h"\n', {"layering"}),
+        "src/util/cyc_b.h": ('#include "util/cyc_a.h"\n', None),
+        # Clean file: pool-based parallelism, ordered map, downward include.
+        "src/fl/good.cpp": (
+            '#include "util/thread_pool.h"\n'
+            "#include <map>\n"
+            "int run() {\n"
+            "  std::map<int, int> ordered;\n"
+            "  int s = 0;\n"
+            "  for (const auto& kv : ordered) s += kv.second;\n"
+            "  return s;\n"
+            "}\n",
+            set()),
+        # Waivers suppress their rules.
+        "src/fl/waived.cpp": (
+            "#include <thread>\n"
+            "void spawn() {\n"
+            "  // lint-apf: allow-raw-thread(self-test)\n"
+            "  std::thread worker([] {});\n"
+            "  worker.join();\n"
+            "}\n",
+            set()),
+    }
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        for rel, (content, _) in cases.items():
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content)
+        findings = run_checks(root)
+        by_file = {}
+        for f in findings:
+            by_file.setdefault(pathlib.Path(f.path).name, set()).add(f.rule)
+        for rel, (_, expected_rules) in cases.items():
+            if expected_rules is None:
+                continue
+            name = pathlib.Path(rel).name
+            fired = by_file.get(name, set())
+            for rule in expected_rules:
+                if rule not in fired:
+                    failures.append(
+                        f"self-test: expected [{rule}] to fire on {rel}, "
+                        f"got {sorted(fired) or 'nothing'}")
+            if not expected_rules and fired:
+                failures.append(
+                    f"self-test: expected {rel} to be clean, got "
+                    f"{sorted(fired)}")
+
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print("lint_apf: self-test FAILED", file=sys.stderr)
+        return 1
+    print(f"lint_apf: self-test passed ({len(cases)} seeded case(s))",
+          file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------------
 # driver
 # --------------------------------------------------------------------------
 
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--root", default=None,
-                        help="repo root (default: parent of this script)")
-    parser.add_argument("paths", nargs="*",
-                        help="restrict to these files (default: all of src/)")
-    args = parser.parse_args(argv)
-
-    root = pathlib.Path(args.root).resolve() if args.root else \
-        pathlib.Path(__file__).resolve().parent.parent
+def run_checks(root, paths=None):
+    """Runs every rule; returns the findings list."""
     src = root / "src"
-    if args.paths:
-        files = [pathlib.Path(p).resolve() for p in args.paths]
+    if paths:
+        files = [pathlib.Path(p).resolve() for p in paths]
     else:
         files = sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp"))
 
@@ -390,6 +692,19 @@ def main(argv):
                 classes.setdefault(name, {}).update(methods)
             free_decls |= free
 
+    # Unordered-container identifiers per restricted module, so iterating a
+    # member declared in the header is caught in the .cpp.
+    unordered_by_module: dict[str, set[str]] = {}
+    for sub in UNORDERED_MODULES:
+        names: set[str] = set()
+        for path in sorted((src / sub).rglob("*.h")) + \
+                sorted((src / sub).rglob("*.cpp")):
+            try:
+                names |= collect_unordered_names(path.read_text())
+            except (OSError, UnicodeDecodeError):
+                continue
+        unordered_by_module[sub] = names
+
     findings: list[Finding] = []
     for path in files:
         try:
@@ -401,16 +716,44 @@ def main(argv):
                           text, findings)
         check_test_includes(rel, text, findings)
         check_float_accumulators(rel, text, findings)
-        if path.suffix == ".cpp" and path.parent.name in ("core", "fl") \
+        check_concurrency(rel, text, findings)
+        module = path.parent.name
+        if module in UNORDERED_MODULES and path.parent.parent == src:
+            check_unordered_iteration(rel, text,
+                                      unordered_by_module[module], findings)
+        if path.suffix == ".cpp" and module in ("core", "fl") \
                 and path.parent.parent == src:
             check_entry_points(rel, text, classes, free_decls, findings)
+
+    # Whole-graph analysis is independent of the path selection: an include
+    # cycle is a repo property, not a file property.
+    check_layering(src, findings)
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on seeded violations")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to these files (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root).resolve() if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    findings = run_checks(root, args.paths)
 
     for f in findings:
         print(f)
     if findings:
         print(f"lint_apf: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print(f"lint_apf: {len(files)} file(s) clean", file=sys.stderr)
+    print("lint_apf: clean", file=sys.stderr)
     return 0
 
 

@@ -3,23 +3,41 @@
 # .clang-tidy configuration and a compile_commands.json database.
 #
 # Usage:
-#   tools/run_tidy.sh [build-dir]
+#   tools/run_tidy.sh [--if-available] [build-dir]
 #
-# With no argument, configures a dedicated build tree at build-tidy/ with
-# CMAKE_EXPORT_COMPILE_COMMANDS=ON. Exits 0 with a notice when clang-tidy is
-# not installed (e.g. minimal containers); CI installs it explicitly.
+# With no build-dir argument, configures a dedicated build tree at
+# build-tidy/ with CMAKE_EXPORT_COMPILE_COMMANDS=ON.
+#
+# When clang-tidy is not installed, the default is a hard failure (exit 3
+# with a clear message) so CI cannot silently skip the check. Pass
+# --if-available to downgrade a missing clang-tidy to a notice + exit 0 —
+# for local use in minimal containers where installing it is not an option.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
+if_available=0
+args=()
+for arg in "$@"; do
+  case "${arg}" in
+    --if-available) if_available=1 ;;
+    *) args+=("${arg}") ;;
+  esac
+done
+
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
-  echo "run_tidy.sh: ${tidy_bin} not found on PATH; skipping (install clang-tidy to run)." >&2
-  exit 0
+  if [[ ${if_available} -eq 1 ]]; then
+    echo "run_tidy.sh: ${tidy_bin} not found, skipping (--if-available)." >&2
+    exit 0
+  fi
+  echo "run_tidy.sh: ${tidy_bin} not found on PATH. Install clang-tidy, set" >&2
+  echo "run_tidy.sh: CLANG_TIDY=<path>, or pass --if-available to skip." >&2
+  exit 3
 fi
 
-build_dir="${1:-build-tidy}"
+build_dir="${args[0]:-build-tidy}"
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   echo "run_tidy.sh: configuring ${build_dir} for compile_commands.json" >&2
   cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
