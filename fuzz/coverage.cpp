@@ -1,0 +1,92 @@
+// Edge-coverage runtime. This TU is ALWAYS compiled without
+// -fsanitize-coverage (see fuzz/CMakeLists.txt): an instrumented callback
+// would call itself at its own entry edge and recurse until stack overflow.
+// The callback therefore touches only plain statics and thread-locals —
+// no allocation, no library calls — and everything heavier happens in
+// coverage_take(), which runs while collection is off.
+#include "fuzz/coverage.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace apf::fuzz {
+
+namespace {
+
+// Open-addressed scratch table for the edges of ONE execution. Lossy on
+// probe exhaustion — deterministically so, since only the collector thread
+// inserts and insertion order is the execution's own control flow.
+constexpr std::size_t kSlotBits = 16;
+constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+constexpr std::size_t kMaxProbes = 8;
+
+std::uint64_t g_slot[kSlots];            // edge id + 1; 0 = empty
+std::uint32_t g_used[kSlots];            // indices of claimed slots
+std::size_t g_used_count = 0;
+std::atomic<bool> g_collecting{false};
+thread_local bool t_collector = false;
+
+// Anchor for ASLR-independent edge ids: all code in the binary sits at a
+// fixed offset from this function for a given build.
+void anchor_symbol() {}
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+void coverage_begin() {
+  t_collector = true;
+  g_collecting.store(true, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> coverage_take() {
+  g_collecting.store(false, std::memory_order_relaxed);
+  std::vector<std::uint64_t> edges;
+  edges.reserve(g_used_count);
+  for (std::size_t i = 0; i < g_used_count; ++i) {
+    const std::uint32_t slot = g_used[i];
+    edges.push_back(g_slot[slot] - 1);
+    g_slot[slot] = 0;
+  }
+  g_used_count = 0;
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::uint64_t coverage_set_hash(const std::vector<std::uint64_t>& edges) {
+  // XOR of mixed ids: order-independent, so equal sets hash equal no matter
+  // how they were accumulated.
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const std::uint64_t e : edges) h ^= mix(e + 1);
+  return h;
+}
+
+}  // namespace apf::fuzz
+
+// gcc calls this at every CFG edge of every instrumented TU.
+extern "C" void __sanitizer_cov_trace_pc() {
+  using namespace apf::fuzz;
+  if (!g_collecting.load(std::memory_order_relaxed) || !t_collector) return;
+  const auto pc = reinterpret_cast<std::uint64_t>(__builtin_return_address(0));
+  const auto anchor = reinterpret_cast<std::uint64_t>(&anchor_symbol);
+  const std::uint64_t edge = pc - anchor;  // unsigned wrap is fine and stable
+  std::size_t index =
+      static_cast<std::size_t>(mix(edge)) & (kSlots - 1);
+  for (std::size_t probe = 0; probe < kMaxProbes; ++probe) {
+    const std::uint64_t held = g_slot[index];
+    if (held == edge + 1) return;  // already recorded this execution
+    if (held == 0) {
+      g_slot[index] = edge + 1;
+      g_used[g_used_count++] = static_cast<std::uint32_t>(index);
+      return;
+    }
+    index = (index + 1) & (kSlots - 1);
+  }
+  // Probe limit hit: drop the edge (lossy but deterministic).
+}

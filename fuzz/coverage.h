@@ -1,0 +1,37 @@
+// Deterministic edge-coverage feedback for the fuzz harness.
+//
+// When the tree is configured with -DAPF_FUZZ_COVERAGE=ON, every TU except
+// this runtime is compiled with gcc's -fsanitize-coverage=trace-pc, which
+// inserts a call to __sanitizer_cov_trace_pc() at every CFG edge. The
+// callback lives in coverage.cpp, which is compiled WITHOUT instrumentation
+// (an instrumented callback would recurse into itself) and records the set
+// of distinct edges hit between coverage_begin() and coverage_take().
+//
+// Determinism contract: edge addresses are normalized against an anchor
+// symbol inside the (statically linked) binary, so the edge ids — and
+// therefore the harness's corpus evolution — are a pure function of the
+// binary and the input, independent of ASLR. Only the thread that called
+// coverage_begin() is recorded; pool workers are ignored, so worker
+// scheduling cannot perturb the edge set. Without instrumentation every
+// function below is a cheap no-op that reports zero edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apf::fuzz {
+
+/// Starts collecting edges hit by the calling thread. Clears nothing from
+/// previous collections besides its own scratch table (coverage_take() left
+/// it empty).
+void coverage_begin();
+
+/// Stops collecting and returns the distinct normalized edge ids hit since
+/// coverage_begin(), sorted ascending. Empty when the binary is not
+/// instrumented.
+std::vector<std::uint64_t> coverage_take();
+
+/// Order-independent hash of an edge-id set (for logging/digests).
+std::uint64_t coverage_set_hash(const std::vector<std::uint64_t>& edges);
+
+}  // namespace apf::fuzz

@@ -5,6 +5,7 @@
 //   fuzz_apf --replay fuzz/corpus            # replay the checked-in corpus
 //   fuzz_apf --replay crash.bin --target qsgd
 //   fuzz_apf --emit-corpus fuzz/corpus       # regenerate seed corpus files
+//   fuzz_apf --minimize finding.bin --target apf-rounds
 //   fuzz_apf --list
 //
 // Runs are pure functions of (target, seed, iters): the summary line
@@ -46,7 +47,13 @@ int usage(const char* argv0) {
       << "  --replay PATH          replay a corpus file/directory instead of\n"
       << "                         fuzzing (dirs: subdirectory name selects\n"
       << "                         the target; files need --target)\n"
-      << "  --emit-corpus DIR      write deterministic seed corpus files\n";
+      << "  --emit-corpus DIR      write deterministic seed corpus files\n"
+      << "  --minimize FILE        greedily shrink FILE while its outcome\n"
+      << "                         class (accepted / rejected / finding,\n"
+      << "                         normalized message) is preserved; needs\n"
+      << "                         --target\n"
+      << "  --out PATH             output path for --minimize (default\n"
+      << "                         regress-min-<stem>.bin next to FILE)\n";
   return 1;
 }
 
@@ -144,6 +151,43 @@ int emit_corpus(const std::string& dir_arg) {
   return 0;
 }
 
+const char* outcome_name(apf::fuzz::BufferOutcome::Kind kind) {
+  switch (kind) {
+    case apf::fuzz::BufferOutcome::Kind::kAccepted: return "accepted";
+    case apf::fuzz::BufferOutcome::Kind::kRejected: return "rejected";
+    case apf::fuzz::BufferOutcome::Kind::kFinding: return "finding";
+  }
+  return "?";
+}
+
+int minimize_file(const std::string& file_arg, const std::string& target_arg,
+                  const std::string& out_arg) {
+  const FuzzTarget* target = apf::fuzz::find_target(target_arg);
+  if (target == nullptr) {
+    std::cerr << "fuzz_apf: --minimize needs --target\n";
+    return 1;
+  }
+  const fs::path in_path(file_arg);
+  const auto bytes = read_file(in_path);
+  const auto outcome = apf::fuzz::classify_buffer(*target, bytes);
+  const auto minimized = apf::fuzz::minimize_buffer(*target, bytes);
+  const fs::path out_path =
+      out_arg.empty()
+          ? in_path.parent_path() /
+                ("regress-min-" + in_path.stem().string() + ".bin")
+          : fs::path(out_arg);
+  write_file(out_path, minimized);
+  std::cout << "fuzz_apf: minimize target=" << target->name << " class="
+            << outcome_name(outcome.kind)
+            << (outcome.detail.empty() ? "" : " (" + outcome.detail + ")")
+            << "\n"
+            << "  " << bytes.size() << " -> " << minimized.size()
+            << " byte(s), written to " << out_path.string() << "\n"
+            << "  replay: fuzz_apf --replay " << out_path.string()
+            << " --target " << target->name << "\n";
+  return 0;
+}
+
 int fuzz(const std::string& target_arg, std::uint64_t seed,
          std::uint64_t iters, const FuzzOptions& options) {
   std::vector<const FuzzTarget*> selected;
@@ -173,7 +217,10 @@ int fuzz(const std::string& target_arg, std::uint64_t seed,
       std::cout << "fuzz_apf: target=" << target->name << " seed=" << seed
                 << " iters=" << summary.iterations
                 << " accepted=" << summary.accepted
-                << " rejected=" << summary.rejected << " digest=0x"
+                << " rejected=" << summary.rejected
+                << " corpus=" << summary.corpus_size << "(+"
+                << summary.corpus_added << ")"
+                << " edges=" << summary.edges << " digest=0x"
                 << std::hex << summary.digest << std::dec << "\n";
     } catch (const std::exception& e) {
       std::cerr << "FINDING: target=" << target->name << " seed=" << seed
@@ -197,6 +244,8 @@ int main(int argc, char** argv) {
   std::string replay_arg;
   std::string emit_arg;
   std::string dump_arg;
+  std::string minimize_arg;
+  std::string out_arg;
   std::uint64_t seed = 1;
   std::uint64_t iters = 10000;
   FuzzOptions options;
@@ -230,6 +279,10 @@ int main(int argc, char** argv) {
       replay_arg = next();
     } else if (arg == "--emit-corpus") {
       emit_arg = next();
+    } else if (arg == "--minimize") {
+      minimize_arg = next();
+    } else if (arg == "--out") {
+      out_arg = next();
     } else {
       return usage(argv[0]);
     }
@@ -237,6 +290,8 @@ int main(int argc, char** argv) {
 
   try {
     if (!emit_arg.empty()) return emit_corpus(emit_arg);
+    if (!minimize_arg.empty())
+      return minimize_file(minimize_arg, target_arg, out_arg);
     if (!replay_arg.empty()) return replay_path(replay_arg, target_arg);
     if (target_arg.empty()) return usage(argv[0]);
     return fuzz(target_arg, seed, iters, options);

@@ -1,0 +1,64 @@
+// Shared hashing + invariant helpers for the fuzz targets.
+//
+// The exception type IS the verdict channel: apf::Error means "input
+// rejected" (an acceptable outcome), while std::logic_error from
+// require_invariant means "the library broke its contract" (a finding the
+// driver propagates). Keep the two strictly separate.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace apf::fuzz {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h,
+                           std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_bytes(std::span<const std::uint8_t> bytes) {
+  return fnv1a(kFnvOffset, bytes);
+}
+
+inline std::uint64_t hash_floats(std::span<const float> values) {
+  std::uint64_t h = kFnvOffset;
+  for (const float v : values) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = fnv1a_u64(h, bits);
+  }
+  return h;
+}
+
+/// A violated invariant is a BUG, not a rejection, so it must not surface as
+/// apf::Error (which the driver treats as "input rejected").
+inline void require_invariant(bool cond, const char* msg) {
+  if (!cond) throw std::logic_error(std::string("fuzz invariant: ") + msg);
+}
+
+/// Bitwise float-vector equality (operator== would mis-handle NaN).
+inline bool bits_equal(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+}  // namespace apf::fuzz

@@ -80,6 +80,62 @@ std::vector<std::uint8_t> mutate(Rng& rng,
   return buf;
 }
 
+namespace {
+
+/// A splice offset into [0, size] snapped down to `align` (1, 2 or 4).
+std::size_t aligned_cut(Rng& rng, std::size_t size, std::size_t align) {
+  if (size == 0) return 0;
+  return (rng.uniform_int(size + 1) / align) * align;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> crossover(Rng& rng,
+                                    const std::vector<std::uint8_t>& a,
+                                    const std::vector<std::uint8_t>& b,
+                                    std::size_t max_len) {
+  constexpr std::size_t kAligns[] = {1, 2, 4};
+  const std::size_t align =
+      kAligns[rng.uniform_int(std::uint64_t{std::size(kAligns)})];
+  std::vector<std::uint8_t> out;
+  switch (rng.uniform_int(std::uint64_t{3})) {
+    case 0: {  // head of a + tail of b
+      const std::size_t cut_a = aligned_cut(rng, a.size(), align);
+      const std::size_t cut_b = aligned_cut(rng, b.size(), align);
+      out.assign(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(cut_a));
+      out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                 b.end());
+      break;
+    }
+    case 1: {  // insert a window of b into a
+      const std::size_t from = aligned_cut(rng, b.size(), align);
+      const std::size_t len = std::min(
+          b.size() - from,
+          align * (1 + rng.uniform_int(std::uint64_t{8})));
+      const std::size_t at = aligned_cut(rng, a.size(), align);
+      out = a;
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                 b.begin() + static_cast<std::ptrdiff_t>(from),
+                 b.begin() + static_cast<std::ptrdiff_t>(from + len));
+      break;
+    }
+    default: {  // overwrite a span of a with bytes of b, in place
+      out = a;
+      if (out.empty() || b.empty()) break;
+      const std::size_t at = aligned_cut(rng, out.size() - 1, align);
+      const std::size_t from = aligned_cut(rng, b.size() - 1, align);
+      const std::size_t len = std::min(
+          {out.size() - at, b.size() - from,
+           align * (1 + rng.uniform_int(std::uint64_t{8}))});
+      std::copy_n(b.begin() + static_cast<std::ptrdiff_t>(from), len,
+                  out.begin() + static_cast<std::ptrdiff_t>(at));
+      break;
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
 std::vector<std::uint8_t> random_buffer(Rng& rng, std::size_t max_len) {
   std::vector<std::uint8_t> buf(rng.uniform_int(max_len + 1));
   for (auto& b : buf) {

@@ -24,4 +24,14 @@ std::vector<std::uint8_t> mutate(Rng& rng,
 /// A fully random buffer of length <= max_len (the structure-blind probe).
 std::vector<std::uint8_t> random_buffer(Rng& rng, std::size_t max_len);
 
+/// Structure-aware crossover of two parents (never more than `max_len`
+/// bytes). Splice points are drawn on 1/2/4-byte alignments so u16/u32/f32
+/// fields tend to transplant whole, which keeps far more offspring inside
+/// the framed formats than byte-blind splicing would. Three modes:
+/// head+tail splice, window insertion, and span overwrite.
+std::vector<std::uint8_t> crossover(Rng& rng,
+                                    const std::vector<std::uint8_t>& a,
+                                    const std::vector<std::uint8_t>& b,
+                                    std::size_t max_len);
+
 }  // namespace apf::fuzz

@@ -1,0 +1,680 @@
+#include "fuzz/round_script.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/apf_manager.h"
+#include "core/masked_pack.h"
+#include "core/strawmen.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/runner.h"
+#include "fl/sync_strategy.h"
+#include "fuzz/invariant.h"
+#include "fuzz/state_oracle.h"
+#include "nn/models.h"
+#include "optim/optimizer.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace apf::fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Script codec
+// ---------------------------------------------------------------------------
+
+std::size_t derive_dim(std::uint8_t sel) { return 1 + sel % 24; }
+std::size_t derive_clients(std::uint8_t sel) { return 1 + sel % 4; }
+std::size_t derive_rounds(std::uint8_t sel) { return 1 + sel % 6; }
+std::size_t derive_cadence(std::uint8_t sel) { return 1 + sel % 3; }
+double derive_threshold(std::uint8_t sel) {
+  return 0.01 + 0.015 * static_cast<double>(sel % 32);
+}
+
+bool bit_eq(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+}  // namespace
+
+RoundScript parse_round_script(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes, "round script");
+  APF_CHECK_MSG(reader.u32() == kRoundScriptMagic, "round script: bad magic");
+  RoundScript script;
+  script.flavor = reader.u8();
+  const std::uint8_t dim_sel = reader.u8();
+  const std::uint8_t clients_sel = reader.u8();
+  const std::uint8_t rounds_sel = reader.u8();
+  const std::uint8_t cadence_sel = reader.u8();
+  const std::uint8_t threshold_sel = reader.u8();
+  script.flags = reader.u16();
+  script.value_seed = reader.u64();
+  script.dim = derive_dim(dim_sel);
+  script.clients = derive_clients(clients_sel);
+  script.cadence = derive_cadence(cadence_sel);
+  script.threshold = derive_threshold(threshold_sel);
+  const std::size_t rounds = derive_rounds(rounds_sel);
+  script.rounds.resize(rounds);
+  for (auto& plan : script.rounds) {
+    plan.weight_action = reader.u8();
+    plan.clients.resize(script.clients);
+    for (auto& action : plan.clients) {
+      action.action = reader.u8();
+      action.a = reader.u8();
+      action.b = reader.u8();
+      action.v = reader.f32();
+    }
+  }
+  reader.expect_exhausted();
+  return script;
+}
+
+std::vector<std::uint8_t> generate_round_script(Rng& rng) {
+  ByteWriter writer;
+  writer.u32(kRoundScriptMagic);
+  writer.u8(static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+  const auto dim_sel =
+      static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256}));
+  const auto clients_sel =
+      static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256}));
+  const auto rounds_sel =
+      static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256}));
+  writer.u8(dim_sel);
+  writer.u8(clients_sel);
+  writer.u8(rounds_sel);
+  writer.u8(static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+  writer.u8(static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+  writer.u16(static_cast<std::uint16_t>(rng.uniform_int(std::uint64_t{256})));
+  writer.u64(rng.next_u64());
+  const std::size_t clients = derive_clients(clients_sel);
+  const std::size_t rounds = derive_rounds(rounds_sel);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    writer.u8(static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+    for (std::size_t c = 0; c < clients; ++c) {
+      writer.u8(
+          static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+      writer.u8(
+          static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+      writer.u8(
+          static_cast<std::uint8_t>(rng.uniform_int(std::uint64_t{256})));
+      // Mostly plausible magnitudes; occasionally raw bit soup so special
+      // values (NaN payloads, huge exponents) appear in valid scripts too.
+      if (rng.bernoulli(0.25)) {
+        writer.u32(static_cast<std::uint32_t>(rng.next_u64()));
+      } else {
+        writer.f32(rng.uniform_float(-2.f, 2.f));
+      }
+    }
+  }
+  return writer.take();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Strategy-driving harness (apf-rounds, strawman-rounds)
+// ---------------------------------------------------------------------------
+
+enum class StrategyKind { kApf, kFullSync, kPartialSync, kPermanentFreeze };
+
+std::unique_ptr<fl::SyncStrategy> make_strategy(const RoundScript& s,
+                                                StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFullSync:
+      return std::make_unique<fl::FullSync>();
+    case StrategyKind::kPartialSync:
+    case StrategyKind::kPermanentFreeze: {
+      core::StrawmanOptions options;
+      options.stability_threshold = s.threshold;
+      options.ema_alpha = 0.5;
+      options.check_every_rounds = s.cadence;
+      if (kind == StrategyKind::kPartialSync) {
+        return std::make_unique<core::PartialSync>(options);
+      }
+      return std::make_unique<core::PermanentFreeze>(options);
+    }
+    case StrategyKind::kApf:
+      break;
+  }
+  core::ApfOptions options;
+  options.stability_threshold = s.threshold;
+  options.ema_alpha = 0.5;
+  options.check_every_rounds = s.cadence;
+  options.threshold_decay = (s.flags & kFlagNoDecay) == 0;
+  options.server_side_mask = (s.flags & kFlagServerSideMask) != 0;
+  options.seed = s.value_seed;
+  switch (s.flavor % 3) {
+    case 1:
+      options.random_mode = core::RandomFreezeMode::kSharp;
+      options.sharp_probability = 0.25;
+      break;
+    case 2:
+      options.random_mode = core::RandomFreezeMode::kPlusPlus;
+      options.pp_prob_coeff = 0.05;
+      options.pp_len_coeff = 0.5;
+      break;
+    default:
+      break;
+  }
+  auto manager = std::make_unique<core::ApfManager>(options);
+  if ((s.flags & kFlagTensorGran) != 0 && s.dim >= 2) {
+    // Exercised through the scalar path too; two segments tiling the vector
+    // keep the tensor-granularity code hot without a real model layout.
+    core::ApfOptions tensor_options = options;
+    tensor_options.granularity = core::FreezeGranularity::kTensor;
+    manager = std::make_unique<core::ApfManager>(tensor_options);
+    manager->set_segments({{0, s.dim / 2}, {s.dim / 2, s.dim - s.dim / 2}});
+  }
+  return manager;
+}
+
+std::vector<double> make_weights(std::uint8_t weight_action, std::size_t n,
+                                 std::size_t round_index) {
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 + static_cast<double>(i);
+  }
+  const std::size_t pick = round_index % n;
+  switch (weight_action % kNumWeightActions) {
+    case 1:
+      weights[pick] = 0.0;
+      break;
+    case 2:
+      weights[pick] = -1.0;
+      break;
+    case 3:
+      weights[pick] = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 4:
+      weights[pick] = std::numeric_limits<double>::infinity();
+      break;
+    case 5:
+      std::fill(weights.begin(), weights.end(), 0.0);
+      break;
+    default:
+      break;
+  }
+  return weights;
+}
+
+std::vector<float> make_proposal(
+    const RoundScript& s, std::size_t round_index, std::size_t client,
+    const ClientAction& act, const std::vector<float>& base,
+    const std::vector<float>& pre_global, const Bitmap* pre_mask,
+    const std::vector<std::vector<float>>& history) {
+  const std::size_t dim = s.dim;
+  std::vector<float> prop = base;
+  // Every action starts from a plausible local-training step so the honest
+  // path keeps evolving the strategy's statistics between injections.
+  std::uint64_t state = s.value_seed ^
+                        0x9E3779B97F4A7C15ULL * (round_index + 1) ^
+                        0xC2B2AE3D27D4EB4FULL * (client + 1);
+  Rng step(splitmix64(state));
+  for (auto& x : prop) x += step.uniform_float(-0.05f, 0.05f);
+  switch (act.action % kNumClientActions) {
+    case 1:
+      prop[act.a % dim] = std::numeric_limits<float>::quiet_NaN();
+      break;
+    case 2:
+      prop[act.a % dim] = (act.b & 1) != 0
+                              ? -std::numeric_limits<float>::infinity()
+                              : std::numeric_limits<float>::infinity();
+      break;
+    case 3:
+      prop[act.a % dim] = act.v * 1e30f;
+      break;
+    case 4: {  // wrong dim: longer
+      const std::size_t extra = 1 + act.a % 3;
+      for (std::size_t k = 0; k < extra; ++k) prop.push_back(act.v);
+      break;
+    }
+    case 5: {  // wrong dim: shorter
+      const std::size_t cut = 1 + act.a % 3;
+      prop.resize(dim > cut ? dim - cut : 0);
+      break;
+    }
+    case 6:  // stale-round replay: resubmit an old global verbatim
+      prop = history.empty() ? pre_global
+                             : history[act.b % history.size()];
+      break;
+    case 7:  // tamper with scalars the protocol says never leave the client
+      if (pre_mask != nullptr && pre_mask->count() > 0) {
+        for (std::size_t j = 0; j < dim; ++j) {
+          if (pre_mask->get(j)) prop[j] += 1.0f + std::fabs(act.v);
+        }
+      } else {
+        prop[act.a % dim] += 1.0f;
+      }
+      break;
+    case 8:  // raw float write (whatever bits the wire carried)
+      prop[act.a % dim] = act.v;
+      break;
+    case 9:  // zero update: echo the global back unchanged
+      prop = pre_global;
+      break;
+    default:  // 0: honest delta only
+      break;
+  }
+  return prop;
+}
+
+void check_result_common(const fl::SyncStrategy::Result& result,
+                         std::size_t n) {
+  require_invariant(result.bytes_up.size() == n,
+                    "bytes_up size != client count");
+  require_invariant(result.bytes_down.size() == n,
+                    "bytes_down size != client count");
+  for (const double b : result.bytes_up) {
+    require_invariant(std::isfinite(b) && b >= 0.0, "bytes_up not sane");
+  }
+  for (const double b : result.bytes_down) {
+    require_invariant(std::isfinite(b) && b >= 0.0, "bytes_down not sane");
+  }
+  require_invariant(
+      result.frozen_fraction >= 0.0 && result.frozen_fraction <= 1.0,
+      "frozen_fraction out of [0,1]");
+}
+
+void check_applied(StrategyKind kind, const RoundScript& s,
+                   const fl::SyncStrategy& strategy,
+                   const core::StrawmanBase* strawman,
+                   const fl::SyncStrategy::Result& result,
+                   const std::vector<std::vector<float>>& post_clients,
+                   const std::vector<std::vector<float>>& submitted,
+                   const std::vector<float>& pre_global,
+                   const Bitmap& pre_mask, const Bitmap& pre_excluded) {
+  const std::size_t dim = s.dim;
+  const std::size_t n = s.clients;
+  check_result_common(result, n);
+  const std::span<const float> post_global = strategy.global_params();
+  require_invariant(post_global.size() == dim, "global dimension drifted");
+
+  switch (kind) {
+    case StrategyKind::kApf: {
+      const std::size_t frozen = pre_mask.count();
+      for (const auto& params : post_clients) {
+        require_invariant(bits_equal(params, post_global),
+                          "APF client diverged from the global model");
+      }
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (pre_mask.get(j)) {
+          require_invariant(bit_eq(post_global[j], pre_global[j]),
+                            "APF moved a frozen scalar");
+        }
+      }
+      // Byte accounting must match the real encoded payload: frame the
+      // merged update as wire bytes and compare sizes.
+      const auto encoded = core::encode_masked_update(post_global, pre_mask);
+      const double mask_bytes = static_cast<double>((dim + 7) / 8);
+      const double payload_bytes =
+          static_cast<double>(encoded.size()) - 8.0 - mask_bytes;
+      const double down_extra =
+          (s.flags & kFlagServerSideMask) != 0 ? mask_bytes : 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        require_invariant(result.bytes_up[i] == payload_bytes,
+                          "APF bytes_up != encoded payload size");
+        require_invariant(result.bytes_down[i] == payload_bytes + down_extra,
+                          "APF bytes_down != encoded payload size");
+      }
+      require_invariant(
+          result.frozen_fraction ==
+              static_cast<double>(frozen) / static_cast<double>(dim),
+          "APF frozen_fraction disagrees with the active mask");
+      break;
+    }
+    case StrategyKind::kFullSync: {
+      for (const auto& params : post_clients) {
+        require_invariant(bits_equal(params, post_global),
+                          "FullSync client diverged from the global model");
+      }
+      const double payload = 4.0 * static_cast<double>(dim);
+      for (std::size_t i = 0; i < n; ++i) {
+        require_invariant(result.bytes_up[i] == payload &&
+                              result.bytes_down[i] == payload,
+                          "FullSync must charge the full model both ways");
+      }
+      require_invariant(result.frozen_fraction == 0.0,
+                        "FullSync reported frozen scalars");
+      break;
+    }
+    case StrategyKind::kPartialSync:
+    case StrategyKind::kPermanentFreeze: {
+      require_invariant(strawman != nullptr, "strawman cast failed");
+      const Bitmap& post_excluded = strawman->excluded();
+      require_invariant(post_excluded.size() == dim,
+                        "exclusion mask dimension drifted");
+      for (std::size_t j = 0; j < dim; ++j) {
+        require_invariant(!pre_excluded.get(j) || post_excluded.get(j),
+                          "irreversible exclusion mask shrank");
+        if (pre_excluded.get(j)) {
+          require_invariant(bit_eq(post_global[j], pre_global[j]),
+                            "strawman moved an excluded scalar");
+        }
+      }
+      if (kind == StrategyKind::kPermanentFreeze) {
+        for (const auto& params : post_clients) {
+          require_invariant(
+              bits_equal(params, post_global),
+              "PermanentFreeze client diverged from the global model");
+        }
+      } else {
+        // PartialSync: non-excluded scalars synchronize; excluded scalars
+        // keep each client's own submitted value (the designed divergence).
+        for (std::size_t i = 0; i < n; ++i) {
+          require_invariant(post_clients[i].size() == dim,
+                            "PartialSync client dimension drifted");
+          for (std::size_t j = 0; j < dim; ++j) {
+            if (post_excluded.get(j)) {
+              require_invariant(
+                  bit_eq(post_clients[i][j], submitted[i][j]),
+                  "PartialSync overwrote a client's excluded scalar");
+            } else {
+              require_invariant(
+                  bit_eq(post_clients[i][j], post_global[j]),
+                  "PartialSync client diverged on a synchronized scalar");
+            }
+          }
+        }
+      }
+      const double payload =
+          4.0 * static_cast<double>(dim - post_excluded.count());
+      for (std::size_t i = 0; i < n; ++i) {
+        require_invariant(result.bytes_up[i] == payload &&
+                              result.bytes_down[i] == payload,
+                          "strawman bytes disagree with the exclusion mask");
+      }
+      require_invariant(result.frozen_fraction == post_excluded.fraction(),
+                        "strawman frozen_fraction != excluded fraction");
+      break;
+    }
+  }
+}
+
+std::uint64_t run_sync_script(const RoundScript& s, StrategyKind kind) {
+  auto strategy = make_strategy(s, kind);
+  const auto* strawman =
+      dynamic_cast<const core::StrawmanBase*>(strategy.get());
+
+  std::uint64_t seed_state = s.value_seed ^ 0xA5A5A5A55A5A5A5AULL;
+  Rng vrng(splitmix64(seed_state));
+  std::vector<float> initial(s.dim);
+  for (auto& x : initial) x = vrng.uniform_float(-1.f, 1.f);
+  strategy->init(initial, s.clients);
+
+  std::vector<std::vector<float>> client_params(s.clients, initial);
+  std::vector<std::vector<float>> history;  // recent globals (stale replay)
+  std::uint64_t digest = kFnvOffset;
+
+  for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+    const RoundPlan& plan = s.rounds[r];
+    const std::vector<float> pre_global(strategy->global_params().begin(),
+                                        strategy->global_params().end());
+    const Bitmap* mask_ptr = strategy->frozen_mask();
+    const Bitmap pre_mask = mask_ptr != nullptr ? *mask_ptr : Bitmap(0, false);
+    const Bitmap pre_excluded =
+        strawman != nullptr ? strawman->excluded() : Bitmap(0, false);
+
+    std::vector<std::vector<float>> props(s.clients);
+    for (std::size_t c = 0; c < s.clients; ++c) {
+      props[c] = make_proposal(s, r, c, plan.clients[c], client_params[c],
+                               pre_global, mask_ptr, history);
+    }
+    const std::vector<double> weights =
+        make_weights(plan.weight_action, s.clients, r);
+
+    const auto pre_snapshot = snapshot_strategy(*strategy);
+    const std::vector<std::vector<float>> submitted = props;
+    try {
+      const auto result = strategy->synchronize(r + 1, props, weights);
+      check_applied(kind, s, *strategy, strawman, result, props, submitted,
+                    pre_global, pre_mask, pre_excluded);
+      client_params = std::move(props);
+      const std::span<const float> g = strategy->global_params();
+      history.emplace_back(g.begin(), g.end());
+      if (history.size() > 4) history.erase(history.begin());
+      digest = fnv1a_u64(digest ^ 'A', hash_floats(g));
+      digest = fnv1a_u64(digest, static_cast<std::uint64_t>(
+                                     result.bytes_up.empty()
+                                         ? 0
+                                         : result.bytes_up.front()));
+    } catch (const Error&) {
+      require_invariant(snapshot_strategy(*strategy) == pre_snapshot,
+                        "rejected round mutated strategy state");
+      require_invariant(props.size() == submitted.size(),
+                        "rejected round changed the client count");
+      for (std::size_t c = 0; c < props.size(); ++c) {
+        require_invariant(bits_equal(props[c], submitted[c]),
+                          "rejected round mutated client params");
+      }
+      // Admission control: every client re-pulls the (unchanged) global
+      // model and the episode continues.
+      for (auto& params : client_params) {
+        params.assign(pre_global.begin(), pre_global.end());
+      }
+      digest = fnv1a_u64(digest ^ 'R', r + 1);
+    }
+  }
+  return digest;
+}
+
+// ---------------------------------------------------------------------------
+// FederatedRunner harness (runner-rounds)
+// ---------------------------------------------------------------------------
+
+const data::SyntheticImageDataset& runner_train_data() {
+  static const data::SyntheticImageDataset dataset(
+      []() {
+        data::SyntheticImageSpec spec;
+        spec.num_classes = 3;
+        spec.channels = 1;
+        spec.image_size = 4;
+        spec.noise_stddev = 0.4;
+        spec.seed = 7;
+        return spec;
+      }(),
+      /*num_samples=*/24, /*split_seed=*/0xA11CE5ULL);
+  return dataset;
+}
+
+const data::SyntheticImageDataset& runner_test_data() {
+  static const data::SyntheticImageDataset dataset(
+      runner_train_data().spec(), /*num_samples=*/12,
+      /*split_seed=*/0xB0B5ULL);
+  return dataset;
+}
+
+void check_runner_result(const fl::FlConfig& config,
+                         const fl::SimulationResult& result,
+                         const fl::SyncStrategy& strategy) {
+  require_invariant(result.rounds.size() == config.rounds,
+                    "runner did not record every round");
+  double cum_bytes = 0.0;
+  double cum_seconds = 0.0;
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    const fl::RoundRecord& rec = result.rounds[i];
+    require_invariant(rec.round == i + 1, "round index drifted");
+    require_invariant(
+        rec.participants >= 1 && rec.participants <= config.num_clients,
+        "participant count out of range");
+    require_invariant(
+        std::isfinite(rec.bytes_per_client) && rec.bytes_per_client >= 0.0,
+        "bytes_per_client not sane");
+    require_invariant(std::isfinite(rec.round_seconds) &&
+                          rec.round_seconds >= 0.0,
+                      "round_seconds not sane");
+    cum_bytes += rec.bytes_per_client;
+    cum_seconds += rec.round_seconds;
+    // The runner accumulates these exactly this way, so equality is exact.
+    require_invariant(rec.cumulative_bytes_per_client == cum_bytes,
+                      "cumulative bytes != prefix sum of round bytes");
+    require_invariant(rec.cumulative_seconds == cum_seconds,
+                      "cumulative seconds != prefix sum of round seconds");
+    require_invariant(
+        rec.frozen_fraction >= 0.0 && rec.frozen_fraction <= 1.0,
+        "frozen_fraction out of [0,1]");
+    const double total_amortized =
+        rec.bytes_per_client * static_cast<double>(config.num_clients);
+    const double total_participants =
+        rec.bytes_per_participant * static_cast<double>(rec.participants);
+    const double scale =
+        std::max({1.0, total_amortized, total_participants});
+    require_invariant(
+        std::fabs(total_amortized - total_participants) <= 1e-9 * scale,
+        "per-client and per-participant byte views disagree on the total");
+  }
+  require_invariant(result.total_bytes_per_client == cum_bytes,
+                    "total bytes != last cumulative");
+  require_invariant(result.total_seconds == cum_seconds,
+                    "total seconds != last cumulative");
+  require_invariant(result.best_accuracy >= result.final_accuracy,
+                    "best accuracy below final accuracy");
+  require_invariant(
+      result.final_accuracy >= 0.0 && result.best_accuracy <= 1.0,
+      "accuracy out of [0,1]");
+  const std::span<const float> g = strategy.global_params();
+  require_invariant(bits_equal(result.final_global_params, g),
+                    "final params != strategy global params");
+  for (const float v : result.final_global_params) {
+    require_invariant(std::isfinite(v),
+                      "non-finite final params despite gradient clipping");
+  }
+}
+
+std::uint64_t runner_digest(const fl::SimulationResult& result) {
+  std::uint64_t digest = hash_floats(result.final_global_params);
+  for (const fl::RoundRecord& rec : result.rounds) {
+    digest = fnv1a_u64(digest, static_cast<std::uint64_t>(rec.participants));
+    std::uint64_t bits;
+    std::memcpy(&bits, &rec.bytes_per_client, sizeof(bits));
+    digest = fnv1a_u64(digest, bits);
+  }
+  return digest;
+}
+
+bool records_identical(const fl::RoundRecord& a, const fl::RoundRecord& b) {
+  return a.round == b.round && a.participants == b.participants &&
+         std::memcmp(&a.test_accuracy, &b.test_accuracy, sizeof(double)) ==
+             0 &&
+         std::memcmp(&a.bytes_per_client, &b.bytes_per_client,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.round_seconds, &b.round_seconds, sizeof(double)) == 0;
+}
+
+std::uint64_t run_runner_script(const RoundScript& s) {
+  fl::FlConfig config;
+  config.num_clients = s.clients;
+  config.rounds = s.rounds.size();
+  config.local_iters = 1 + s.cadence % 2;
+  config.batch_size = 2 + s.dim % 3;
+  config.seed = s.value_seed;
+  config.eval_every = s.rounds.size();  // evaluate the final round only
+  config.compute_seconds_per_iter = 0.01;
+  config.fedprox_mu = (s.flags & kFlagFedProx) != 0 ? 0.05 : 0.0;
+  config.participation_fraction =
+      (s.flags & kFlagPartialPart) != 0 ? 0.6 : 1.0;
+  config.grad_clip_norm = 1.0;
+  config.worker_threads = 1;
+  if ((s.flags & kFlagStragglerDrop) != 0) {
+    config.straggler_policy = fl::StragglerPolicy::kDrop;
+    config.workload_fraction.assign(s.clients, 1.0);
+    for (std::size_t i = 1; i < s.clients; i += 2) {
+      config.workload_fraction[i] = 0.5;
+    }
+  }
+  if ((s.flags & kFlagBadWorkload) != 0) {
+    // Invalid config: run() must reject it with apf::Error before any round.
+    config.workload_fraction.assign(s.clients, 1.0);
+    config.workload_fraction[0] = 0.0;
+  }
+
+  const auto make_runner_strategy = [&]() -> std::unique_ptr<fl::SyncStrategy> {
+    StrategyKind kind = StrategyKind::kFullSync;
+    switch (s.flavor % 4) {
+      case 1: kind = StrategyKind::kApf; break;
+      case 2: kind = StrategyKind::kPartialSync; break;
+      case 3: kind = StrategyKind::kPermanentFreeze; break;
+      default: break;
+    }
+    return make_strategy(s, kind);
+  };
+  const fl::ModelFactory model_factory = []() {
+    Rng model_rng(0x11117777ULL);
+    return nn::make_mlp(model_rng, /*in_features=*/16, /*width=*/8,
+                        /*hidden=*/1, /*num_classes=*/3);
+  };
+  const fl::OptimizerFactory optimizer_factory = [](nn::Module& module) {
+    return std::make_unique<optim::Sgd>(module.parameters(), /*lr=*/0.05);
+  };
+
+  std::uint64_t part_state = s.value_seed ^ 0xBEEFCAFEF00DULL;
+  Rng part_rng(splitmix64(part_state));
+  const data::Partition partition = data::iid_partition(
+      runner_train_data().size(), s.clients, part_rng);
+
+  auto strategy = make_runner_strategy();
+  fl::FederatedRunner runner(config, runner_train_data(), partition,
+                             runner_test_data(), model_factory,
+                             optimizer_factory, *strategy);
+  fl::SimulationResult result;
+  try {
+    result = runner.run();
+  } catch (const Error&) {
+    // Rejected run (invalid config, all-zero weights after straggler
+    // drops, ...). Everything was per-execution local, so "state
+    // unchanged" holds trivially; the rejection itself is the outcome.
+    return fnv1a_u64(kFnvOffset ^ 'R', s.flags);
+  }
+  check_runner_result(config, result, *strategy);
+
+  if ((s.flags & kFlagEchoRun) != 0) {
+    // Determinism oracle: a byte-identical rerun of the identical episode
+    // must reproduce the identical result, bit for bit.
+    auto strategy2 = make_runner_strategy();
+    fl::FederatedRunner echo(config, runner_train_data(), partition,
+                             runner_test_data(), model_factory,
+                             optimizer_factory, *strategy2);
+    fl::SimulationResult result2;
+    try {
+      result2 = echo.run();
+    } catch (const Error&) {
+      require_invariant(false, "echo run rejected what the first run ran");
+    }
+    require_invariant(
+        bits_equal(result.final_global_params, result2.final_global_params),
+        "echo run produced different final params");
+    require_invariant(result.rounds.size() == result2.rounds.size(),
+                      "echo run produced a different round count");
+    for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+      require_invariant(
+          records_identical(result.rounds[i], result2.rounds[i]),
+          "echo run produced a different round record");
+    }
+  }
+  return runner_digest(result);
+}
+
+}  // namespace
+
+std::uint64_t run_apf_rounds(std::span<const std::uint8_t> bytes) {
+  return run_sync_script(parse_round_script(bytes), StrategyKind::kApf);
+}
+
+std::uint64_t run_strawman_rounds(std::span<const std::uint8_t> bytes) {
+  const RoundScript script = parse_round_script(bytes);
+  StrategyKind kind = StrategyKind::kFullSync;
+  if (script.flavor % 3 == 1) kind = StrategyKind::kPartialSync;
+  if (script.flavor % 3 == 2) kind = StrategyKind::kPermanentFreeze;
+  return run_sync_script(script, kind);
+}
+
+std::uint64_t run_runner_rounds(std::span<const std::uint8_t> bytes) {
+  return run_runner_script(parse_round_script(bytes));
+}
+
+}  // namespace apf::fuzz

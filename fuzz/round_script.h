@@ -1,0 +1,110 @@
+// Round scripts: the byte format driving the stateful round-loop targets.
+//
+// A round script ("APRL") encodes a complete multi-round FL episode — model
+// dimension, client count, strategy knobs, and per-round/per-client payload
+// actions (honest delta, NaN/Inf injection, wrong dimension, stale-round
+// replay, frozen-scalar tampering, bad aggregation weights, ...). The
+// targets parse the script (malformed bytes => apf::Error, the "rejected"
+// outcome), then run the scripted rounds against a live strategy or
+// FederatedRunner while asserting the two-outcome oracle after EVERY round:
+//
+//   applied  => all clients hold byte-identical post-sync params where the
+//               strategy promises it, frozen/excluded scalars are untouched,
+//               byte accounting matches the encoded payload sizes, and
+//               exclusion masks only grow where they are irreversible;
+//   rejected => the synchronize() call threw apf::Error and a deep state
+//               snapshot (fuzz/state_oracle.h) plus the client vectors are
+//               byte-identical to before the call.
+//
+// Any third outcome throws std::logic_error — a finding.
+//
+// Wire layout (little-endian):
+//   u32  magic "APRL"
+//   u8   flavor_sel     strategy variant (meaning depends on the target)
+//   u8   dim_sel        dim      = 1 + dim_sel % 24
+//   u8   clients_sel    clients  = 1 + clients_sel % 4
+//   u8   rounds_sel     rounds   = 1 + rounds_sel % 6
+//   u8   cadence_sel    cadence  = 1 + cadence_sel % 3
+//   u8   threshold_sel  threshold = 0.01 + 0.015 * (threshold_sel % 32)
+//   u16  flags          see kFlag* below
+//   u64  value_seed     seeds initial params + honest deltas
+//   per round:  u8 weight_action
+//     per client: u8 action, u8 a, u8 b, f32 v
+// and nothing after the last record (trailing bytes are rejected).
+//
+// Every field is clamped/modulo'd into its valid range so almost any byte
+// soup that passes the frame check penetrates deep into the round loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apf::fuzz {
+
+inline constexpr std::uint32_t kRoundScriptMagic = 0x4C525041;  // "APRL"
+
+// flags bits (unused bits are ignored so mutated flags stay valid)
+inline constexpr std::uint16_t kFlagServerSideMask = 1u << 0;  // apf
+inline constexpr std::uint16_t kFlagEchoRun = 1u << 1;         // runner
+inline constexpr std::uint16_t kFlagStragglerDrop = 1u << 2;   // runner
+inline constexpr std::uint16_t kFlagPartialPart = 1u << 3;     // runner
+inline constexpr std::uint16_t kFlagTensorGran = 1u << 4;      // apf
+inline constexpr std::uint16_t kFlagNoDecay = 1u << 5;         // apf
+inline constexpr std::uint16_t kFlagFedProx = 1u << 6;         // runner
+inline constexpr std::uint16_t kFlagBadWorkload = 1u << 7;     // runner
+
+/// Per-client payload action for one round; `action` is taken modulo
+/// kNumClientActions, `a`/`b`/`v` parameterize it.
+struct ClientAction {
+  std::uint8_t action = 0;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  float v = 0.f;
+};
+
+inline constexpr std::uint32_t kNumClientActions = 10;
+// 0 honest delta            5 truncated vector (wrong dim)
+// 1 NaN injection           6 stale-round replay (old global)
+// 2 Inf injection           7 frozen-scalar tamper
+// 3 huge magnitude (v*1e30) 8 raw float write of v
+// 4 extended vector         9 zero update (echo the global)
+
+inline constexpr std::uint32_t kNumWeightActions = 6;
+// 0 distinct positive   3 one NaN weight
+// 1 one zero weight     4 one +Inf weight
+// 2 one negative weight 5 all weights zero
+
+struct RoundPlan {
+  std::uint8_t weight_action = 0;
+  std::vector<ClientAction> clients;
+};
+
+struct RoundScript {
+  std::uint8_t flavor = 0;
+  std::size_t dim = 1;
+  std::size_t clients = 1;
+  std::size_t cadence = 1;
+  double threshold = 0.05;
+  std::uint16_t flags = 0;
+  std::uint64_t value_seed = 0;
+  std::vector<RoundPlan> rounds;
+};
+
+/// Parses and validates a script; throws apf::Error on malformed bytes
+/// (bad magic, truncation, trailing bytes).
+RoundScript parse_round_script(std::span<const std::uint8_t> bytes);
+
+/// Emits a random, valid-by-construction script (the structure-aware seed
+/// for mutation/crossover).
+std::vector<std::uint8_t> generate_round_script(Rng& rng);
+
+/// Stateful targets: parse the script, then drive the strategy / runner
+/// under the two-outcome oracle. Return a digest of every round's outcome.
+std::uint64_t run_apf_rounds(std::span<const std::uint8_t> bytes);
+std::uint64_t run_strawman_rounds(std::span<const std::uint8_t> bytes);
+std::uint64_t run_runner_rounds(std::span<const std::uint8_t> bytes);
+
+}  // namespace apf::fuzz

@@ -1,0 +1,60 @@
+#include "fuzz/state_oracle.h"
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/apf_manager.h"
+#include "core/strawmen.h"
+#include "util/bytes.h"
+
+namespace apf::fuzz {
+
+namespace {
+
+void append_string(ByteWriter& writer, const std::string& s) {
+  writer.u32(static_cast<std::uint32_t>(s.size()));
+  writer.raw({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void append_floats(ByteWriter& writer, std::span<const float> values) {
+  writer.u32(static_cast<std::uint32_t>(values.size()));
+  for (const float v : values) writer.f32(v);  // bit-exact, NaN included
+}
+
+void append_stream(ByteWriter& writer, const std::ostringstream& os) {
+  const std::string s = os.str();
+  append_string(writer, s);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> snapshot_strategy(const fl::SyncStrategy& strategy) {
+  ByteWriter writer;
+  append_string(writer, strategy.name());
+  append_floats(writer, strategy.global_params());
+  const Bitmap* mask = strategy.frozen_mask();
+  writer.u8(mask != nullptr ? 1 : 0);
+  if (mask != nullptr) {
+    writer.u32(static_cast<std::uint32_t>(mask->size()));
+    writer.raw(mask->to_bytes());
+    append_floats(writer, strategy.frozen_anchor());
+  }
+  // Stateful strategies additionally contribute their complete persistent
+  // state, so drift in EMA statistics, controller periods, exclusion masks
+  // or counters is caught even when the observable surface looks intact.
+  if (const auto* apf =
+          dynamic_cast<const core::ApfManager*>(&strategy)) {
+    std::ostringstream os(std::ios::binary);
+    apf->save_state(os);
+    append_stream(writer, os);
+  } else if (const auto* strawman =
+                 dynamic_cast<const core::StrawmanBase*>(&strategy)) {
+    std::ostringstream os(std::ios::binary);
+    strawman->save_state(os);
+    append_stream(writer, os);
+  }
+  return writer.take();
+}
+
+}  // namespace apf::fuzz

@@ -1,0 +1,25 @@
+// Deep state snapshots for the round-loop fuzz oracle.
+//
+// The two-outcome contract says a round rejected with apf::Error must leave
+// the strategy *unchanged*. "Unchanged" is checked byte-for-byte: the
+// snapshot serializes the strategy's complete persistent state (via
+// save_state for the stateful strategies, plus the observable SyncStrategy
+// surface for all of them), and the oracle compares snapshots taken before
+// the call and after the rejection. tests/round_fuzz_test.cpp guards this
+// helper against vacuity by corrupting manager state on purpose and
+// checking the snapshots differ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/sync_strategy.h"
+
+namespace apf::fuzz {
+
+/// Serializes the strategy's observable surface (name, global params, frozen
+/// mask, anchor) plus — for ApfManager and the strawmen — the full
+/// save_state stream (EMA statistics, controller periods, counters, masks).
+std::vector<std::uint8_t> snapshot_strategy(const fl::SyncStrategy& strategy);
+
+}  // namespace apf::fuzz

@@ -12,7 +12,10 @@
 #include "compress/quantize.h"
 #include "compress/wire.h"
 #include "core/masked_pack.h"
+#include "fuzz/coverage.h"
+#include "fuzz/invariant.h"
 #include "fuzz/mutator.h"
+#include "fuzz/round_script.h"
 #include "nn/models.h"
 #include "nn/serialize.h"
 #include "util/bitmap.h"
@@ -22,49 +25,6 @@
 namespace apf::fuzz {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Shared helpers
-// ---------------------------------------------------------------------------
-
-constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
-
-std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> bytes) {
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFFu;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-/// A violated decode invariant is a BUG, not a rejection, so it must not
-/// surface as apf::Error (which the driver treats as "input rejected").
-void require_invariant(bool cond, const char* msg) {
-  if (!cond) throw std::logic_error(std::string("fuzz invariant: ") + msg);
-}
-
-std::uint64_t hash_bytes(std::span<const std::uint8_t> bytes) {
-  return fnv1a(kFnvOffset, bytes);
-}
-
-std::uint64_t hash_floats(std::span<const float> values) {
-  std::uint64_t h = kFnvOffset;
-  for (const float v : values) {
-    std::uint32_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    h = fnv1a_u64(h, bits);
-  }
-  return h;
-}
 
 std::vector<float> random_floats(Rng& rng, std::size_t n) {
   std::vector<float> out(n);
@@ -320,6 +280,18 @@ constexpr FuzzTarget kTargets[] = {
      exec_terngrad},
     {"checkpoint", "nn/serialize load_checkpoint stream", gen_checkpoint,
      exec_checkpoint},
+    {"apf-rounds",
+     "stateful: round script vs ApfManager (APF/APF#/APF++) under the "
+     "two-outcome oracle",
+     generate_round_script, run_apf_rounds},
+    {"strawman-rounds",
+     "stateful: round script vs FullSync/PartialSync/PermanentFreeze under "
+     "the two-outcome oracle",
+     generate_round_script, run_strawman_rounds},
+    {"runner-rounds",
+     "stateful: round script vs a small FederatedRunner simulation "
+     "(accounting, determinism, admission control)",
+     generate_round_script, run_runner_rounds},
 };
 
 }  // namespace
@@ -344,18 +316,48 @@ FuzzSummary run_fuzz(const FuzzTarget& target, std::uint64_t seed,
   Rng rng(splitmix64(state));
 
   FuzzSummary summary;
-  std::vector<std::uint8_t> last_accepted = target.generate(rng);
+
+  // Probe whether this binary carries -fsanitize-coverage=trace-pc by
+  // collecting edges over one generate() call with a throwaway stream. The
+  // probe runs once per run_fuzz call (not once per process) so the summary
+  // stays a pure function of the arguments no matter what ran before.
+  Rng probe_rng(splitmix64(state));
+  coverage_begin();
+  (void)target.generate(probe_rng);
+  const bool instrumented = !coverage_take().empty();
+
+  // Corpus pool: seeded with one valid input; grown by coverage feedback.
+  // Slot 0 (the structure-aware seed) is never evicted; later admissions
+  // rotate through the remaining slots so the pool stays bounded while
+  // recent coverage-opening inputs stick around to be mutated and crossed.
+  constexpr std::size_t kPoolCap = 64;
+  std::vector<std::vector<std::uint8_t>> pool;
+  pool.push_back(target.generate(rng));
+  std::vector<std::uint64_t> seen_edges;  // sorted, unique; this run only
+  std::size_t fallback_slot = 0;
+
+  const auto pool_pick = [&]() -> const std::vector<std::uint8_t>& {
+    return pool[rng.uniform_int(pool.size())];
+  };
+
   for (std::uint64_t iter = 0; iter < iters; ++iter) {
     std::vector<std::uint8_t> buf;
-    switch (rng.uniform_int(std::uint64_t{4})) {
+    switch (rng.uniform_int(std::uint64_t{6})) {
       case 0:  // fresh valid encoding (exercises the accept path)
         buf = target.generate(rng);
         break;
       case 1:  // structure-aware: mutate a fresh valid encoding
         buf = mutate(rng, target.generate(rng), options.max_len);
         break;
-      case 2:  // mutate the last accepted buffer
-        buf = mutate(rng, last_accepted, options.max_len);
+      case 2:  // mutate a corpus member
+        buf = mutate(rng, pool_pick(), options.max_len);
+        break;
+      case 3:  // crossover of two corpus members
+        buf = crossover(rng, pool_pick(), pool_pick(), options.max_len);
+        break;
+      case 4:  // crossover of a corpus member with a fresh valid encoding
+        buf = crossover(rng, pool_pick(), target.generate(rng),
+                        options.max_len);
         break;
       default:  // structure-blind random bytes
         buf = random_buffer(rng, options.max_len);
@@ -368,20 +370,50 @@ FuzzSummary run_fuzz(const FuzzTarget& target, std::uint64_t seed,
                  static_cast<std::streamsize>(buf.size()));
     }
     ++summary.iterations;
+    bool accepted = false;
+    if (instrumented) coverage_begin();
     try {
       const std::uint64_t result = target.execute(buf);
+      accepted = true;
       ++summary.accepted;
       summary.digest = fnv1a_u64(fnv1a(summary.digest ^ 'A', buf), result);
-      last_accepted = std::move(buf);
     } catch (const Error&) {
       // Malformed input rejected with apf::Error: the expected outcome.
       ++summary.rejected;
       summary.digest = fnv1a(summary.digest ^ 'R', buf);
     }
-    // Anything else (std::logic_error from a violated round-trip invariant,
-    // std::bad_alloc from an unchecked length field, sanitizer aborts)
-    // propagates: a finding.
+    // Anything else (std::logic_error from a violated two-outcome oracle or
+    // round-trip invariant, std::bad_alloc from an unchecked length field,
+    // sanitizer aborts) propagates: a finding. Note coverage_take() is not
+    // reached then — fine, the run is over.
+
+    bool interesting = false;
+    if (instrumented) {
+      const std::vector<std::uint64_t> edges = coverage_take();
+      for (const std::uint64_t e : edges) {
+        const auto it =
+            std::lower_bound(seen_edges.begin(), seen_edges.end(), e);
+        if (it == seen_edges.end() || *it != e) {
+          seen_edges.insert(it, e);
+          interesting = true;
+        }
+      }
+    } else {
+      // Uninstrumented fallback: keep a small rotation of accepted inputs so
+      // mutation/crossover still start from structurally valid parents.
+      interesting = accepted && (fallback_slot++ % 8) == 0;
+    }
+    if (interesting) {
+      ++summary.corpus_added;
+      if (pool.size() < kPoolCap) {
+        pool.push_back(std::move(buf));
+      } else {
+        pool[1 + summary.corpus_added % (kPoolCap - 1)] = std::move(buf);
+      }
+    }
   }
+  summary.corpus_size = pool.size();
+  summary.edges = seen_edges.size();
   return summary;
 }
 
@@ -393,6 +425,83 @@ ReplayOutcome replay_buffer(const FuzzTarget& target,
   } catch (const Error&) {
     return ReplayOutcome::kRejected;
   }
+}
+
+namespace {
+
+/// Digit runs collapse to '#': outcome classes must survive shrinking even
+/// as byte counts and indices in the message change.
+std::string normalize_message(const char* what) {
+  std::string out;
+  bool in_digits = false;
+  for (const char* p = what; *p != '\0'; ++p) {
+    const bool digit = *p >= '0' && *p <= '9';
+    if (digit) {
+      if (!in_digits) out.push_back('#');
+    } else {
+      out.push_back(*p);
+    }
+    in_digits = digit;
+  }
+  return out;
+}
+
+}  // namespace
+
+BufferOutcome classify_buffer(const FuzzTarget& target,
+                              std::span<const std::uint8_t> bytes) {
+  BufferOutcome outcome;
+  try {
+    (void)target.execute(bytes);
+    outcome.kind = BufferOutcome::Kind::kAccepted;
+  } catch (const Error& e) {
+    outcome.kind = BufferOutcome::Kind::kRejected;
+    outcome.detail = normalize_message(e.what());
+  } catch (const std::exception& e) {
+    outcome.kind = BufferOutcome::Kind::kFinding;
+    outcome.detail = normalize_message(e.what());
+  }
+  return outcome;
+}
+
+std::vector<std::uint8_t> minimize_buffer(const FuzzTarget& target,
+                                          std::vector<std::uint8_t> bytes,
+                                          std::size_t max_execs) {
+  const BufferOutcome want = classify_buffer(target, bytes);
+  std::size_t execs = 1;
+  // Largest power-of-two block not above half the buffer.
+  std::size_t block = 1;
+  while (bytes.size() >= 4 && block * 2 <= bytes.size() / 2) block *= 2;
+  for (;; block /= 2) {
+    bool progress = true;
+    while (progress && execs < max_execs && !bytes.empty()) {
+      progress = false;
+      // Right-to-left over block-aligned removal candidates; removals only
+      // shrink the buffer, so earlier (higher) offsets never reappear and
+      // lower offsets stay valid within the pass.
+      for (std::size_t idx = (bytes.size() - 1) / block + 1;
+           idx-- > 0 && execs < max_execs;) {
+        const std::size_t start = idx * block;
+        if (start >= bytes.size()) continue;
+        const std::size_t len = std::min(block, bytes.size() - start);
+        std::vector<std::uint8_t> candidate;
+        candidate.reserve(bytes.size() - len);
+        candidate.insert(candidate.end(), bytes.begin(),
+                         bytes.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.insert(
+            candidate.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(start + len),
+            bytes.end());
+        ++execs;
+        if (classify_buffer(target, candidate) == want) {
+          bytes = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+    if (block == 1) break;
+  }
+  return bytes;
 }
 
 }  // namespace apf::fuzz

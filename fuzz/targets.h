@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -36,8 +37,10 @@ struct FuzzTarget {
   std::uint64_t (*execute)(std::span<const std::uint8_t> bytes);
 };
 
-/// All registered targets (masked, bitmap, sparse, randk, fp16, dense,
-/// qsgd, terngrad, checkpoint).
+/// All registered targets: the wire decoders (masked, bitmap, sparse, randk,
+/// fp16, dense, qsgd, terngrad, checkpoint) plus the stateful round-loop
+/// targets (apf-rounds, strawman-rounds, runner-rounds) that drive whole FL
+/// episodes under the two-outcome oracle of fuzz/round_script.h.
 std::span<const FuzzTarget> all_targets();
 
 /// Looks a target up by name; nullptr when unknown.
@@ -57,10 +60,21 @@ struct FuzzSummary {
   /// FNV-1a over (outcome, buffer, result-hash) of every iteration; equal
   /// seeds give equal digests, which CI uses as the reproducibility check.
   std::uint64_t digest = 0xCBF29CE484222325ULL;
+  /// Corpus pool state at the end of the run. Inputs are admitted when they
+  /// exercise coverage edges no earlier input of the run reached (or, in an
+  /// uninstrumented build, when they were accepted — a structural fallback).
+  std::uint64_t corpus_size = 0;
+  std::uint64_t corpus_added = 0;
+  /// Distinct coverage edges observed across the run; 0 when the binary was
+  /// built without APF_FUZZ_COVERAGE.
+  std::uint64_t edges = 0;
 };
 
 /// Runs the deterministic fuzz loop. Throws (propagating the target's
-/// non-apf::Error exception) on the first bug found.
+/// non-apf::Error exception) on the first bug found. Coverage feedback (when
+/// the build is instrumented) only consults edges observed within THIS run,
+/// so the summary stays a pure function of (target, seed, iters, options)
+/// regardless of what ran earlier in the process.
 FuzzSummary run_fuzz(const FuzzTarget& target, std::uint64_t seed,
                      std::uint64_t iters, const FuzzOptions& options = {});
 
@@ -69,5 +83,34 @@ enum class ReplayOutcome { kAccepted, kRejected };
 /// Replays one buffer through a target; same exception contract as execute.
 ReplayOutcome replay_buffer(const FuzzTarget& target,
                             std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Finding triage: outcome classification + corpus minimization
+// ---------------------------------------------------------------------------
+
+struct BufferOutcome {
+  enum class Kind { kAccepted, kRejected, kFinding };
+  Kind kind = Kind::kAccepted;
+  /// Exception message with digit runs normalized to '#', so "need 3 more
+  /// byte(s)" and "need 17 more byte(s)" are the same outcome class and a
+  /// shrinking reproducer does not drift out of its class as counts change.
+  std::string detail;
+
+  bool operator==(const BufferOutcome&) const = default;
+};
+
+/// Executes the buffer once and classifies the outcome (never throws).
+BufferOutcome classify_buffer(const FuzzTarget& target,
+                              std::span<const std::uint8_t> bytes);
+
+/// Greedy ddmin-style shrink: removes progressively smaller blocks (largest
+/// power of two down to single bytes) while the outcome class — kind plus
+/// normalized message — stays EXACTLY that of the input buffer. Returns the
+/// smallest reproducer found within `max_execs` executions. Deterministic;
+/// works for any outcome class (shrinking a rejection to its minimal trigger
+/// is how regress-*.bin corpus entries are produced).
+std::vector<std::uint8_t> minimize_buffer(const FuzzTarget& target,
+                                          std::vector<std::uint8_t> bytes,
+                                          std::size_t max_execs = 4096);
 
 }  // namespace apf::fuzz

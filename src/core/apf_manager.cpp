@@ -7,6 +7,7 @@
 #include <istream>
 #include <ostream>
 
+#include "core/state_io.h"
 #include "util/debug.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -69,7 +70,11 @@ fl::SyncStrategy::Result ApfManager::synchronize(
     std::size_t round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   APF_CHECK_MSG(perturbation_.has_value(), "synchronize() before init()");
-  APF_CHECK(client_params.size() == weights.size());
+  // All input validation happens before any member is mutated, so a
+  // malformed round is rejected atomically: a non-finite participant
+  // payload, a wrong-dimension vector (even at weight 0), or a bad weight
+  // leaves the manager byte-identical to its pre-round state.
+  require_round_inputs(client_params, weights);
   const std::size_t dim = global_.size();
   const std::size_t n = client_params.size();
 
@@ -253,51 +258,10 @@ namespace {
 constexpr std::uint32_t kStateMagic = 0x41504653;  // "APFS"
 constexpr std::uint32_t kStateVersion = 1;
 
-template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  APF_CHECK_MSG(is.good(), "truncated APF state stream");
-  return value;
-}
-
-template <typename T>
-void write_vec(std::ostream& os, std::span<const T> values) {
-  write_pod<std::uint64_t>(os, values.size());
-  os.write(reinterpret_cast<const char*>(values.data()),
-           static_cast<std::streamsize>(values.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& is, std::size_t expected) {
-  const auto count = read_pod<std::uint64_t>(is);
-  APF_CHECK_MSG(count == expected,
-                "APF state vector size " << count << " != " << expected);
-  std::vector<T> values(count);
-  is.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  APF_CHECK_MSG(is.good(), "truncated APF state stream");
-  return values;
-}
-
-void write_bitmap(std::ostream& os, const Bitmap& bitmap) {
-  const auto bytes = bitmap.to_bytes();
-  write_vec<std::uint8_t>(os, bytes);
-}
-
-Bitmap read_bitmap(std::istream& is, std::size_t bits) {
-  const auto bytes = read_vec<std::uint8_t>(is, (bits + 7) / 8);
-  return Bitmap::from_bytes(bits, bytes);
-}
-
 }  // namespace
 
 void ApfManager::save_state(std::ostream& os) const {
+  using namespace state_io;
   APF_CHECK_MSG(perturbation_.has_value(), "save_state before init()");
   const std::size_t dim = global_.size();
   write_pod(os, kStateMagic);
@@ -318,6 +282,7 @@ void ApfManager::save_state(std::ostream& os) const {
 }
 
 void ApfManager::load_state(std::istream& is) {
+  using namespace state_io;
   APF_CHECK_MSG(perturbation_.has_value(), "load_state before init()");
   APF_CHECK_MSG(read_pod<std::uint32_t>(is) == kStateMagic,
                 "not an APF state stream");

@@ -1,0 +1,61 @@
+// Binary stream helpers shared by the stateful strategies' save_state /
+// load_state implementations (ApfManager, the strawmen). Fixed-width PODs
+// are written raw — these streams are same-host restart/resume artifacts,
+// not wire formats, so host byte order is fine; every read is length- and
+// size-validated and raises apf::Error on truncation or mismatch.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "util/bitmap.h"
+#include "util/error.h"
+
+namespace apf::core::state_io {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  APF_CHECK_MSG(is.good(), "truncated state stream");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, std::span<const T> values) {
+  write_pod<std::uint64_t>(os, values.size());
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is, std::size_t expected) {
+  const auto count = read_pod<std::uint64_t>(is);
+  APF_CHECK_MSG(count == expected,
+                "state vector size " << count << " != " << expected);
+  std::vector<T> values(count);
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  APF_CHECK_MSG(is.good(), "truncated state stream");
+  return values;
+}
+
+inline void write_bitmap(std::ostream& os, const Bitmap& bitmap) {
+  const auto bytes = bitmap.to_bytes();
+  write_vec<std::uint8_t>(os, bytes);
+}
+
+inline Bitmap read_bitmap(std::istream& is, std::size_t bits) {
+  const auto bytes = read_vec<std::uint8_t>(is, (bits + 7) / 8);
+  return Bitmap::from_bytes(bits, bytes);
+}
+
+}  // namespace apf::core::state_io

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/state_io.h"
 #include "util/error.h"
 
 namespace apf::core {
@@ -41,12 +42,55 @@ void StrawmanBase::observe_round(std::span<const float> new_global) {
   }
 }
 
+namespace {
+
+constexpr std::uint32_t kStrawmanStateMagic = 0x41505353;  // "APSS"
+constexpr std::uint32_t kStrawmanStateVersion = 1;
+
+}  // namespace
+
+void StrawmanBase::save_state(std::ostream& os) const {
+  APF_CHECK_MSG(perturbation_.has_value(), "save_state before init()");
+  using namespace state_io;
+  const std::size_t dim = global_.size();
+  write_pod(os, kStrawmanStateMagic);
+  write_pod(os, kStrawmanStateVersion);
+  write_pod<std::uint64_t>(os, dim);
+  write_pod<std::uint64_t>(os, rounds_since_check_);
+  write_vec<float>(os, global_);
+  write_vec<float>(os, delta_accum_);
+  write_vec<float>(os, perturbation_->raw_signed());
+  write_vec<float>(os, perturbation_->raw_abs());
+  write_bitmap(os, excluded_);
+  APF_CHECK_MSG(os.good(), "strawman state write failed");
+}
+
+void StrawmanBase::load_state(std::istream& is) {
+  APF_CHECK_MSG(perturbation_.has_value(), "load_state before init()");
+  using namespace state_io;
+  APF_CHECK_MSG(read_pod<std::uint32_t>(is) == kStrawmanStateMagic,
+                "not a strawman state stream");
+  APF_CHECK_MSG(read_pod<std::uint32_t>(is) == kStrawmanStateVersion,
+                "unsupported strawman state version");
+  const std::size_t dim = global_.size();
+  APF_CHECK_MSG(read_pod<std::uint64_t>(is) == dim,
+                "strawman state dimension mismatch");
+  rounds_since_check_ =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  global_ = read_vec<float>(is, dim);
+  delta_accum_ = read_vec<float>(is, dim);
+  const auto e = read_vec<float>(is, dim);
+  const auto a = read_vec<float>(is, dim);
+  perturbation_->restore(e, a);
+  excluded_ = read_bitmap(is, dim);
+}
+
 PartialSync::PartialSync(StrawmanOptions options) : StrawmanBase(options) {}
 
-// lint-apf: no-input-checks(weighted_average validates params and weights)
 fl::SyncStrategy::Result PartialSync::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  require_round_inputs(client_params, weights);
   const std::size_t dim = global_.size();
   const std::size_t n = client_params.size();
   std::vector<float> new_global;
@@ -75,10 +119,10 @@ fl::SyncStrategy::Result PartialSync::synchronize(
 PermanentFreeze::PermanentFreeze(StrawmanOptions options)
     : StrawmanBase(options) {}
 
-// lint-apf: no-input-checks(weighted_average validates params and weights)
 fl::SyncStrategy::Result PermanentFreeze::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  require_round_inputs(client_params, weights);
   const std::size_t dim = global_.size();
   const std::size_t n = client_params.size();
   std::vector<float> new_global;

@@ -13,6 +13,7 @@
 // is simply irreversible.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 
 #include "core/perturbation.h"
@@ -36,6 +37,16 @@ class StrawmanBase : public fl::SyncStrategyBase {
 
   double excluded_fraction() const { return excluded_.fraction(); }
   const Bitmap& excluded() const { return excluded_; }
+
+  /// Serializes the complete strawman state (global model, EMA statistics,
+  /// exclusion mask, counters) for restart/resume and for the fuzz oracle's
+  /// snapshot-compare (a rejected round must leave this byte-identical).
+  void save_state(std::ostream& os) const;
+
+  /// Restores a state written by save_state(). Must be called after init()
+  /// with the same model dimension; throws apf::Error on any mismatch or
+  /// truncation.
+  void load_state(std::istream& is);
 
  protected:
   /// Folds this round's global delta and, at check cadence, marks newly

@@ -1,5 +1,7 @@
 #include "fl/sync_strategy.h"
 
+#include <cmath>
+
 #include "util/error.h"
 
 namespace apf::fl {
@@ -10,6 +12,32 @@ void SyncStrategyBase::init(std::span<const float> initial_params,
   APF_CHECK(num_clients > 0);
   global_.assign(initial_params.begin(), initial_params.end());
   num_clients_ = num_clients;
+}
+
+void SyncStrategyBase::require_round_inputs(
+    const std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) const {
+  APF_CHECK_MSG(!global_.empty(), "synchronize() before init()");
+  APF_CHECK(!client_params.empty());
+  APF_CHECK(client_params.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    APF_CHECK_MSG(std::isfinite(w), "aggregation weight is not finite");
+    APF_CHECK(w >= 0.0);
+    total += w;
+  }
+  APF_CHECK_MSG(total > 0.0, "all aggregation weights are zero");
+  const std::size_t dim = global_.size();
+  for (std::size_t i = 0; i < client_params.size(); ++i) {
+    APF_CHECK_MSG(client_params[i].size() == dim,
+                  "client " << i << " update size " << client_params[i].size()
+                            << " != model dim " << dim);
+    if (weights[i] == 0.0) continue;
+    for (std::size_t j = 0; j < dim; ++j) {
+      APF_CHECK_MSG(std::isfinite(client_params[i][j]),
+                    "client " << i << " update is not finite at index " << j);
+    }
+  }
 }
 
 void SyncStrategyBase::weighted_average(
@@ -36,11 +64,15 @@ void SyncStrategyBase::weighted_average(
   for (std::size_t j = 0; j < dim; ++j) out[j] = static_cast<float>(acc[j]);
 }
 
-// lint-apf: no-input-checks(weighted_average validates params and weights)
 SyncStrategy::Result FullSync::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
-  weighted_average(client_params, weights, global_);
+  require_round_inputs(client_params, weights);
+  // Average into a local first: passing global_ as the output would zero it
+  // before weighted_average's own checks run, making a rejection non-atomic.
+  std::vector<float> new_global;
+  weighted_average(client_params, weights, new_global);
+  global_ = std::move(new_global);
   for (auto& params : client_params) {
     params.assign(global_.begin(), global_.end());
   }

@@ -64,6 +64,17 @@ class SyncStrategyBase : public SyncStrategy {
   std::span<const float> global_params() const override { return global_; }
 
  protected:
+  /// Validates one round's inputs against the registered model BEFORE any
+  /// state is mutated, so a rejection is atomic: client/weight counts match,
+  /// every client vector has the model dimension (participant or not — a
+  /// zero-weight client with a short vector must not be written out of
+  /// bounds later), every weight is finite and non-negative with a positive
+  /// total, and every participating (weight > 0) payload is finite. Throws
+  /// apf::Error; strategies call this first in synchronize().
+  void require_round_inputs(
+      const std::vector<std::vector<float>>& client_params,
+      const std::vector<double>& weights) const;
+
   /// Weighted average of client params into `out` (normalized weights).
   static void weighted_average(
       const std::vector<std::vector<float>>& client_params,

@@ -1,0 +1,278 @@
+// Tests for the stateful round-loop fuzz layer: the snapshot oracle must not
+// be vacuous (it detects deliberate state corruption), scripts must land in
+// exactly two outcomes, crossover and minimization must be deterministic and
+// honor their contracts, and coverage feedback — when the binary is
+// instrumented — must demonstrably grow the corpus while keeping the run
+// digest a pure function of (target, seed, iters).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "core/apf_manager.h"
+#include "core/strawmen.h"
+#include "fuzz/mutator.h"
+#include "fuzz/round_script.h"
+#include "fuzz/state_oracle.h"
+#include "fuzz/targets.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+using apf::Error;
+using apf::Rng;
+using apf::fuzz::BufferOutcome;
+using apf::fuzz::FuzzTarget;
+
+namespace {
+
+std::vector<std::vector<float>> honest_round(std::size_t dim, std::size_t n,
+                                             float delta) {
+  std::vector<std::vector<float>> props(n, std::vector<float>(dim, 0.f));
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      props[c][j] = delta * static_cast<float>(c + j + 1);
+    }
+  }
+  return props;
+}
+
+// -- snapshot oracle is not vacuous ------------------------------------------
+
+// Corrupt a byte of the manager's persistent state through the save/load
+// path; the snapshot must change. If this test ever passes with the
+// corruption NOT detected, the fuzz harness's "rejected rounds leave state
+// unchanged" oracle proves nothing.
+TEST(RoundFuzzSnapshot, DetectsCorruptedApfManagerState) {
+  apf::core::ApfOptions options;
+  options.check_every_rounds = 1;
+  apf::core::ApfManager manager(options);
+  manager.init(std::vector<float>(8, 0.5f), 2);
+  auto props = honest_round(8, 2, 0.01f);
+  manager.synchronize(1, props, {1.0, 2.0});
+
+  const auto before = apf::fuzz::snapshot_strategy(manager);
+
+  std::ostringstream os(std::ios::binary);
+  manager.save_state(os);
+  std::string state = os.str();
+  // Flip a bit past the magic/version/dim/threshold header, inside the
+  // global-model floats.
+  ASSERT_GT(state.size(), 40u);
+  state[40] = static_cast<char>(state[40] ^ 0x20);
+  std::istringstream is(state, std::ios::binary);
+  manager.load_state(is);
+
+  const auto after = apf::fuzz::snapshot_strategy(manager);
+  EXPECT_NE(before, after)
+      << "snapshot_strategy missed a corrupted ApfManager state";
+}
+
+TEST(RoundFuzzSnapshot, DetectsCorruptedStrawmanState) {
+  apf::core::StrawmanOptions options;
+  options.check_every_rounds = 1;
+  apf::core::PartialSync strawman(options);
+  strawman.init(std::vector<float>(6, 1.0f), 2);
+  auto props = honest_round(6, 2, 0.02f);
+  strawman.synchronize(1, props, {1.0, 1.0});
+
+  const auto before = apf::fuzz::snapshot_strategy(strawman);
+
+  std::ostringstream os(std::ios::binary);
+  strawman.save_state(os);
+  std::string state = os.str();
+  ASSERT_GT(state.size(), 24u);
+  state[state.size() - 1] = static_cast<char>(state.back() ^ 0x01);
+  std::istringstream is(state, std::ios::binary);
+  strawman.load_state(is);
+
+  const auto after = apf::fuzz::snapshot_strategy(strawman);
+  EXPECT_NE(before, after)
+      << "snapshot_strategy missed a corrupted strawman exclusion mask";
+}
+
+// A snapshot must also be stable: taking it twice without touching the
+// strategy yields identical bytes (otherwise every rejection would "differ").
+TEST(RoundFuzzSnapshot, IsReproducibleWithoutMutation) {
+  apf::core::ApfManager manager;
+  manager.init(std::vector<float>(5, 0.25f), 3);
+  EXPECT_EQ(apf::fuzz::snapshot_strategy(manager),
+            apf::fuzz::snapshot_strategy(manager));
+}
+
+// -- round scripts: parsing + two outcomes -----------------------------------
+
+TEST(RoundFuzzScript, GeneratedScriptsParseAndRunOnEveryRoundTarget) {
+  const char* const names[] = {"apf-rounds", "strawman-rounds"};
+  Rng rng(0x5C21B7ULL);
+  for (const char* name : names) {
+    const FuzzTarget* target = apf::fuzz::find_target(name);
+    ASSERT_NE(target, nullptr) << name;
+    for (int i = 0; i < 25; ++i) {
+      const auto bytes = target->generate(rng);
+      EXPECT_NO_THROW((void)apf::fuzz::parse_round_script(bytes)) << name;
+      // Valid scripts execute to completion: in-episode rejections (bad
+      // weights, wrong-dim payloads) are part of the episode, not errors.
+      EXPECT_NO_THROW((void)target->execute(bytes)) << name;
+    }
+  }
+}
+
+TEST(RoundFuzzScript, MalformedScriptsAreRejectedAtomically) {
+  const FuzzTarget* target = apf::fuzz::find_target("apf-rounds");
+  ASSERT_NE(target, nullptr);
+  Rng rng(0xD15EA5EULL);
+  const auto valid = target->generate(rng);
+  // Bad magic.
+  auto bad_magic = valid;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW((void)target->execute(bad_magic), Error);
+  // Every truncation of the header and the first record.
+  for (std::size_t len = 0; len < std::min<std::size_t>(valid.size(), 28);
+       ++len) {
+    const std::vector<std::uint8_t> prefix(valid.begin(),
+                                           valid.begin() + len);
+    EXPECT_THROW((void)target->execute(prefix), Error) << "len=" << len;
+  }
+  // Trailing garbage.
+  auto trailing = valid;
+  trailing.push_back(0xAB);
+  EXPECT_THROW((void)target->execute(trailing), Error);
+}
+
+// Mutated and crossed-over scripts must land in {accepted, rejected}; a
+// third outcome (std::logic_error from the round oracle) fails the test.
+TEST(RoundFuzzScript, MutationsAndCrossoversNeverEscapeTheTwoOutcomes) {
+  Rng rng(0xF00DFACEULL);
+  const char* const names[] = {"apf-rounds", "strawman-rounds",
+                               "runner-rounds"};
+  for (const char* name : names) {
+    const FuzzTarget* target = apf::fuzz::find_target(name);
+    ASSERT_NE(target, nullptr) << name;
+    const int cases = std::string(name) == "runner-rounds" ? 20 : 120;
+    for (int i = 0; i < cases; ++i) {
+      const auto a = target->generate(rng);
+      const auto b = target->generate(rng);
+      const auto child = (i % 2 == 0)
+                             ? apf::fuzz::mutate(rng, a, 4096)
+                             : apf::fuzz::crossover(rng, a, b, 4096);
+      const BufferOutcome outcome =
+          apf::fuzz::classify_buffer(*target, child);
+      EXPECT_NE(outcome.kind, BufferOutcome::Kind::kFinding)
+          << name << ": " << outcome.detail;
+    }
+  }
+}
+
+// -- crossover ---------------------------------------------------------------
+
+TEST(RoundFuzzCrossover, DeterministicAndBounded) {
+  Rng gen(0xABCDULL);
+  const auto a = apf::fuzz::generate_round_script(gen);
+  const auto b = apf::fuzz::generate_round_script(gen);
+  Rng r1(42), r2(42);
+  for (int i = 0; i < 50; ++i) {
+    const auto c1 = apf::fuzz::crossover(r1, a, b, 64);
+    const auto c2 = apf::fuzz::crossover(r2, a, b, 64);
+    EXPECT_EQ(c1, c2) << "crossover is not a pure function of (rng, a, b)";
+    EXPECT_LE(c1.size(), 64u);
+  }
+}
+
+TEST(RoundFuzzCrossover, ProducesMaterialFromBothParents) {
+  // With distinct parent bytes, some offspring must contain bytes from each
+  // parent (otherwise crossover degenerated into copying).
+  const std::vector<std::uint8_t> a(64, 0xAA);
+  const std::vector<std::uint8_t> b(64, 0xBB);
+  Rng rng(7);
+  bool mixed = false;
+  for (int i = 0; i < 100 && !mixed; ++i) {
+    const auto c = apf::fuzz::crossover(rng, a, b, 4096);
+    bool has_a = false, has_b = false;
+    for (const auto byte : c) {
+      has_a = has_a || byte == 0xAA;
+      has_b = has_b || byte == 0xBB;
+    }
+    mixed = has_a && has_b;
+  }
+  EXPECT_TRUE(mixed);
+}
+
+// -- minimization ------------------------------------------------------------
+
+TEST(RoundFuzzMinimize, ShrinksTrailingGarbageToAMinimalReproducer) {
+  const FuzzTarget* target = apf::fuzz::find_target("apf-rounds");
+  ASSERT_NE(target, nullptr);
+  Rng rng(0x30D0ULL);
+  auto seeded = target->generate(rng);
+  const std::size_t valid_size = seeded.size();
+  for (int i = 0; i < 100; ++i) {
+    seeded.push_back(static_cast<std::uint8_t>(i));
+  }
+  const BufferOutcome before = apf::fuzz::classify_buffer(*target, seeded);
+  ASSERT_EQ(before.kind, BufferOutcome::Kind::kRejected);
+
+  const auto minimized = apf::fuzz::minimize_buffer(*target, seeded);
+  EXPECT_LT(minimized.size(), valid_size)
+      << "ddmin should shrink the script body too, not just the garbage";
+  const BufferOutcome after = apf::fuzz::classify_buffer(*target, minimized);
+  EXPECT_EQ(before, after) << "minimization drifted out of the outcome class";
+
+  // The minimal "trailing byte(s)" reproducer is the 20-byte header plus one
+  // 8-byte single-client round plus one trailing byte.
+  EXPECT_EQ(minimized.size(), 29u);
+}
+
+TEST(RoundFuzzMinimize, PreservesAcceptedClassAndIsDeterministic) {
+  const FuzzTarget* target = apf::fuzz::find_target("strawman-rounds");
+  ASSERT_NE(target, nullptr);
+  Rng rng(0xBEEFULL);
+  const auto valid = target->generate(rng);
+  const auto m1 = apf::fuzz::minimize_buffer(*target, valid);
+  const auto m2 = apf::fuzz::minimize_buffer(*target, valid);
+  EXPECT_EQ(m1, m2);
+  EXPECT_LE(m1.size(), valid.size());
+  EXPECT_EQ(apf::fuzz::classify_buffer(*target, m1).kind,
+            BufferOutcome::Kind::kAccepted);
+}
+
+// -- coverage-guided search ---------------------------------------------------
+
+// Instrumented builds (-DAPF_FUZZ_COVERAGE=ON, e.g. the asan-ubsan preset)
+// must show the feedback loop working: edges observed, corpus grown beyond
+// its seed, and the whole run still bit-reproducible. Uninstrumented builds
+// skip (the harness then uses its structural fallback pool).
+TEST(RoundFuzzCoverage, FeedbackGrowsCorpusDeterministically) {
+  const FuzzTarget* target = apf::fuzz::find_target("apf-rounds");
+  ASSERT_NE(target, nullptr);
+  const auto a = apf::fuzz::run_fuzz(*target, 11, 250);
+  if (a.edges == 0) {
+    GTEST_SKIP() << "binary not built with APF_FUZZ_COVERAGE";
+  }
+  EXPECT_GT(a.corpus_added, 0u)
+      << "coverage feedback never admitted an input";
+  EXPECT_GT(a.corpus_size, 1u);
+  const auto b = apf::fuzz::run_fuzz(*target, 11, 250);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.corpus_added, b.corpus_added);
+}
+
+// Whether or not coverage is available, the corpus admission path must not
+// depend on process history: interleaving other runs between two identical
+// runs must not change their summaries.
+TEST(RoundFuzzCoverage, RunsArePureFunctionsOfTheirArguments) {
+  const FuzzTarget* rounds = apf::fuzz::find_target("apf-rounds");
+  const FuzzTarget* masked = apf::fuzz::find_target("masked");
+  ASSERT_NE(rounds, nullptr);
+  ASSERT_NE(masked, nullptr);
+  const auto first = apf::fuzz::run_fuzz(*rounds, 5, 150);
+  (void)apf::fuzz::run_fuzz(*masked, 6, 150);  // pollute process state
+  const auto second = apf::fuzz::run_fuzz(*rounds, 5, 150);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.edges, second.edges);
+  EXPECT_EQ(first.corpus_added, second.corpus_added);
+  EXPECT_EQ(first.corpus_size, second.corpus_size);
+}
+
+}  // namespace

@@ -9,7 +9,8 @@ on, so this tool does. Rules:
                      free function taking at least one argument) must validate
                      its inputs: the body has to contain APF_CHECK /
                      APF_CHECK_MSG / APF_DEBUG_ASSERT / APF_DEBUG_CHECK_FINITE,
-                     or carry an explicit waiver (see below). Frozen-parameter
+                     delegate to require_round_inputs(), or carry an explicit
+                     waiver (see below). Frozen-parameter
                      bit-exactness dies silently when unvalidated sizes or
                      masks disagree; this keeps the wire path honest.
 
@@ -50,7 +51,11 @@ on, so this tool does. Rules:
                      cross-module includes, and any file-level include cycle,
                      fail the build. (compress sits above fl because the
                      compression baselines implement fl::SyncStrategy; core
-                     composes everything.)
+                     composes everything.) The tool trees fuzz/, bench/ and
+                     examples/ sit above all of src/: a tool file may include
+                     any src module and its own tree, but src/ must never
+                     include a tool tree, and tool trees must not include
+                     each other (they stay independently buildable).
 
 Waivers (use sparingly, always with a reason):
   // lint-apf: no-input-checks(<reason>)       on or directly above a
@@ -84,7 +89,7 @@ CPP_KEYWORDS = {
 
 CHECK_TOKENS = re.compile(
     r"\b(APF_CHECK|APF_CHECK_MSG|APF_DEBUG_ASSERT|APF_DEBUG_ASSERT_MSG|"
-    r"APF_DEBUG_CHECK_FINITE)\b")
+    r"APF_DEBUG_CHECK_FINITE|require_round_inputs\s*\()")
 
 DETERMINISM_PATTERNS = [
     (re.compile(r"\bstd::rand\b"), "std::rand"),
@@ -135,6 +140,10 @@ MODULE_LEVELS = {
     "compress": 5,
     "core": 6,
 }
+# Root-level tool trees: each sits above all of src/ but is independent of
+# its siblings (fuzz must not include bench, etc.), and src/ must never
+# depend on any of them.
+TOOL_TREES = ("fuzz", "bench", "examples")
 SRC_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
 
 
@@ -500,17 +509,45 @@ def module_of(rel_src_path):
     return parts[0] if parts and parts[0] in MODULE_LEVELS else None
 
 
-def check_layering(src, findings):
-    """Validates the include graph of src/: no upward/same-level cross-module
-    includes, no file-level cycles."""
-    files = sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp"))
-    edges = {}  # rel path (str) -> [(line_no, target rel path str)]
-    for path in files:
+def tool_tree_of(rel_path):
+    """Tool-tree name for a root-relative path ('fuzz/targets.h' -> 'fuzz')."""
+    parts = pathlib.PurePosixPath(str(rel_path).replace("\\", "/")).parts
+    return parts[0] if parts and parts[0] in TOOL_TREES else None
+
+
+def check_layering(root, findings):
+    """Validates the include graph of src/ plus the fuzz/, bench/ and
+    examples/ tool trees: no upward/same-level cross-module includes inside
+    src, no src -> tool-tree dependency, no cross-tool-tree includes, and no
+    file-level cycles anywhere.
+
+    Graph node keys: src files are keyed relative to src/ ('util/rng.h'),
+    tool files relative to the repo root ('fuzz/targets.h') — exactly the
+    strings their includes use, so edges resolve by string match. Module
+    names and tool-tree names are disjoint, so the two key spaces cannot
+    collide."""
+    src = root / "src"
+    files = []  # (abs path, node key, display path)
+    for path in sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp")):
         rel = str(path.relative_to(src)).replace("\\", "/")
+        files.append((path, rel, pathlib.Path("src") / rel))
+    for tree in TOOL_TREES:
+        tree_dir = root / tree
+        if not tree_dir.is_dir():
+            continue
+        for path in sorted(tree_dir.rglob("*.h")) + \
+                sorted(tree_dir.rglob("*.cpp")):
+            rel = str(path.relative_to(root)).replace("\\", "/")
+            files.append((path, rel, pathlib.Path(rel)))
+
+    edges = {}  # node key -> [(line_no, target key)]
+    for path, rel, display in files:
         try:
             text = path.read_text()
         except (OSError, UnicodeDecodeError):
             continue
+        own_tool = tool_tree_of(rel)
+        own_module = None if own_tool else module_of(rel)
         # Includes are parsed from the RAW text: stripping would blank the
         # quoted path. Commented-out includes are excluded explicitly.
         raw_lines = text.split("\n")
@@ -522,20 +559,37 @@ def check_layering(src, findings):
             if not m:
                 continue
             target = m.group(1)
-            tgt_module = module_of(target)
-            if tgt_module is None:
+            tgt_tool = tool_tree_of(target)
+            tgt_module = None if tgt_tool else module_of(target)
+            if tgt_tool is None and tgt_module is None:
                 continue  # system/third-party header
-            own_module = module_of(rel)
             out.append((line_no, target))
+            if has_waiver(raw_lines, line_no, WAIVER_LAYERING):
+                continue
+            if own_tool is not None:
+                # Tool files may include src (any module) and their own tree.
+                if tgt_tool is not None and tgt_tool != own_tool:
+                    findings.append(Finding(
+                        display, line_no, "layering",
+                        f"tool tree '{own_tool}' must not include '{target}' "
+                        f"from tool tree '{tgt_tool}'; fuzz/bench/examples "
+                        f"stay independently buildable — share code by "
+                        f"moving it into src/"))
+                continue
             if own_module is None:
+                continue
+            if tgt_tool is not None:
+                findings.append(Finding(
+                    display, line_no, "layering",
+                    f"src module '{own_module}' must not include '{target}' "
+                    f"from tool tree '{tgt_tool}'; the library cannot depend "
+                    f"on its own tooling"))
                 continue
             allowed = tgt_module == own_module or \
                 MODULE_LEVELS[tgt_module] < MODULE_LEVELS[own_module]
             if not allowed:
-                if has_waiver(raw_lines, line_no, WAIVER_LAYERING):
-                    continue
                 findings.append(Finding(
-                    pathlib.Path("src") / rel, line_no, "layering",
+                    display, line_no, "layering",
                     f"module '{own_module}' (level "
                     f"{MODULE_LEVELS[own_module]}) must not include "
                     f"'{target}' from module '{tgt_module}' (level "
@@ -562,8 +616,10 @@ def check_layering(src, findings):
                 if color[target] == GRAY:
                     cycle_start = path_stack.index(target)
                     cycle = path_stack[cycle_start:] + [target]
+                    where = pathlib.Path(target) if tool_tree_of(target) \
+                        else pathlib.Path("src") / target
                     findings.append(Finding(
-                        pathlib.Path("src") / target, 1, "layering",
+                        where, 1, "layering",
                         "include cycle: " + " -> ".join(cycle)))
                 elif color[target] == WHITE:
                     color[target] = GRAY
@@ -623,6 +679,22 @@ def self_test():
             "  return s;\n"
             "}\n",
             set()),
+        # Cross-tool-tree include: fuzz pulling in bench.
+        "fuzz/bad_cross.cpp": (
+            '#include "bench/harness.h"\n',
+            {"layering"}),
+        "bench/harness.h": ("#pragma once\n", set()),
+        # src depending on its own tooling.
+        "src/util/bad_tool_dep.h": (
+            '#include "fuzz/targets.h"\n',
+            {"layering"}),
+        # Clean tool file: src modules + its own tree are both fine.
+        "fuzz/good_tool.cpp": (
+            '#include "core/apf_manager.h"\n'
+            '#include "fuzz/targets.h"\n'
+            "int drive() { return 0; }\n",
+            set()),
+        "fuzz/targets.h": ("#pragma once\n", set()),
         # Waivers suppress their rules.
         "src/fl/waived.cpp": (
             "#include <thread>\n"
@@ -727,7 +799,7 @@ def run_checks(root, paths=None):
 
     # Whole-graph analysis is independent of the path selection: an include
     # cycle is a repo property, not a file property.
-    check_layering(src, findings)
+    check_layering(root, findings)
     return findings
 
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs clang-tidy over the library sources (src/**/*.cpp) using the repo
-# .clang-tidy configuration and a compile_commands.json database.
+# Runs clang-tidy over the library sources (src/**/*.cpp) and the fuzz
+# harness (fuzz/*.cpp) using the repo .clang-tidy configuration and a
+# compile_commands.json database.
 #
 # Usage:
 #   tools/run_tidy.sh [--if-available] [build-dir]
@@ -44,7 +45,7 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
         -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
 
-mapfile -t sources < <(find src -name '*.cpp' | sort)
+mapfile -t sources < <(find src fuzz -name '*.cpp' | sort)
 echo "run_tidy.sh: checking ${#sources[@]} sources with $(${tidy_bin} --version | head -n1)" >&2
 
 status=0
