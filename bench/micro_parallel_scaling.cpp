@@ -7,7 +7,9 @@
 //   BENCH_kernels.json  — per kernel x size x thread count: seconds/call,
 //                         GFLOP/s, speedup vs the 1-thread (seed) kernel
 //   BENCH_runner.json   — per thread count: wall seconds for a small LeNet
-//                         federated run, seconds/round, speedup vs 1 thread
+//                         federated run, seconds/round, speedup vs 1 thread,
+//                         and the measured per-round bytes_per_client column
+//                         (bit-identical across thread counts; CI diffs it)
 //
 // The schema is documented in docs/PARALLELISM.md. Results are wall-clock
 // performance numbers only — the simulation outputs themselves are
@@ -23,7 +25,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -58,6 +62,10 @@ struct RunnerResult {
   double wall_seconds = 0.0;
   double seconds_per_round = 0.0;
   double speedup_vs_1t = 1.0;
+  // Measured wire traffic per round (RoundRecord::bytes_per_client). The
+  // pool's determinism contract makes these bit-identical for every thread
+  // count; CI diffs the arrays across runs to enforce it.
+  std::vector<double> bytes_per_client_per_round;
 };
 
 using KernelFn = Tensor (*)(const Tensor&, const Tensor&);
@@ -145,6 +153,9 @@ std::vector<RunnerResult> bench_runner(const std::vector<std::size_t>& threads,
     r.wall_seconds = now_seconds() - start;
     r.seconds_per_round =
         r.wall_seconds / static_cast<double>(sim.rounds.size());
+    for (const fl::RoundRecord& rec : sim.rounds) {
+      r.bytes_per_client_per_round.push_back(rec.bytes_per_client);
+    }
     if (t == 1) base_seconds = r.wall_seconds;
     r.speedup_vs_1t =
         base_seconds > 0.0 ? base_seconds / r.wall_seconds : 1.0;
@@ -178,6 +189,9 @@ void write_runner_json(const std::string& path,
                        std::size_t rounds) {
   std::ofstream out(path);
   APF_CHECK_MSG(out.good(), "cannot open " << path);
+  // max_digits10 keeps the byte columns round-trippable, so a textual diff
+  // of the arrays across runs is exactly the bit-identity check.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   out << "{\n  \"schema\": \"apf-bench-runner-v1\",\n  \"task\": "
       << "\"lenet-small\",\n  \"rounds\": " << rounds << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -185,8 +199,12 @@ void write_runner_json(const std::string& path,
     out << "    {\"threads\": " << r.threads
         << ", \"wall_seconds\": " << r.wall_seconds
         << ", \"seconds_per_round\": " << r.seconds_per_round
-        << ", \"speedup_vs_1t\": " << r.speedup_vs_1t << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"speedup_vs_1t\": " << r.speedup_vs_1t
+        << ", \"bytes_per_client_per_round\": [";
+    for (std::size_t j = 0; j < r.bytes_per_client_per_round.size(); ++j) {
+      out << (j ? ", " : "") << r.bytes_per_client_per_round[j];
+    }
+    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }

@@ -7,6 +7,10 @@
 #include <memory>
 #include <vector>
 
+#include "compress/cmfl.h"
+#include "compress/gaia.h"
+#include "compress/randk.h"
+#include "compress/topk.h"
 #include "core/apf_manager.h"
 #include "core/masked_pack.h"
 #include "core/strawmen.h"
@@ -20,6 +24,8 @@
 #include "optim/optimizer.h"
 #include "util/bytes.h"
 #include "util/error.h"
+#include "wire/masked.h"
+#include "wire/wire.h"
 
 namespace apf::fuzz {
 
@@ -121,13 +127,46 @@ namespace {
 // Strategy-driving harness (apf-rounds, strawman-rounds)
 // ---------------------------------------------------------------------------
 
-enum class StrategyKind { kApf, kFullSync, kPartialSync, kPermanentFreeze };
+enum class StrategyKind {
+  kApf,
+  kFullSync,
+  kPartialSync,
+  kPermanentFreeze,
+  kTopK,
+  kGaia,
+  kRandK,
+  kCmfl,
+};
 
 std::unique_ptr<fl::SyncStrategy> make_strategy(const RoundScript& s,
                                                 StrategyKind kind) {
   switch (kind) {
     case StrategyKind::kFullSync:
       return std::make_unique<fl::FullSync>();
+    case StrategyKind::kTopK: {
+      compress::TopKOptions options;
+      options.fraction = s.threshold;  // (0, 0.475] — a valid fraction
+      return std::make_unique<compress::TopKSync>(options);
+    }
+    case StrategyKind::kGaia: {
+      compress::GaiaOptions options;
+      options.significance_threshold = s.threshold;
+      options.decay_threshold = (s.flags & kFlagNoDecay) == 0;
+      return std::make_unique<compress::GaiaSync>(options);
+    }
+    case StrategyKind::kRandK: {
+      compress::RandKOptions options;
+      options.fraction = s.threshold;
+      options.unbiased_scaling = (s.flags & kFlagUnbiasedScale) != 0;
+      options.seed = s.value_seed;
+      return std::make_unique<compress::RandKSync>(options);
+    }
+    case StrategyKind::kCmfl: {
+      compress::CmflOptions options;
+      options.relevance_threshold = s.threshold;
+      options.threshold_decay = (s.flags & kFlagNoDecay) != 0 ? 1.0 : 0.95;
+      return std::make_unique<compress::CmflSync>(options);
+    }
     case StrategyKind::kPartialSync:
     case StrategyKind::kPermanentFreeze: {
       core::StrawmanOptions options;
@@ -287,6 +326,7 @@ void check_applied(StrategyKind kind, const RoundScript& s,
                    const fl::SyncStrategy::Result& result,
                    const std::vector<std::vector<float>>& post_clients,
                    const std::vector<std::vector<float>>& submitted,
+                   const std::vector<double>& weights,
                    const std::vector<float>& pre_global,
                    const Bitmap& pre_mask, const Bitmap& pre_excluded) {
   const std::size_t dim = s.dim;
@@ -308,19 +348,21 @@ void check_applied(StrategyKind kind, const RoundScript& s,
                             "APF moved a frozen scalar");
         }
       }
-      // Byte accounting must match the real encoded payload: frame the
-      // merged update as wire bytes and compare sizes.
-      const auto encoded = core::encode_masked_update(post_global, pre_mask);
-      const double mask_bytes = static_cast<double>((dim + 7) / 8);
-      const double payload_bytes =
-          static_cast<double>(encoded.size()) - 8.0 - mask_bytes;
-      const double down_extra =
-          (s.flags & kFlagServerSideMask) != 0 ? mask_bytes : 0.0;
+      // Byte accounting must match the real encoded buffers: re-frame the
+      // round's payloads exactly as the transport does and compare sizes.
+      const double up_bytes = static_cast<double>(
+          wire::encode_dense(wire::pack_unfrozen(post_global, pre_mask))
+              .size());
+      const double down_bytes =
+          (s.flags & kFlagServerSideMask) != 0
+              ? static_cast<double>(
+                    core::encode_masked_update(post_global, pre_mask).size())
+              : up_bytes;
       for (std::size_t i = 0; i < n; ++i) {
-        require_invariant(result.bytes_up[i] == payload_bytes,
-                          "APF bytes_up != encoded payload size");
-        require_invariant(result.bytes_down[i] == payload_bytes + down_extra,
-                          "APF bytes_down != encoded payload size");
+        require_invariant(result.bytes_up[i] == up_bytes,
+                          "APF bytes_up != encoded buffer size");
+        require_invariant(result.bytes_down[i] == down_bytes,
+                          "APF bytes_down != encoded buffer size");
       }
       require_invariant(
           result.frozen_fraction ==
@@ -333,7 +375,8 @@ void check_applied(StrategyKind kind, const RoundScript& s,
         require_invariant(bits_equal(params, post_global),
                           "FullSync client diverged from the global model");
       }
-      const double payload = 4.0 * static_cast<double>(dim);
+      const double payload =
+          static_cast<double>(wire::encode_dense(post_global).size());
       for (std::size_t i = 0; i < n; ++i) {
         require_invariant(result.bytes_up[i] == payload &&
                               result.bytes_down[i] == payload,
@@ -382,15 +425,89 @@ void check_applied(StrategyKind kind, const RoundScript& s,
           }
         }
       }
-      const double payload =
-          4.0 * static_cast<double>(dim - post_excluded.count());
+      // Uploads travel under the pre-round mask, pulls under the (possibly
+      // grown) post-round mask; both are measured dense-packed buffers.
+      const double up_bytes = static_cast<double>(
+          wire::encode_dense(wire::pack_unfrozen(post_global, pre_excluded))
+              .size());
+      const double down_bytes = static_cast<double>(
+          wire::encode_dense(wire::pack_unfrozen(post_global, post_excluded))
+              .size());
       for (std::size_t i = 0; i < n; ++i) {
-        require_invariant(result.bytes_up[i] == payload &&
-                              result.bytes_down[i] == payload,
+        require_invariant(result.bytes_up[i] == up_bytes &&
+                              result.bytes_down[i] == down_bytes,
                           "strawman bytes disagree with the exclusion mask");
       }
       require_invariant(result.frozen_fraction == post_excluded.fraction(),
                         "strawman frozen_fraction != excluded fraction");
+      break;
+    }
+    case StrategyKind::kTopK:
+    case StrategyKind::kGaia:
+    case StrategyKind::kRandK:
+    case StrategyKind::kCmfl: {
+      // All four ship the full model down as one dense buffer that every
+      // client — participant or not — ends the round holding.
+      for (const auto& params : post_clients) {
+        require_invariant(bits_equal(params, post_global),
+                          "compress client diverged from the global model");
+      }
+      const double down_bytes =
+          static_cast<double>(wire::encode_dense(post_global).size());
+      const std::size_t k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(s.threshold * static_cast<double>(dim))));
+      bool any_up = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool participant = weights[i] > 0.0;
+        const double up = result.bytes_up[i];
+        const double down = result.bytes_down[i];
+        any_up = any_up || up > 0.0;
+        if (!participant) {
+          require_invariant(up == 0.0,
+                            "non-participant charged on the uplink");
+          // CMFL broadcasts to all n clients; the sparsifiers charge only
+          // this round's participants for the pull.
+          require_invariant(
+              down == (kind == StrategyKind::kCmfl ? down_bytes : 0.0),
+              "non-participant downlink charge is wrong");
+          continue;
+        }
+        require_invariant(down == down_bytes,
+                          "compress bytes_down != encoded buffer size");
+        switch (kind) {
+          case StrategyKind::kTopK:
+            // Exactly k (index, value) pairs behind the 12-byte APS1 header.
+            require_invariant(up == static_cast<double>(12 + 8 * k),
+                              "TopK bytes_up != encoded APS1 size");
+            break;
+          case StrategyKind::kRandK:
+            // Exactly k values behind the 24-byte APR1 header.
+            require_invariant(up == static_cast<double>(24 + 4 * k),
+                              "RandK bytes_up != encoded APR1 size");
+            break;
+          case StrategyKind::kGaia: {
+            // The significant set varies per client; the charge must still
+            // be a well-formed APS1 frame no larger than all-significant.
+            const double span = up - 12.0;
+            require_invariant(span >= 0.0 && std::fmod(span, 8.0) == 0.0 &&
+                                  span <= 8.0 * static_cast<double>(dim),
+                              "Gaia bytes_up is not a plausible APS1 size");
+            break;
+          }
+          default:  // kCmfl: filtered uploads cost nothing; relevant ones
+                    // ship a full dense frame.
+            require_invariant(up == 0.0 || up == down_bytes,
+                              "CMFL bytes_up != 0 or the dense frame size");
+            break;
+        }
+      }
+      // require_round_inputs guarantees a positive weight total, and CMFL's
+      // fallback accepts every participant when all were filtered — some
+      // uplink charge must exist in every applied round.
+      require_invariant(any_up, "applied round charged no uplink at all");
+      require_invariant(result.frozen_fraction == 0.0,
+                        "compress strategy reported frozen scalars");
       break;
     }
   }
@@ -433,7 +550,7 @@ std::uint64_t run_sync_script(const RoundScript& s, StrategyKind kind) {
     try {
       const auto result = strategy->synchronize(r + 1, props, weights);
       check_applied(kind, s, *strategy, strawman, result, props, submitted,
-                    pre_global, pre_mask, pre_excluded);
+                    weights, pre_global, pre_mask, pre_excluded);
       client_params = std::move(props);
       const std::span<const float> g = strategy->global_params();
       history.emplace_back(g.begin(), g.end());
@@ -670,6 +787,18 @@ std::uint64_t run_strawman_rounds(std::span<const std::uint8_t> bytes) {
   StrategyKind kind = StrategyKind::kFullSync;
   if (script.flavor % 3 == 1) kind = StrategyKind::kPartialSync;
   if (script.flavor % 3 == 2) kind = StrategyKind::kPermanentFreeze;
+  return run_sync_script(script, kind);
+}
+
+std::uint64_t run_compress_rounds(std::span<const std::uint8_t> bytes) {
+  const RoundScript script = parse_round_script(bytes);
+  StrategyKind kind = StrategyKind::kTopK;
+  switch (script.flavor % 4) {
+    case 1: kind = StrategyKind::kGaia; break;
+    case 2: kind = StrategyKind::kRandK; break;
+    case 3: kind = StrategyKind::kCmfl; break;
+    default: break;
+  }
   return run_sync_script(script, kind);
 }
 

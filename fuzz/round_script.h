@@ -55,6 +55,7 @@ inline constexpr std::uint16_t kFlagTensorGran = 1u << 4;      // apf
 inline constexpr std::uint16_t kFlagNoDecay = 1u << 5;         // apf
 inline constexpr std::uint16_t kFlagFedProx = 1u << 6;         // runner
 inline constexpr std::uint16_t kFlagBadWorkload = 1u << 7;     // runner
+inline constexpr std::uint16_t kFlagUnbiasedScale = 1u << 8;   // compress
 
 /// Per-client payload action for one round; `action` is taken modulo
 /// kNumClientActions, `a`/`b`/`v` parameterize it.
@@ -105,6 +106,7 @@ std::vector<std::uint8_t> generate_round_script(Rng& rng);
 /// under the two-outcome oracle. Return a digest of every round's outcome.
 std::uint64_t run_apf_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_strawman_rounds(std::span<const std::uint8_t> bytes);
+std::uint64_t run_compress_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_runner_rounds(std::span<const std::uint8_t> bytes);
 
 }  // namespace apf::fuzz

@@ -4,6 +4,10 @@
 #include <sstream>
 #include <string>
 
+#include "compress/cmfl.h"
+#include "compress/gaia.h"
+#include "compress/randk.h"
+#include "compress/topk.h"
 #include "core/apf_manager.h"
 #include "core/strawmen.h"
 #include "util/bytes.h"
@@ -25,6 +29,12 @@ void append_floats(ByteWriter& writer, std::span<const float> values) {
 void append_stream(ByteWriter& writer, const std::ostringstream& os) {
   const std::string s = os.str();
   append_string(writer, s);
+}
+
+void append_residuals(ByteWriter& writer,
+                      const std::vector<std::vector<float>>& residuals) {
+  writer.u32(static_cast<std::uint32_t>(residuals.size()));
+  for (const auto& r : residuals) append_floats(writer, r);
 }
 
 }  // namespace
@@ -53,6 +63,20 @@ std::vector<std::uint8_t> snapshot_strategy(const fl::SyncStrategy& strategy) {
     std::ostringstream os(std::ios::binary);
     strawman->save_state(os);
     append_stream(writer, os);
+  } else if (const auto* topk =
+                 dynamic_cast<const compress::TopKSync*>(&strategy)) {
+    append_residuals(writer, topk->residuals());
+  } else if (const auto* gaia =
+                 dynamic_cast<const compress::GaiaSync*>(&strategy)) {
+    append_residuals(writer, gaia->residuals());
+  } else if (const auto* randk =
+                 dynamic_cast<const compress::RandKSync*>(&strategy)) {
+    append_residuals(writer, randk->residuals());
+  } else if (const auto* cmfl =
+                 dynamic_cast<const compress::CmflSync*>(&strategy)) {
+    append_floats(writer, cmfl->prev_update());
+    writer.u64(cmfl->considered());
+    writer.u64(cmfl->accepted());
   }
   return writer.take();
 }

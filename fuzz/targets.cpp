@@ -288,6 +288,10 @@ constexpr FuzzTarget kTargets[] = {
      "stateful: round script vs FullSync/PartialSync/PermanentFreeze under "
      "the two-outcome oracle",
      generate_round_script, run_strawman_rounds},
+    {"compress-rounds",
+     "stateful: round script vs TopK/Gaia/RandK/CMFL under the two-outcome "
+     "oracle (measured wire bytes)",
+     generate_round_script, run_compress_rounds},
     {"runner-rounds",
      "stateful: round script vs a small FederatedRunner simulation "
      "(accounting, determinism, admission control)",

@@ -39,8 +39,9 @@ struct FuzzTarget {
 
 /// All registered targets: the wire decoders (masked, bitmap, sparse, randk,
 /// fp16, dense, qsgd, terngrad, checkpoint) plus the stateful round-loop
-/// targets (apf-rounds, strawman-rounds, runner-rounds) that drive whole FL
-/// episodes under the two-outcome oracle of fuzz/round_script.h.
+/// targets (apf-rounds, strawman-rounds, compress-rounds, runner-rounds)
+/// that drive whole FL episodes under the two-outcome oracle of
+/// fuzz/round_script.h.
 std::span<const FuzzTarget> all_targets();
 
 /// Looks a target up by name; nullptr when unknown.

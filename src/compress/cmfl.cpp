@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "compress/wire.h"
-#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -24,6 +23,7 @@ void CmflSync::init(std::span<const float> initial_params,
 fl::SyncStrategy::Result CmflSync::synchronize(
     std::size_t round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
   const double threshold =
@@ -32,14 +32,13 @@ fl::SyncStrategy::Result CmflSync::synchronize(
 
   Result result;
   result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 4.0 * static_cast<double>(dim));
+  result.bytes_down.assign(n, 0.0);
 
   // Relevance check: sign agreement with the previous global update. In the
   // first round there is no reference update, so every upload is relevant.
   std::vector<bool> upload(n, false);
   std::size_t uploads = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    APF_CHECK(client_params[i].size() == dim);
     if (weights[i] == 0.0) continue;
     ++considered_;
     if (round == 1) {
@@ -58,7 +57,6 @@ fl::SyncStrategy::Result CmflSync::synchronize(
     if (upload[i]) {
       ++uploads;
       ++accepted_;
-      result.bytes_up[i] = 4.0 * static_cast<double>(dim);
     }
   }
   // If every update was filtered, fall back to accepting all non-dropped
@@ -66,10 +64,7 @@ fl::SyncStrategy::Result CmflSync::synchronize(
   // training never stalls).
   if (uploads == 0) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (weights[i] > 0.0) {
-        upload[i] = true;
-        result.bytes_up[i] = 4.0 * static_cast<double>(dim);
-      }
+      if (weights[i] > 0.0) upload[i] = true;
     }
   }
 
@@ -81,26 +76,27 @@ fl::SyncStrategy::Result CmflSync::synchronize(
   std::vector<double> acc(dim, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     if (!upload[i]) continue;
-    if constexpr (debug::kChecksEnabled) {
-      // Wire conformance: a relevant upload ships the full parameter
-      // vector; framed as the "APD1" dense byte format it must survive
-      // encode/decode bit-exactly.
-      const std::vector<float> round_trip =
-          decode_dense(encode_dense(client_params[i]));
-      APF_DEBUG_ASSERT_MSG(round_trip == client_params[i],
-                           "cmfl dense wire round trip drifted");
-    }
+    // Push: a relevant upload ships the full parameter vector as an "APD1"
+    // dense buffer; the server aggregates the decoded values.
+    const std::vector<std::uint8_t> buf = encode_dense(client_params[i]);
+    const std::vector<float> decoded = decode_dense(buf);
+    result.bytes_up[i] = static_cast<double>(buf.size());
     const double w = weights[i] / weight_total;
     for (std::size_t j = 0; j < dim; ++j) {
-      acc[j] += w * static_cast<double>(client_params[i][j] - global_[j]);
+      acc[j] += w * static_cast<double>(decoded[j] - global_[j]);
     }
   }
   for (std::size_t j = 0; j < dim; ++j) {
     prev_global_update_[j] = static_cast<float>(acc[j]);
     global_[j] += static_cast<float>(acc[j]);
   }
-  for (auto& params : client_params) {
-    params.assign(global_.begin(), global_.end());
+  // Pull: every client — dropped ones included — receives the new model as
+  // one dense buffer (the long-standing CMFL convention charges all n).
+  const std::vector<std::uint8_t> down = encode_dense(global_);
+  const std::vector<float> decoded_down = decode_dense(down);
+  for (std::size_t i = 0; i < n; ++i) {
+    client_params[i] = decoded_down;
+    result.bytes_down[i] = static_cast<double>(down.size());
   }
   return result;
 }

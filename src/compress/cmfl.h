@@ -30,6 +30,13 @@ class CmflSync : public fl::SyncStrategyBase {
   /// Fraction of client uploads accepted so far (diagnostics).
   double acceptance_rate() const;
 
+  /// Persistent state exposed for the fuzz state oracle.
+  const std::vector<float>& prev_update() const {
+    return prev_global_update_;
+  }
+  std::size_t considered() const { return considered_; }
+  std::size_t accepted() const { return accepted_; }
+
  private:
   CmflOptions options_;
   std::vector<float> prev_global_update_;

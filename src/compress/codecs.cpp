@@ -22,6 +22,16 @@ void QsgdCodec::encode_decode(std::span<float> update, Rng& rng) const {
   std::copy(decoded.begin(), decoded.end(), update.begin());
 }
 
+std::vector<std::uint8_t> QsgdCodec::encode(std::span<const float> update,
+                                            Rng& rng) const {
+  return encode_qsgd(qsgd_quantize(update, bits_, rng));
+}
+
+std::vector<float> QsgdCodec::decode(
+    std::span<const std::uint8_t> bytes) const {
+  return qsgd_dequantize(decode_qsgd(bytes));
+}
+
 double QsgdCodec::wire_bytes(std::size_t n) const {
   // bits per magnitude + 1 sign bit per element, plus the fp32 norm.
   return static_cast<double>(n) * (bits_ + 1) / 8.0 + 4.0;
@@ -35,6 +45,16 @@ void TernGradCodec::encode_decode(std::span<float> update, Rng& rng) const {
   const TernPayload payload = terngrad_quantize(update, rng);
   const std::vector<float> decoded = terngrad_dequantize(payload);
   std::copy(decoded.begin(), decoded.end(), update.begin());
+}
+
+std::vector<std::uint8_t> TernGradCodec::encode(std::span<const float> update,
+                                                Rng& rng) const {
+  return encode_terngrad(terngrad_quantize(update, rng));
+}
+
+std::vector<float> TernGradCodec::decode(
+    std::span<const std::uint8_t> bytes) const {
+  return terngrad_dequantize(decode_terngrad(bytes));
 }
 
 double TernGradCodec::wire_bytes(std::size_t n) const {

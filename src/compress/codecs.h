@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -21,7 +23,20 @@ class UpdateCodec {
   /// receiver would decode). Stochastic codecs draw from `rng`.
   virtual void encode_decode(std::span<float> update, Rng& rng) const = 0;
 
-  /// Wire cost in bytes for a vector of `n` elements (payload + scalars).
+  /// Quantizes `update` into its framed wire buffer, drawing the same
+  /// stochastic rounding as encode_decode would for the same rng state.
+  virtual std::vector<std::uint8_t> encode(std::span<const float> update,
+                                           Rng& rng) const = 0;
+
+  /// Decodes a buffer produced by encode(); decode(encode(u, rng)) is
+  /// bit-identical to encode_decode(u, rng) on the same rng state. Raises
+  /// apf::Error on malformed framing.
+  virtual std::vector<float> decode(
+      std::span<const std::uint8_t> bytes) const = 0;
+
+  /// Modeled wire cost in bytes for a vector of `n` elements (payload +
+  /// scalars, headers excluded) — a planning helper; byte *accounting* uses
+  /// the measured encode() buffer size.
   virtual double wire_bytes(std::size_t n) const = 0;
 
   virtual std::string name() const = 0;
@@ -35,6 +50,10 @@ class QsgdCodec : public UpdateCodec {
   explicit QsgdCodec(unsigned bits);
 
   void encode_decode(std::span<float> update, Rng& rng) const override;
+  std::vector<std::uint8_t> encode(std::span<const float> update,
+                                   Rng& rng) const override;
+  std::vector<float> decode(
+      std::span<const std::uint8_t> bytes) const override;
   double wire_bytes(std::size_t n) const override;
   std::string name() const override;
 
@@ -52,6 +71,10 @@ class QsgdCodec : public UpdateCodec {
 class TernGradCodec : public UpdateCodec {
  public:
   void encode_decode(std::span<float> update, Rng& rng) const override;
+  std::vector<std::uint8_t> encode(std::span<const float> update,
+                                   Rng& rng) const override;
+  std::vector<float> decode(
+      std::span<const std::uint8_t> bytes) const override;
   double wire_bytes(std::size_t n) const override;
   std::string name() const override { return "TernGrad"; }
 };

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "compress/wire.h"
-#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -22,6 +21,7 @@ void GaiaSync::init(std::span<const float> initial_params,
 fl::SyncStrategy::Result GaiaSync::synchronize(
     std::size_t round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
   APF_CHECK(n == residual_.size());
@@ -41,17 +41,17 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
 
   std::vector<double> acc(dim, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    APF_CHECK(client_params[i].size() == dim);
     if (weights[i] == 0.0) {
       // Non-participating (or dropped) client: it did no work this round,
       // so its residual must not absorb the stale-parameter gap.
-      result.bytes_up[i] = 0.0;
-      result.bytes_down[i] = 0.0;
       continue;
     }
-    std::size_t sent = 0;
     const double w = weights[i] / weight_total;
-    SparsePayload dbg_payload;  // filled only when debug checks are compiled in
+    // Push: the significant set travels as an "APS1" sparse buffer
+    // (ascending coordinate order); the server aggregates the decoded
+    // components.
+    SparsePayload payload;
+    payload.dim = static_cast<std::uint32_t>(dim);
     for (std::size_t j = 0; j < dim; ++j) {
       // Pending update = this round's local change plus carried residual.
       const float u = client_params[i][j] - global_[j] + residual_[i][j];
@@ -59,39 +59,33 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
           std::max(static_cast<double>(std::fabs(global_[j])), options_.eps);
       const bool significant =
           static_cast<double>(std::fabs(u)) / denom >= threshold;
-      if (significant && weights[i] > 0.0) {
-        acc[j] += w * static_cast<double>(u);
+      if (significant) {
+        payload.indices.push_back(static_cast<std::uint32_t>(j));
+        payload.values.push_back(u);
         residual_[i][j] = 0.f;
-        ++sent;
-        if constexpr (debug::kChecksEnabled) {
-          dbg_payload.indices.push_back(static_cast<std::uint32_t>(j));
-          dbg_payload.values.push_back(u);
-        }
       } else {
         residual_[i][j] = u;
       }
     }
-    if constexpr (debug::kChecksEnabled) {
-      // Wire conformance: the significant set, framed as the "APS1" sparse
-      // byte format, must survive encode/decode bit-exactly.
-      dbg_payload.dim = static_cast<std::uint32_t>(dim);
-      const SparsePayload round_trip =
-          decode_sparse(encode_sparse(dbg_payload));
-      APF_DEBUG_ASSERT_MSG(round_trip.indices == dbg_payload.indices &&
-                               round_trip.values == dbg_payload.values,
-                           "gaia sparse wire round trip drifted");
+    const std::vector<std::uint8_t> buf = encode_sparse(payload);
+    const SparsePayload decoded = decode_sparse(buf);
+    result.bytes_up[i] = static_cast<double>(buf.size());
+    for (std::size_t t = 0; t < decoded.indices.size(); ++t) {
+      acc[decoded.indices[t]] += w * static_cast<double>(decoded.values[t]);
     }
-    // Sparse payload: 4 B per value plus a presence bitmap.
-    result.bytes_up[i] =
-        4.0 * static_cast<double>(sent) + static_cast<double>(dim) / 8.0;
-    // Pull phase ships the full model.
-    result.bytes_down[i] = 4.0 * static_cast<double>(dim);
   }
   for (std::size_t j = 0; j < dim; ++j) {
     global_[j] += static_cast<float>(acc[j]);
   }
-  for (auto& params : client_params) {
-    params.assign(global_.begin(), global_.end());
+  // Pull: one dense model buffer, decoded by every client; only this
+  // round's participants are charged for it.
+  const std::vector<std::uint8_t> down = encode_dense(global_);
+  const std::vector<float> decoded_down = decode_dense(down);
+  for (std::size_t i = 0; i < n; ++i) {
+    client_params[i] = decoded_down;
+    if (weights[i] > 0.0) {
+      result.bytes_down[i] = static_cast<double>(down.size());
+    }
   }
   return result;
 }

@@ -30,6 +30,11 @@ class GaiaSync : public fl::SyncStrategyBase {
                      const std::vector<double>& weights) override;
   std::string name() const override { return "Gaia"; }
 
+  /// Per-client error-feedback residuals (exposed for the fuzz state oracle).
+  const std::vector<std::vector<float>>& residuals() const {
+    return residual_;
+  }
+
  private:
   GaiaOptions options_;
   std::vector<std::vector<float>> residual_;  // per client error feedback

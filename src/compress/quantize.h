@@ -1,31 +1,16 @@
-// IEEE-754 half-precision codec.
-//
-// The paper's APF+Quantization variant (§7.7) transmits parameters as 16-bit
-// halves via Tensor.half(). This codec provides the same conversion; the
-// QuantizedSync wrapper applies it around any SyncStrategy.
+// Compatibility shim: the fp16 codec moved to src/wire (module level below
+// fl) alongside the rest of the wire formats — see wire/quantize.h. This
+// header re-exports it under apf::compress for existing include sites.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
+#include "wire/quantize.h"
 
 namespace apf::compress {
 
-/// float32 -> float16 bit pattern (round-to-nearest-even, with proper
-/// handling of subnormals, infinities and NaN).
-std::uint16_t float_to_half(float value);
-
-/// float16 bit pattern -> float32.
-float half_to_float(std::uint16_t half);
-
-/// Rounds every element through fp16 (the precision loss a transmit/receive
-/// pair would incur).
-void quantize_fp16_inplace(std::span<float> values);
-
-/// Encodes to a half-precision payload.
-std::vector<std::uint16_t> encode_fp16(std::span<const float> values);
-
-/// Decodes a half-precision payload.
-std::vector<float> decode_fp16(std::span<const std::uint16_t> halves);
+using wire::float_to_half;
+using wire::half_to_float;
+using wire::quantize_fp16_inplace;
+using wire::encode_fp16;
+using wire::decode_fp16;
 
 }  // namespace apf::compress

@@ -1,7 +1,11 @@
 #include "compress/quantized_sync.h"
 
-#include "compress/quantize.h"
+#include <cstdint>
+#include <optional>
+
 #include "util/error.h"
+#include "wire/masked.h"
+#include "wire/wire.h"
 
 namespace apf::compress {
 
@@ -15,16 +19,63 @@ void QuantizedSync::init(std::span<const float> initial_params,
   inner_->init(initial_params, num_clients);
 }
 
+namespace {
+
+/// Rounds the client's transmitted scalars (the unfrozen ones when `mask` is
+/// set, all of them otherwise) through a real "APH1" half-precision buffer
+/// and returns its size. Frozen scalars never travel, so they stay exact.
+std::size_t fp16_round_trip(std::vector<float>& params,
+                            const std::optional<Bitmap>& mask) {
+  std::vector<std::uint8_t> buf;
+  if (mask.has_value()) {
+    buf = wire::encode_fp16_payload(wire::pack_unfrozen(params, *mask));
+    wire::unpack_unfrozen(wire::decode_fp16_payload(buf), *mask, params);
+  } else {
+    buf = wire::encode_fp16_payload(params);
+    params = wire::decode_fp16_payload(buf);
+  }
+  return buf.size();
+}
+
+}  // namespace
+
 fl::SyncStrategy::Result QuantizedSync::synchronize(
     std::size_t round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
-  // Push-side rounding: the server aggregates what the wire carried.
-  for (auto& params : client_params) quantize_fp16_inplace(params);
+  // Malformed rounds go straight to the inner strategy, which rejects them
+  // atomically before any proposal is quantized.
+  const std::size_t n = client_params.size();
+  const std::size_t dim = inner_->global_params().size();
+  bool well_formed = weights.size() == n && n > 0;
+  for (std::size_t i = 0; well_formed && i < n; ++i) {
+    well_formed = client_params[i].size() == dim;
+  }
+  if (!well_formed) return inner_->synchronize(round, client_params, weights);
+
+  // The mask in force while this round's payloads travel (the inner strategy
+  // may grow it during synchronize()). Masks are client-derived (§7.7
+  // configuration), so no mask bytes ride along with the fp16 payload.
+  std::optional<Bitmap> mask;
+  if (const Bitmap* inner_mask = inner_->frozen_mask()) mask = *inner_mask;
+
+  std::vector<double> up_bytes(n, 0.0);
+  std::vector<double> down_bytes(n, 0.0);
+  // Push-side: each participant's payload travels as a real half-precision
+  // buffer; the server aggregates what the wire carried.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0.0) continue;
+    up_bytes[i] =
+        static_cast<double>(fp16_round_trip(client_params[i], mask));
+  }
   Result result = inner_->synchronize(round, client_params, weights);
-  // Pull-side rounding: the clients receive fp16 parameters.
-  for (auto& params : client_params) quantize_fp16_inplace(params);
-  for (auto& b : result.bytes_up) b *= 0.5;
-  for (auto& b : result.bytes_down) b *= 0.5;
+  // Pull-side: the post-sync parameters travel back the same way.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0.0) continue;
+    down_bytes[i] =
+        static_cast<double>(fp16_round_trip(client_params[i], mask));
+  }
+  result.bytes_up = std::move(up_bytes);
+  result.bytes_down = std::move(down_bytes);
   return result;
 }
 

@@ -1,10 +1,12 @@
 // Stacking quantization on top of another strategy (paper §7.7's
 // Quantization_Manager over APF_Manager).
 //
-// Push: client parameters are rounded through fp16 before the inner strategy
-// sees them (what the wire would carry). Pull: the post-sync parameters are
-// rounded again. Transmitted value payloads are charged at 2 bytes instead
-// of 4, i.e. the inner strategy's byte counts are halved.
+// Push: each participant's transmitted scalars (the unfrozen ones when the
+// inner strategy freezes, all of them otherwise) travel as a real "APH1"
+// half-precision buffer; the inner strategy aggregates the decoded values.
+// Pull: the post-sync scalars travel back the same way. Byte charges are the
+// measured buffer sizes — masks are client-derived (§7.7 configuration), so
+// no mask bytes ride along.
 #pragma once
 
 #include <memory>

@@ -24,8 +24,10 @@ void RandKSync::init(std::span<const float> initial_params,
 fl::SyncStrategy::Result RandKSync::synchronize(
     std::size_t round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
+  APF_CHECK(n == residual_.size());
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(options_.fraction * static_cast<double>(dim))));
@@ -52,56 +54,62 @@ fl::SyncStrategy::Result RandKSync::synchronize(
 
   Result result;
   result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 4.0 * static_cast<double>(dim));
+  result.bytes_down.assign(n, 0.0);
+
+  // The round's coordinates in ascending order — the order both sides
+  // derive from the shared seed, and the order values travel in.
+  std::vector<std::size_t> coords;
+  coords.reserve(k);
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (selected[j]) coords.push_back(j);
+  }
 
   std::vector<double> acc(dim, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    APF_CHECK(client_params[i].size() == dim);
     if (weights[i] == 0.0) {
       // Dropped/non-participating client: leave residual and bytes at zero.
-      result.bytes_up[i] = 0.0;
-      result.bytes_down[i] = 0.0;
       continue;
     }
     const double w = weights[i] / weight_total;
-    RandkPayload dbg_payload;  // filled only when debug checks are compiled in
+    // Push: values only, framed as an "APR1" buffer — the coordinate set is
+    // derivable from the seed material that rides along in the header.
+    RandkPayload payload;
+    payload.dim = static_cast<std::uint32_t>(dim);
+    payload.count = static_cast<std::uint32_t>(k);
+    payload.seed = mix;
+    payload.scale = scale;
     for (std::size_t j = 0; j < dim; ++j) {
       const float pending =
           client_params[i][j] - global_[j] + residual_[i][j];
       if (selected[j]) {
-        acc[j] += w * static_cast<double>(pending) * scale;
+        payload.values.push_back(pending);
         residual_[i][j] = 0.f;
-        if constexpr (debug::kChecksEnabled) {
-          dbg_payload.values.push_back(pending);
-        }
       } else {
         residual_[i][j] = pending;
       }
     }
-    // Values only — the coordinate set is derivable from the round index,
-    // so just 8 B of seed material rides along.
-    result.bytes_up[i] = 4.0 * static_cast<double>(k) + 8.0;
-    if constexpr (debug::kChecksEnabled) {
-      // Wire conformance: the transmitted values for the round's coordinate
-      // set (ascending coordinate order — the order both sides derive from
-      // the shared seed), framed as the "APR1" byte format, must survive
-      // encode/decode bit-exactly.
-      dbg_payload.dim = static_cast<std::uint32_t>(dim);
-      dbg_payload.count = static_cast<std::uint32_t>(k);
-      dbg_payload.seed = options_.seed + 0x9E3779B97F4A7C15ULL * round;
-      dbg_payload.scale = scale;
-      const RandkPayload round_trip =
-          decode_randk(encode_randk(dbg_payload));
-      APF_DEBUG_ASSERT_MSG(round_trip.values == dbg_payload.values &&
-                               round_trip.seed == dbg_payload.seed,
-                           "rand-k wire round trip drifted");
+    const std::vector<std::uint8_t> buf = encode_randk(payload);
+    const RandkPayload decoded = decode_randk(buf);
+    result.bytes_up[i] = static_cast<double>(buf.size());
+    APF_DEBUG_ASSERT_MSG(decoded.seed == mix,
+                         "rand-k seed drifted through the wire");
+    for (std::size_t t = 0; t < coords.size(); ++t) {
+      acc[coords[t]] +=
+          w * static_cast<double>(decoded.values[t]) * decoded.scale;
     }
   }
   for (std::size_t j = 0; j < dim; ++j) {
     global_[j] += static_cast<float>(acc[j]);
   }
-  for (auto& params : client_params) {
-    params.assign(global_.begin(), global_.end());
+  // Pull: one dense model buffer, decoded by every client; only this
+  // round's participants are charged for it.
+  const std::vector<std::uint8_t> down = encode_dense(global_);
+  const std::vector<float> decoded_down = decode_dense(down);
+  for (std::size_t i = 0; i < n; ++i) {
+    client_params[i] = decoded_down;
+    if (weights[i] > 0.0) {
+      result.bytes_down[i] = static_cast<double>(down.size());
+    }
   }
   return result;
 }

@@ -33,6 +33,11 @@ class RandKSync : public fl::SyncStrategyBase {
                      const std::vector<double>& weights) override;
   std::string name() const override { return "RandK"; }
 
+  /// Per-client error-feedback residuals (exposed for the fuzz state oracle).
+  const std::vector<std::vector<float>>& residuals() const {
+    return residual_;
+  }
+
  private:
   RandKOptions options_;
   std::vector<std::vector<float>> residual_;

@@ -5,7 +5,6 @@
 #include <numeric>
 
 #include "compress/wire.h"
-#include "util/debug.h"
 #include "util/error.h"
 
 namespace apf::compress {
@@ -24,8 +23,10 @@ void TopKSync::init(std::span<const float> initial_params,
 fl::SyncStrategy::Result TopKSync::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
+  APF_CHECK(n == residual_.size());
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(options_.fraction * static_cast<double>(dim))));
@@ -36,18 +37,15 @@ fl::SyncStrategy::Result TopKSync::synchronize(
 
   Result result;
   result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 4.0 * static_cast<double>(dim));
+  result.bytes_down.assign(n, 0.0);
 
   std::vector<double> acc(dim, 0.0);
   std::vector<float> pending(dim);
   std::vector<std::size_t> order(dim);
   for (std::size_t i = 0; i < n; ++i) {
-    APF_CHECK(client_params[i].size() == dim);
     if (weights[i] == 0.0) {
       // Dropped/non-participating client: no work this round, so neither
       // its residual nor the byte counters should move.
-      result.bytes_up[i] = 0.0;
-      result.bytes_down[i] = 0.0;
       continue;
     }
     for (std::size_t j = 0; j < dim; ++j) {
@@ -58,43 +56,42 @@ fl::SyncStrategy::Result TopKSync::synchronize(
                      order.end(), [&](std::size_t a, std::size_t b) {
                        return std::fabs(pending[a]) > std::fabs(pending[b]);
                      });
+    // Push: the selected (index, value) set travels as an "APS1" sparse
+    // buffer; the server aggregates the decoded components.
+    SparsePayload payload;
+    payload.dim = static_cast<std::uint32_t>(dim);
+    std::vector<std::size_t> sent(order.begin(),
+                                  order.begin() +
+                                      static_cast<std::ptrdiff_t>(k));
+    std::sort(sent.begin(), sent.end());
+    for (const std::size_t j : sent) {
+      payload.indices.push_back(static_cast<std::uint32_t>(j));
+      payload.values.push_back(pending[j]);
+    }
+    const std::vector<std::uint8_t> buf = encode_sparse(payload);
+    const SparsePayload decoded = decode_sparse(buf);
+    result.bytes_up[i] = static_cast<double>(buf.size());
     const double w = weights[i] / weight_total;
+    for (std::size_t t = 0; t < decoded.indices.size(); ++t) {
+      acc[decoded.indices[t]] += w * static_cast<double>(decoded.values[t]);
+    }
     for (std::size_t r = 0; r < dim; ++r) {
       const std::size_t j = order[r];
-      if (r < k) {
-        acc[j] += w * static_cast<double>(pending[j]);
-        residual_[i][j] = 0.f;
-      } else {
-        residual_[i][j] = pending[j];
-      }
-    }
-    // 4 B value + 4 B index per transmitted component.
-    result.bytes_up[i] = 8.0 * static_cast<double>(k);
-    if constexpr (debug::kChecksEnabled) {
-      // Wire conformance: the transmitted (index, value) set, framed as the
-      // "APS1" sparse byte format, must survive encode/decode bit-exactly.
-      SparsePayload payload;
-      payload.dim = static_cast<std::uint32_t>(dim);
-      std::vector<std::size_t> sent(order.begin(),
-                                    order.begin() +
-                                        static_cast<std::ptrdiff_t>(k));
-      std::sort(sent.begin(), sent.end());
-      for (const std::size_t j : sent) {
-        payload.indices.push_back(static_cast<std::uint32_t>(j));
-        payload.values.push_back(pending[j]);
-      }
-      const SparsePayload round_trip =
-          decode_sparse(encode_sparse(payload));
-      APF_DEBUG_ASSERT_MSG(round_trip.indices == payload.indices &&
-                               round_trip.values == payload.values,
-                           "top-k sparse wire round trip drifted");
+      residual_[i][j] = r < k ? 0.f : pending[j];
     }
   }
   for (std::size_t j = 0; j < dim; ++j) {
     global_[j] += static_cast<float>(acc[j]);
   }
-  for (auto& params : client_params) {
-    params.assign(global_.begin(), global_.end());
+  // Pull: one dense model buffer, decoded by every client; only this
+  // round's participants are charged for it.
+  const std::vector<std::uint8_t> down = encode_dense(global_);
+  const std::vector<float> decoded_down = decode_dense(down);
+  for (std::size_t i = 0; i < n; ++i) {
+    client_params[i] = decoded_down;
+    if (weights[i] > 0.0) {
+      result.bytes_down[i] = static_cast<double>(down.size());
+    }
   }
   return result;
 }

@@ -25,6 +25,11 @@ class TopKSync : public fl::SyncStrategyBase {
                      const std::vector<double>& weights) override;
   std::string name() const override { return "TopK"; }
 
+  /// Per-client error-feedback residuals (exposed for the fuzz state oracle).
+  const std::vector<std::vector<float>>& residuals() const {
+    return residual_;
+  }
+
  private:
   TopKOptions options_;
   std::vector<std::vector<float>> residual_;

@@ -23,21 +23,43 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
     const std::vector<double>& weights) {
   const auto global = inner_->global_params();
   const std::size_t dim = global.size();
-  std::vector<float> update(dim);
-  for (auto& params : client_params) {
-    APF_CHECK(params.size() == dim);
-    for (std::size_t j = 0; j < dim; ++j) update[j] = params[j] - global[j];
-    codec_->encode_decode(update, rng_);
-    for (std::size_t j = 0; j < dim; ++j) params[j] = global[j] + update[j];
+  const std::size_t n = client_params.size();
+  // Malformed rounds go straight to the inner strategy, which rejects them
+  // atomically before any proposal is quantized.
+  bool well_formed = weights.size() == n && n > 0;
+  for (std::size_t i = 0; well_formed && i < n; ++i) {
+    well_formed = client_params[i].size() == dim;
+  }
+  if (!well_formed) return inner_->synchronize(round, client_params, weights);
+
+  // Only transmitted coordinates run through the codec: under a freezing
+  // inner strategy the frozen scalars never leave the client.
+  const Bitmap* mask = inner_->frozen_mask();
+  std::vector<double> up_bytes(n, 0.0);
+  std::vector<float> update;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0.0) continue;
+    auto& params = client_params[i];
+    update.clear();
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (mask != nullptr && mask->get(j)) continue;
+      update.push_back(params[j] - global[j]);
+    }
+    // Push: the quantized update travels as the codec's framed buffer; the
+    // receiver applies the decoded update on top of the shared model.
+    const std::vector<std::uint8_t> buf = codec_->encode(update, rng_);
+    const std::vector<float> decoded = codec_->decode(buf);
+    up_bytes[i] = static_cast<double>(buf.size());
+    std::size_t t = 0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (mask != nullptr && mask->get(j)) continue;
+      params[j] = global[j] + decoded[t++];
+    }
   }
   Result result = inner_->synchronize(round, client_params, weights);
-  // Re-charge the push at the codec's wire cost. The inner strategy charges
-  // 4 B per transmitted element, so bytes/4 recovers the element count
-  // (e.g. only the unfrozen scalars under APF).
-  for (auto& b : result.bytes_up) {
-    const auto elements = static_cast<std::size_t>(b / 4.0);
-    b = codec_->wire_bytes(elements);
-  }
+  // The pull direction is left to the inner strategy (QSGD and TernGrad
+  // compress the push only).
+  result.bytes_up = std::move(up_bytes);
   return result;
 }
 

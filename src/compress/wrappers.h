@@ -1,10 +1,11 @@
 // Composable SyncStrategy wrappers.
 //
-//  * UpdateQuantizedSync — pushes each client's *update* (local params minus
-//    the global model) through an UpdateCodec (QSGD / TernGrad) before the
-//    wrapped strategy aggregates. Push bytes are re-charged at the codec's
-//    wire cost; the pull direction is left to the inner strategy (QSGD and
-//    TernGrad compress gradients/push only).
+//  * UpdateQuantizedSync — pushes each participant's *update* (local params
+//    minus the global model, restricted to unfrozen coordinates) through an
+//    UpdateCodec (QSGD / TernGrad) as a real framed wire buffer before the
+//    wrapped strategy aggregates the decoded values. Push bytes are the
+//    measured buffer sizes; the pull direction is left to the inner strategy
+//    (QSGD and TernGrad compress gradients/push only).
 //  * DpNoiseSync — client-side differential-privacy noise (paper §9): adds
 //    i.i.d. Gaussian noise to each client's pushed update. Used to study the
 //    DP <-> effective-perturbation interplay.

@@ -11,6 +11,7 @@
 #include "util/debug.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "wire/wire.h"
 
 namespace apf::core {
 
@@ -99,11 +100,19 @@ fl::SyncStrategy::Result ApfManager::synchronize(
                                      << dim);
   const std::size_t payload_size = dim - frozen_count;
   std::vector<double> payload_acc(payload_size, 0.0);
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (weights[i] == 0.0) continue;
     APF_CHECK(client_params[i].size() == dim);
-    const std::vector<float> payload =
-        pack_unfrozen(client_params[i], effective_mask_);
+    // Every client (participating or not) uploads its packed unfrozen
+    // scalars as a dense wire buffer; aggregation consumes the decoded
+    // values of the participants.
+    const std::vector<std::uint8_t> up_buf =
+        wire::encode_dense(pack_unfrozen(client_params[i], effective_mask_));
+    result.bytes_up[i] = static_cast<double>(up_buf.size());
+    if (weights[i] == 0.0) continue;
+    const std::vector<float> payload = wire::decode_dense(up_buf);
     APF_DEBUG_ASSERT_MSG(payload.size() == payload_size,
                          "client " << i << " payload " << payload.size()
                                    << " != unfrozen count " << payload_size);
@@ -124,18 +133,6 @@ fl::SyncStrategy::Result ApfManager::synchronize(
   unpack_unfrozen(merged_payload, effective_mask_, new_global);
   APF_DEBUG_CHECK_FINITE(std::span<const float>(new_global),
                          "ApfManager::synchronize merged global model");
-  if constexpr (debug::kChecksEnabled) {
-    // Wire conformance: the merged update, framed as actual wire bytes,
-    // must survive an encode/decode round trip bit-exactly (mask and
-    // payload). Catches any drift between the byte format and the
-    // masked_select/masked_fill path the aggregation uses.
-    const auto wire_bytes = encode_masked_update(new_global, effective_mask_);
-    const MaskedUpdate round_trip = decode_masked_update(wire_bytes);
-    APF_DEBUG_ASSERT_MSG(round_trip.frozen_mask == effective_mask_,
-                         "masked wire round trip changed the frozen mask");
-    APF_DEBUG_ASSERT_MSG(round_trip.payload == merged_payload,
-                         "masked wire round trip changed the payload");
-  }
 
   // Track the accumulated global update for the next stability check, and
   // remember which scalars were frozen at any point during the window.
@@ -144,18 +141,26 @@ fl::SyncStrategy::Result ApfManager::synchronize(
   }
   window_frozen_.or_with(effective_mask_);
   global_ = std::move(new_global);
-  for (auto& params : client_params) {
-    params.assign(global_.begin(), global_.end());
-  }
 
-  Result result;
-  const double payload = 4.0 * static_cast<double>(dim - frozen_count);
-  // Client-computed masks are free; the §9 server-side variant ships the
-  // bitmap with every pull.
-  const double mask_bytes =
-      options_.server_side_mask ? static_cast<double>((dim + 7) / 8) : 0.0;
-  result.bytes_up.assign(n, payload);
-  result.bytes_down.assign(n, payload + mask_bytes);
+  // Pull: the §9 server-side variant frames the mask with the values (APM1);
+  // the default ships only the packed values — client-computed masks are
+  // free. Either way every client rebuilds its full vector from the frozen
+  // anchor it already holds plus the decoded payload.
+  std::vector<std::uint8_t> down_buf;
+  std::vector<float> down_payload;
+  if (options_.server_side_mask) {
+    down_buf = encode_masked_update(global_, effective_mask_);
+    MaskedUpdate update = decode_masked_update(down_buf);
+    down_payload = std::move(update.payload);
+  } else {
+    down_buf = wire::encode_dense(pack_unfrozen(global_, effective_mask_));
+    down_payload = wire::decode_dense(down_buf);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    client_params[i].assign(global_.begin(), global_.end());
+    unpack_unfrozen(down_payload, effective_mask_, client_params[i]);
+    result.bytes_down[i] = static_cast<double>(down_buf.size());
+  }
   result.frozen_fraction = frozen_fraction;
 
   // Stability check every Fc rounds.

@@ -4,6 +4,8 @@
 
 #include "core/state_io.h"
 #include "util/error.h"
+#include "wire/masked.h"
+#include "wire/wire.h"
 
 namespace apf::core {
 
@@ -91,27 +93,37 @@ fl::SyncStrategy::Result PartialSync::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
-  const std::size_t dim = global_.size();
   const std::size_t n = client_params.size();
-  std::vector<float> new_global;
-  weighted_average(client_params, weights, new_global);
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 0.0);
+  // Push: each client uploads only its non-excluded scalars (packed under the
+  // mask in force at upload time), framed as a dense wire buffer.
+  const Bitmap pre_excluded = excluded_;
+  std::vector<std::vector<float>> uploads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<std::uint8_t> buf = wire::encode_dense(
+        wire::pack_unfrozen(client_params[i], pre_excluded));
+    uploads[i] = wire::decode_dense(buf);
+    result.bytes_up[i] = static_cast<double>(buf.size());
+  }
   // Excluded scalars are not synchronized: the server keeps its stale value
   // and every client keeps its own local value.
-  for (std::size_t j = 0; j < dim; ++j) {
-    if (excluded_.get(j)) new_global[j] = global_[j];
-  }
+  std::vector<float> packed_global;
+  weighted_average(uploads, weights, packed_global);
+  std::vector<float> new_global(global_);
+  wire::unpack_unfrozen(packed_global, pre_excluded, new_global);
   observe_round(new_global);
   global_ = std::move(new_global);
-  for (auto& params : client_params) {
-    for (std::size_t j = 0; j < dim; ++j) {
-      if (!excluded_.get(j)) params[j] = global_[j];
-    }
+  // Pull: one packed buffer under the (possibly grown) post-round mask;
+  // every client scatters the decoded values into its live positions.
+  const std::vector<std::uint8_t> down =
+      wire::encode_dense(wire::pack_unfrozen(global_, excluded_));
+  const std::vector<float> decoded_down = wire::decode_dense(down);
+  for (std::size_t i = 0; i < n; ++i) {
+    wire::unpack_unfrozen(decoded_down, excluded_, client_params[i]);
+    result.bytes_down[i] = static_cast<double>(down.size());
   }
-  Result result;
-  const double payload =
-      4.0 * static_cast<double>(dim - excluded_.count());
-  result.bytes_up.assign(n, payload);
-  result.bytes_down.assign(n, payload);
   result.frozen_fraction = excluded_.fraction();
   return result;
 }
@@ -123,24 +135,37 @@ fl::SyncStrategy::Result PermanentFreeze::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
-  const std::size_t dim = global_.size();
   const std::size_t n = client_params.size();
-  std::vector<float> new_global;
-  weighted_average(client_params, weights, new_global);
-  // Frozen scalars stay at their anchor forever.
-  for (std::size_t j = 0; j < dim; ++j) {
-    if (excluded_.get(j)) new_global[j] = global_[j];
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 0.0);
+  // Push: non-frozen scalars only, packed under the upload-time mask.
+  const Bitmap pre_excluded = excluded_;
+  std::vector<std::vector<float>> uploads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<std::uint8_t> buf = wire::encode_dense(
+        wire::pack_unfrozen(client_params[i], pre_excluded));
+    uploads[i] = wire::decode_dense(buf);
+    result.bytes_up[i] = static_cast<double>(buf.size());
   }
+  // Frozen scalars stay at their anchor forever.
+  std::vector<float> packed_global;
+  weighted_average(uploads, weights, packed_global);
+  std::vector<float> new_global(global_);
+  wire::unpack_unfrozen(packed_global, pre_excluded, new_global);
   observe_round(new_global);
   global_ = std::move(new_global);
-  for (auto& params : client_params) {
-    params.assign(global_.begin(), global_.end());
+  // Pull: live scalars under the post-round mask; each client rebuilds the
+  // full vector from the frozen anchor it already holds plus the decoded
+  // payload.
+  const std::vector<std::uint8_t> down =
+      wire::encode_dense(wire::pack_unfrozen(global_, excluded_));
+  const std::vector<float> decoded_down = wire::decode_dense(down);
+  for (std::size_t i = 0; i < n; ++i) {
+    client_params[i].assign(global_.begin(), global_.end());
+    wire::unpack_unfrozen(decoded_down, excluded_, client_params[i]);
+    result.bytes_down[i] = static_cast<double>(down.size());
   }
-  Result result;
-  const double payload =
-      4.0 * static_cast<double>(dim - excluded_.count());
-  result.bytes_up.assign(n, payload);
-  result.bytes_down.assign(n, payload);
   result.frozen_fraction = excluded_.fraction();
   return result;
 }

@@ -14,6 +14,7 @@
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
+#include "wire/wire.h"
 
 namespace apf::fl {
 
@@ -250,15 +251,21 @@ SimulationResult FederatedRunner::run() {
     }
 
     // BatchNorm-style buffers: full-precision average over participants
-    // every round (not trainable, so APF does not manage them; charged).
+    // every round (not trainable, so APF does not manage them). Each
+    // participant's buffer vector travels as a real dense wire frame; the
+    // server averages the decoded values and broadcasts the result the same
+    // way, so the charge is the measured frame size in each direction.
     double buffer_bytes = 0.0;
     if (buffer_dim > 0) {
       std::vector<double> buf_acc(buffer_dim, 0.0);
       std::size_t buf_sources = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (!participates[i]) continue;
-        const auto b = nn::flatten_buffers(*clients[i].model);
-        for (std::size_t j = 0; j < buffer_dim; ++j) buf_acc[j] += b[j];
+        const std::vector<std::uint8_t> up_buf =
+            wire::encode_dense(nn::flatten_buffers(*clients[i].model));
+        const std::vector<float> decoded = wire::decode_dense(up_buf);
+        buffer_bytes = static_cast<double>(up_buf.size());
+        for (std::size_t j = 0; j < buffer_dim; ++j) buf_acc[j] += decoded[j];
         ++buf_sources;
       }
       APF_CHECK(buf_sources > 0);
@@ -266,12 +273,16 @@ SimulationResult FederatedRunner::run() {
         global_buffers[j] =
             static_cast<float>(buf_acc[j] / static_cast<double>(buf_sources));
       }
+      const std::vector<std::uint8_t> down_buf =
+          wire::encode_dense(global_buffers);
+      const std::vector<float> decoded_down = wire::decode_dense(down_buf);
+      // Dense frames are symmetric, so one scalar covers both directions.
+      APF_CHECK(buffer_bytes == static_cast<double>(down_buf.size()));
       for (std::size_t i = 0; i < n; ++i) {
         if (participates[i]) {
-          nn::load_buffers(*clients[i].model, global_buffers);
+          nn::load_buffers(*clients[i].model, decoded_down);
         }
       }
-      buffer_bytes = 4.0 * static_cast<double>(buffer_dim);
     }
 
     // Byte and time accounting: BSP barrier = slowest participant, and the

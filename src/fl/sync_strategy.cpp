@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "wire/wire.h"
 
 namespace apf::fl {
 
@@ -68,18 +69,29 @@ SyncStrategy::Result FullSync::synchronize(
     std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
+  const std::size_t n = client_params.size();
+  Result result;
+  result.bytes_up.assign(n, 0.0);
+  result.bytes_down.assign(n, 0.0);
+  // Push: every client uploads its full model as a dense wire buffer; the
+  // server aggregates the decoded values (fp32 round-trips bit-exactly).
+  std::vector<std::vector<float>> uploads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<std::uint8_t> buf = wire::encode_dense(client_params[i]);
+    uploads[i] = wire::decode_dense(buf);
+    result.bytes_up[i] = static_cast<double>(buf.size());
+  }
   // Average into a local first: passing global_ as the output would zero it
   // before weighted_average's own checks run, making a rejection non-atomic.
   std::vector<float> new_global;
-  weighted_average(client_params, weights, new_global);
+  weighted_average(uploads, weights, new_global);
   global_ = std::move(new_global);
-  for (auto& params : client_params) {
-    params.assign(global_.begin(), global_.end());
+  // Pull: one dense model buffer, decoded by every client.
+  const std::vector<std::uint8_t> down = wire::encode_dense(global_);
+  for (std::size_t i = 0; i < n; ++i) {
+    client_params[i] = wire::decode_dense(down);
+    result.bytes_down[i] = static_cast<double>(down.size());
   }
-  Result result;
-  const double payload = 4.0 * static_cast<double>(global_.size());
-  result.bytes_up.assign(client_params.size(), payload);
-  result.bytes_down.assign(client_params.size(), payload);
   return result;
 }
 

@@ -1,10 +1,10 @@
-#include "core/masked_pack.h"
+#include "wire/masked.h"
 
 #include "util/bytes.h"
 #include "util/debug.h"
 #include "util/error.h"
 
-namespace apf::core {
+namespace apf::wire {
 
 std::vector<float> pack_unfrozen(std::span<const float> full,
                                  const Bitmap& frozen_mask) {
@@ -71,4 +71,4 @@ MaskedUpdate decode_masked_update(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
-}  // namespace apf::core
+}  // namespace apf::wire

@@ -1,9 +1,9 @@
-#include "compress/quantize.h"
+#include "wire/quantize.h"
 
 #include <bit>
 #include <cmath>
 
-namespace apf::compress {
+namespace apf::wire {
 
 std::uint16_t float_to_half(float value) {
   const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
@@ -84,4 +84,4 @@ std::vector<float> decode_fp16(std::span<const std::uint16_t> halves) {
   return out;
 }
 
-}  // namespace apf::compress
+}  // namespace apf::wire

@@ -1,13 +1,13 @@
-#include "compress/wire.h"
+#include "wire/wire.h"
 
 #include <algorithm>
 #include <cmath>
 
-#include "compress/quantize.h"
+#include "wire/quantize.h"
 #include "util/bytes.h"
 #include "util/error.h"
 
-namespace apf::compress {
+namespace apf::wire {
 
 namespace {
 
@@ -404,4 +404,4 @@ TernPayload decode_terngrad(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
-}  // namespace apf::compress
+}  // namespace apf::wire

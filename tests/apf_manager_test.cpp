@@ -110,15 +110,16 @@ TEST(ApfManager, BytesScaleWithUnfrozenCount) {
   ApfManager manager(fast_options());
   SyntheticDriver driver(manager, 20);
   driver.round(1);
-  EXPECT_DOUBLE_EQ(driver.last_.bytes_up[0], 4.0 * 20);
-  // Each round's bytes must equal 4 * (dim - frozen at that round), and
+  EXPECT_DOUBLE_EQ(driver.last_.bytes_up[0], 8.0 + 4.0 * 20);
+  // Each round's bytes must equal the measured APD1 frame over the packed
+  // unfrozen coordinates — 8-byte header + 4 * (dim - frozen) — and
   // freezing must reduce traffic on at least half the rounds.
   std::size_t cheap_rounds = 0;
   for (std::size_t k = 2; k <= 60; ++k) {
     const std::size_t frozen = manager.frozen_mask()->count();
     driver.round(k);
-    EXPECT_DOUBLE_EQ(driver.last_.bytes_up[0], 4.0 * (20 - frozen));
-    EXPECT_DOUBLE_EQ(driver.last_.bytes_down[0], 4.0 * (20 - frozen));
+    EXPECT_DOUBLE_EQ(driver.last_.bytes_up[0], 8.0 + 4.0 * (20 - frozen));
+    EXPECT_DOUBLE_EQ(driver.last_.bytes_down[0], 8.0 + 4.0 * (20 - frozen));
     if (frozen > 0) ++cheap_rounds;
   }
   EXPECT_GT(cheap_rounds, 29u);

@@ -1,0 +1,353 @@
+// Byte accounting is measurement, not modeling: every bytes_up/bytes_down
+// entry a strategy reports must equal the .size() of a wire buffer that was
+// actually encoded and decoded that round (docs/WIRE.md). These tests pin
+// the invariant in every build type — release included, where the debug
+// tripwires that used to cross-check the old modeled formulas are compiled
+// out:
+//   * measured frames are never smaller than the old modeled byte math
+//     (which ignored the APS1/APR1/APD1 headers and halved APH1 wrong);
+//   * ApfManager's downlink equals the real encoded masked frame across
+//     scalar, tensor-granularity, APF++, and server-side-mask paths;
+//   * RoundRecord totals equal the summed per-client byte vectors the
+//     strategy reported, for every strategy the repo ships.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "compress/cmfl.h"
+#include "compress/codecs.h"
+#include "compress/gaia.h"
+#include "compress/quantized_sync.h"
+#include "compress/randk.h"
+#include "compress/topk.h"
+#include "compress/wrappers.h"
+#include "core/apf_manager.h"
+#include "core/strawmen.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/runner.h"
+#include "fl/sync_strategy.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+#include "wire/masked.h"
+#include "wire/wire.h"
+
+namespace apf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Measured >= modeled: the old formulas dropped the frame headers.
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<float>> one_client(std::vector<float> params) {
+  return {std::move(params)};
+}
+
+TEST(MeasuredBytes, TopKChargesTheSparseHeaderTheModelIgnored) {
+  compress::TopKOptions opt;
+  opt.fraction = 0.1;
+  compress::TopKSync strategy(opt);
+  strategy.init(std::vector<float>(100, 0.f), 1);
+  auto params = one_client(std::vector<float>(100, 1.f));
+  const auto result = strategy.synchronize(1, params, {1.0});
+  const std::size_t k = 10;
+  // Old model: 8 bytes per (index, value) pair, no header.
+  EXPECT_GE(result.bytes_up[0], 8.0 * static_cast<double>(k));
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0 + 8.0 * static_cast<double>(k));
+  // Old model: 4 * dim downlink, no header.
+  EXPECT_GE(result.bytes_down[0], 4.0 * 100);
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 4.0 * 100);
+}
+
+TEST(MeasuredBytes, RandKChargesTheSeedHeaderTheModelIgnored) {
+  compress::RandKOptions opt;
+  opt.fraction = 0.25;
+  compress::RandKSync strategy(opt);
+  strategy.init(std::vector<float>(100, 0.f), 1);
+  auto params = one_client(std::vector<float>(100, 1.f));
+  const auto result = strategy.synchronize(1, params, {1.0});
+  const std::size_t k = 25;
+  // Old model: 4 bytes per value + an 8-byte seed, no framing.
+  EXPECT_GE(result.bytes_up[0], 4.0 * static_cast<double>(k) + 8.0);
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 24.0 + 4.0 * static_cast<double>(k));
+  EXPECT_GE(result.bytes_down[0], 4.0 * 100);
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 4.0 * 100);
+}
+
+TEST(MeasuredBytes, GaiaChargesTheSparseFrameNotValuesPlusBitmap) {
+  compress::GaiaOptions opt;
+  opt.significance_threshold = 0.01;
+  opt.decay_threshold = false;
+  compress::GaiaSync strategy(opt);
+  strategy.init(std::vector<float>(16, 1.f), 1);
+  // Every component doubles: all 16 are significant.
+  auto params = one_client(std::vector<float>(16, 2.f));
+  const auto result = strategy.synchronize(1, params, {1.0});
+  // Old model: 4 bytes per value + a dim/8 bitmap.
+  EXPECT_GE(result.bytes_up[0], 4.0 * 16 + 16.0 / 8.0);
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0 + 8.0 * 16);
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 4.0 * 16);
+}
+
+TEST(MeasuredBytes, QuantizedSyncChargesTheRealHalfFrameNotHalvedFloats) {
+  compress::QuantizedSync strategy(std::make_unique<fl::FullSync>());
+  strategy.init(std::vector<float>(6, 0.f), 1);
+  auto params = one_client(std::vector<float>(6, 0.5f));
+  const auto result = strategy.synchronize(1, params, {1.0});
+  // Old model: b *= 0.5 on the inner fp32 charge = 12 bytes for 6 values.
+  EXPECT_GE(result.bytes_up[0], 2.0 * 6);
+  // Measured APH1 frame: 8-byte header + 2 bytes per half.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0 + 2.0 * 6);
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 2.0 * 6);
+}
+
+// ---------------------------------------------------------------------------
+// ApfManager downlink == the encoded frame, across freezing variants.
+// ---------------------------------------------------------------------------
+
+/// Drives the manager like tests/apf_manager_test.cpp: half the scalars
+/// oscillate (stable, freezable), half drift. After every round, both byte
+/// directions must equal the size of the frame re-encoded under the mask
+/// that was active DURING the round (the pre-round mask: the stability
+/// check runs after the pull is charged).
+void expect_measured_frames(core::ApfManager& manager, bool server_side_mask,
+                            std::size_t dim, std::size_t rounds) {
+  const std::size_t n = 2;
+  std::vector<float> init(dim, 0.f);
+  manager.init(init, n);
+  std::vector<std::vector<float>> params(n, init);
+  std::size_t frozen_rounds = 0;
+  for (std::size_t k = 1; k <= rounds; ++k) {
+    const Bitmap pre_mask = *manager.frozen_mask();
+    const auto global = manager.global_params();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        const float step =
+            j < dim / 2 ? (k % 2 == 0 ? 0.05f : -0.05f) : 0.01f;
+        params[i][j] = global[j] + step;
+        if (pre_mask.get(j)) params[i][j] = manager.frozen_anchor()[j];
+      }
+    }
+    const auto result =
+        manager.synchronize(k, params, std::vector<double>(n, 1.0));
+    const std::vector<float> post_global(manager.global_params().begin(),
+                                         manager.global_params().end());
+    const double up_frame = static_cast<double>(
+        wire::encode_dense(wire::pack_unfrozen(post_global, pre_mask))
+            .size());
+    const double down_frame =
+        server_side_mask
+            ? static_cast<double>(
+                  wire::encode_masked_update(post_global, pre_mask).size())
+            : up_frame;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(result.bytes_up[i], up_frame) << "round " << k;
+      EXPECT_DOUBLE_EQ(result.bytes_down[i], down_frame) << "round " << k;
+    }
+    if (pre_mask.count() > 0) ++frozen_rounds;
+  }
+  // Guard against vacuity: the driver must actually reach frozen rounds, or
+  // the mask-dependent byte math was never exercised.
+  EXPECT_GT(frozen_rounds, 0u);
+}
+
+core::ApfOptions quick_apf_options() {
+  core::ApfOptions opt;
+  opt.check_every_rounds = 2;
+  opt.ema_alpha = 0.5;
+  opt.stability_threshold = 0.3;
+  opt.threshold_decay = false;
+  return opt;
+}
+
+TEST(ApfDownlink, ScalarGranularityMatchesEncodedFrames) {
+  core::ApfManager manager(quick_apf_options());
+  expect_measured_frames(manager, /*server_side_mask=*/false, 20, 40);
+}
+
+TEST(ApfDownlink, ServerSideMaskMatchesEncodedMaskedFrames) {
+  core::ApfOptions opt = quick_apf_options();
+  opt.server_side_mask = true;
+  core::ApfManager manager(opt);
+  expect_measured_frames(manager, /*server_side_mask=*/true, 20, 40);
+}
+
+TEST(ApfDownlink, TensorGranularityMatchesEncodedFrames) {
+  core::ApfOptions opt = quick_apf_options();
+  opt.granularity = core::FreezeGranularity::kTensor;
+  core::ApfManager manager(opt);
+  manager.set_segments({{0, 10}, {10, 10}});
+  expect_measured_frames(manager, /*server_side_mask=*/false, 20, 40);
+}
+
+TEST(ApfDownlink, ApfPlusPlusMatchesEncodedFrames) {
+  core::ApfOptions opt = quick_apf_options();
+  opt.random_mode = core::RandomFreezeMode::kPlusPlus;
+  opt.pp_prob_coeff = 0.05;
+  opt.pp_len_coeff = 0.5;
+  core::ApfManager manager(opt);
+  expect_measured_frames(manager, /*server_side_mask=*/false, 20, 40);
+}
+
+// ---------------------------------------------------------------------------
+// RoundRecord totals == summed per-client byte vectors, for every strategy.
+// ---------------------------------------------------------------------------
+
+/// Delegating wrapper that records each round's Result byte vectors so the
+/// runner's RoundRecord totals can be diffed against what the strategy
+/// actually reported (which the unit pins above tie to encoded buffers).
+class RecordingStrategy : public fl::SyncStrategy {
+ public:
+  explicit RecordingStrategy(std::unique_ptr<fl::SyncStrategy> inner)
+      : inner_(std::move(inner)) {}
+
+  void init(std::span<const float> initial_params,
+            std::size_t num_clients) override {
+    inner_->init(initial_params, num_clients);
+  }
+  Result synchronize(std::size_t round,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override {
+    Result result = inner_->synchronize(round, client_params, weights);
+    // Same order and association the runner uses, so the sum of doubles is
+    // bit-identical to its total.
+    double total = 0.0;
+    for (std::size_t i = 0; i < result.bytes_up.size(); ++i) {
+      total += result.bytes_up[i] + result.bytes_down[i];
+    }
+    round_totals_.push_back(total);
+    return result;
+  }
+  std::span<const float> global_params() const override {
+    return inner_->global_params();
+  }
+  const Bitmap* frozen_mask() const override { return inner_->frozen_mask(); }
+  std::span<const float> frozen_anchor() const override {
+    return inner_->frozen_anchor();
+  }
+  std::string name() const override { return inner_->name(); }
+
+  const std::vector<double>& round_totals() const { return round_totals_; }
+
+ private:
+  std::unique_ptr<fl::SyncStrategy> inner_;
+  std::vector<double> round_totals_;
+};
+
+data::SyntheticImageSpec runner_spec() {
+  data::SyntheticImageSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 4;
+  spec.noise_stddev = 0.3;
+  spec.seed = 11;
+  return spec;
+}
+
+void expect_round_totals_match(std::unique_ptr<fl::SyncStrategy> inner) {
+  const data::SyntheticImageDataset train(runner_spec(), 24, 1);
+  const data::SyntheticImageDataset test(runner_spec(), 12, 2);
+  const std::size_t n = 3;
+  Rng prng(5);
+  const data::Partition partition =
+      data::iid_partition(train.size(), n, prng);
+  fl::FlConfig config;
+  config.num_clients = n;
+  config.rounds = 4;
+  config.local_iters = 1;
+  config.batch_size = 4;
+  config.eval_every = 4;
+  RecordingStrategy strategy(std::move(inner));
+  fl::FederatedRunner runner(
+      config, train, partition, test,
+      [] {
+        Rng rng(4242);
+        auto net = std::make_unique<nn::Sequential>();
+        net->add(std::make_unique<nn::Flatten>(), "flatten");
+        net->add(nn::make_mlp(rng, /*in_features=*/16, /*width=*/8,
+                              /*hidden=*/1, /*num_classes=*/3),
+                 "mlp");
+        return net;
+      },
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      strategy);
+  const fl::SimulationResult result = runner.run();
+  ASSERT_EQ(result.rounds.size(), config.rounds);
+  ASSERT_EQ(strategy.round_totals().size(), config.rounds)
+      << strategy.name();
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    const double total = strategy.round_totals()[r];
+    EXPECT_GT(total, 0.0) << strategy.name() << " round " << r + 1;
+    // Full participation and no BN buffers on this model: the amortized
+    // per-client record must be exactly total / n.
+    EXPECT_DOUBLE_EQ(result.rounds[r].bytes_per_client,
+                     total / static_cast<double>(n))
+        << strategy.name() << " round " << r + 1;
+    EXPECT_DOUBLE_EQ(result.rounds[r].bytes_per_participant,
+                     total / static_cast<double>(n))
+        << strategy.name() << " round " << r + 1;
+  }
+}
+
+TEST(RunnerByteTotals, FullSync) {
+  expect_round_totals_match(std::make_unique<fl::FullSync>());
+}
+
+TEST(RunnerByteTotals, Apf) {
+  expect_round_totals_match(
+      std::make_unique<core::ApfManager>(quick_apf_options()));
+}
+
+TEST(RunnerByteTotals, ApfServerSideMask) {
+  core::ApfOptions opt = quick_apf_options();
+  opt.server_side_mask = true;
+  expect_round_totals_match(std::make_unique<core::ApfManager>(opt));
+}
+
+TEST(RunnerByteTotals, PartialSync) {
+  expect_round_totals_match(std::make_unique<core::PartialSync>());
+}
+
+TEST(RunnerByteTotals, PermanentFreeze) {
+  expect_round_totals_match(std::make_unique<core::PermanentFreeze>());
+}
+
+TEST(RunnerByteTotals, TopK) {
+  expect_round_totals_match(std::make_unique<compress::TopKSync>());
+}
+
+TEST(RunnerByteTotals, Gaia) {
+  expect_round_totals_match(std::make_unique<compress::GaiaSync>());
+}
+
+TEST(RunnerByteTotals, RandK) {
+  expect_round_totals_match(std::make_unique<compress::RandKSync>());
+}
+
+TEST(RunnerByteTotals, Cmfl) {
+  expect_round_totals_match(std::make_unique<compress::CmflSync>());
+}
+
+TEST(RunnerByteTotals, QuantizedSync) {
+  expect_round_totals_match(std::make_unique<compress::QuantizedSync>(
+      std::make_unique<fl::FullSync>()));
+}
+
+TEST(RunnerByteTotals, UpdateQuantizedSync) {
+  expect_round_totals_match(std::make_unique<compress::UpdateQuantizedSync>(
+      std::make_unique<fl::FullSync>(),
+      std::make_unique<compress::QsgdCodec>(3)));
+}
+
+TEST(RunnerByteTotals, DpNoiseSync) {
+  expect_round_totals_match(std::make_unique<compress::DpNoiseSync>(
+      std::make_unique<fl::FullSync>(), /*noise_stddev=*/0.01));
+}
+
+}  // namespace
+}  // namespace apf

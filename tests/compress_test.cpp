@@ -94,8 +94,9 @@ TEST(FullSync, AveragesAndBroadcasts) {
   EXPECT_FLOAT_EQ(params[0][0], 2.f);
   EXPECT_FLOAT_EQ(params[0][1], 4.f);
   EXPECT_EQ(params[0], params[1]);
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0);
-  EXPECT_DOUBLE_EQ(result.bytes_down[1], 8.0);
+  // Measured APD1 frame: 8-byte header + 2 fp32 values.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 16.0);
+  EXPECT_DOUBLE_EQ(result.bytes_down[1], 16.0);
 }
 
 TEST(FullSync, WeightsRespected) {
@@ -125,7 +126,10 @@ TEST(Gaia, InsignificantUpdatesAccumulateLocally) {
   auto params = std::vector<std::vector<float>>{{11.f}};
   auto result = strategy.synchronize(1, params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 10.f);  // not applied
-  EXPECT_LT(result.bytes_up[0], result.bytes_down[0]);
+  // Nothing significant: the push is a header-only APS1 frame, the pull a
+  // one-value APD1 frame.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0);
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 12.0);
   // Five more rounds of +1 each accumulate in the residual until the
   // cumulative update crosses 50% of the magnitude, then it is applied.
   for (int r = 2; r <= 5; ++r) {
@@ -159,9 +163,10 @@ TEST(Gaia, PushBytesScaleWithSignificance) {
   for (std::size_t j = 50; j < 100; ++j) local[j] = 1.001f;
   auto params = std::vector<std::vector<float>>{local};
   const auto result = strategy.synchronize(1, params, {1.0});
-  // 50 values at 4 B + bitmap (100/8 B).
-  EXPECT_NEAR(result.bytes_up[0], 4.0 * 50 + 100.0 / 8.0, 1e-9);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 400.0);
+  // Measured APS1 frame: 12-byte header + 50 (index, value) pairs at 8 B.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0 + 8.0 * 50);
+  // Measured APD1 frame: 8-byte header + 100 fp32 values.
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 408.0);
 }
 
 TEST(Cmfl, IrrelevantUpdateIsDiscarded) {
@@ -211,7 +216,8 @@ TEST(TopK, KeepsLargestComponents) {
   // Only the large component was applied; others sit in the residual.
   EXPECT_FLOAT_EQ(strategy.global_params()[1], 5.f);
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 0.f);
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0);  // one (value, index) pair
+  // Measured APS1 frame: 12-byte header + one (index, value) pair.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 20.0);
 }
 
 TEST(TopK, ResidualEventuallyFlushes) {
@@ -240,7 +246,8 @@ TEST(QuantizedSync, HalvesBytesAndRoundsValues) {
   strategy.init(std::vector<float>{0.f, 0.f}, 1);
   auto params = std::vector<std::vector<float>>{{0.1f, 0.30000001f}};
   const auto result = strategy.synchronize(1, params, {1.0});
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 4.0);  // 2 values * 2 B
+  // Measured APH1 frame: 8-byte header + 2 halves at 2 B.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0);
   // Values went through fp16.
   EXPECT_EQ(params[0][0], half_to_float(float_to_half(0.1f)));
 }

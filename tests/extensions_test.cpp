@@ -295,10 +295,10 @@ TEST(UpdateQuantizedSync, ChargesCodecBytes) {
   strategy.init(std::vector<float>(16, 0.f), 1);
   auto params = std::vector<std::vector<float>>{std::vector<float>(16, 1.f)};
   const auto result = strategy.synchronize(1, params, {1.0});
-  EXPECT_DOUBLE_EQ(result.bytes_up[0],
-                   compress::QsgdCodec(3).wire_bytes(16));
-  // Pull unchanged (full precision).
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 64.0);
+  // Measured APQ1 frame: 13-byte header + 16 elements at (3+1) bits packed.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 13.0 + 8.0);
+  // Pull unchanged (full-precision APD1 frame from the inner FullSync).
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 72.0);
 }
 
 TEST(UpdateQuantizedSync, PreservesUniformUpdateExactly) {
@@ -452,8 +452,10 @@ TEST(ApfServerSideMask, ChargesBitmapOnDownlink) {
   manager.init(init, 2);
   std::vector<std::vector<float>> params(2, init);
   const auto result = manager.synchronize(1, params, {1.0, 1.0});
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 4.0 * dim);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 4.0 * dim + 13.0);  // ceil(100/8)
+  // Up: measured APD1 frame (8-byte header + dim values). Down: measured
+  // APM1 frame (8-byte header + ceil(100/8) mask bytes + dim values).
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0 + 4.0 * dim);
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 13.0 + 4.0 * dim);
 }
 
 }  // namespace

@@ -128,8 +128,10 @@ TEST(RandK, BytesReflectFraction) {
   strategy.init(std::vector<float>(100, 0.f), 1);
   auto params = std::vector<std::vector<float>>{std::vector<float>(100, 1.f)};
   const auto result = strategy.synchronize(1, params, {1.0});
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 4.0 * 25 + 8.0);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 400.0);
+  // Measured APR1 frame: 24-byte header + 25 fp32 values.
+  EXPECT_DOUBLE_EQ(result.bytes_up[0], 24.0 + 4.0 * 25);
+  // Measured APD1 frame: 8-byte header + 100 fp32 values.
+  EXPECT_DOUBLE_EQ(result.bytes_down[0], 408.0);
 }
 
 TEST(RandK, ResidualPreservesUnselectedMass) {

@@ -176,12 +176,14 @@ TEST(Runner, RecordsBytesAndTime) {
   const auto result = runner.run();
   ASSERT_EQ(result.rounds.size(), 3u);
   const std::size_t dim = factory()->parameter_count();
+  // Each direction is a measured APD1 frame: 8-byte header + dim values.
+  const double frame = 8.0 + 4.0 * static_cast<double>(dim);
   for (const auto& r : result.rounds) {
-    EXPECT_DOUBLE_EQ(r.bytes_per_client, 2.0 * 4.0 * dim);  // up + down
+    EXPECT_DOUBLE_EQ(r.bytes_per_client, 2.0 * frame);  // up + down
     EXPECT_GT(r.round_seconds, 0.0);
     EXPECT_GE(r.test_accuracy, 0.0);
   }
-  EXPECT_NEAR(result.total_bytes_per_client, 3 * 2.0 * 4.0 * dim, 1e-6);
+  EXPECT_NEAR(result.total_bytes_per_client, 3 * 2.0 * frame, 1e-6);
   EXPECT_GT(result.total_seconds, 0.0);
 }
 

@@ -76,8 +76,8 @@ TEST(WireFuzzCorpus, EveryEntryReplaysCleanly) {
     }
     ++files;
   }
-  // 12 targets x 3 valid seeds + 14 regression entries.
-  EXPECT_GE(files, 50u) << "corpus went missing?";
+  // 13 targets x 3 valid seeds + 14 regression entries.
+  EXPECT_GE(files, 53u) << "corpus went missing?";
 }
 
 // -- two-outcome property over adversarial inputs ---------------------------

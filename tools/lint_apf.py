@@ -136,9 +136,10 @@ MODULE_LEVELS = {
     "nn": 2,
     "data": 2,
     "optim": 3,
-    "fl": 4,
-    "compress": 5,
-    "core": 6,
+    "wire": 4,
+    "fl": 5,
+    "compress": 6,
+    "core": 7,
 }
 # Root-level tool trees: each sits above all of src/ but is independent of
 # its siblings (fuzz must not include bench, etc.), and src/ must never
@@ -594,7 +595,8 @@ def check_layering(root, findings):
                     f"{MODULE_LEVELS[own_module]}) must not include "
                     f"'{target}' from module '{tgt_module}' (level "
                     f"{MODULE_LEVELS[tgt_module]}); the hierarchy is "
-                    f"util < tensor < nn,data < optim < fl < compress < core"))
+                    f"util < tensor < nn,data < optim < wire < fl < compress "
+                    f"< core"))
         edges[rel] = out
 
     # File-level cycle detection (DFS, iterative). Includes resolve relative
