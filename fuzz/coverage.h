@@ -19,17 +19,38 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace apf::fuzz {
 
-/// Starts collecting edges hit by the calling thread. Clears nothing from
-/// previous collections besides its own scratch table (coverage_take() left
-/// it empty).
-void coverage_begin();
+/// Virtual capability naming the "collector" role. There is no OS lock
+/// behind it: the protocol is that exactly one thread sits between
+/// coverage_begin() and coverage_take() at a time, and only that thread may
+/// touch the edge scratch table. Expressing the role as a capability lets
+/// Clang Thread Safety Analysis reject code that reaches the table — or
+/// unbalances begin/take — outside the role, the same way it rejects an
+/// unlocked access to a mutex-guarded member.
+class APF_CAPABILITY("role") CoverageCollectorRole {
+ public:
+  // Bookkeeping-only: acquiring the role is a statement about the calling
+  // thread's protocol position, not a blocking operation.
+  void acquire() APF_ACQUIRE() {}
+  void release() APF_RELEASE() {}
+};
 
-/// Stops collecting and returns the distinct normalized edge ids hit since
-/// coverage_begin(), sorted ascending. Empty when the binary is not
-/// instrumented.
-std::vector<std::uint64_t> coverage_take();
+/// The process-wide collector role guarding the edge scratch table.
+extern CoverageCollectorRole coverage_collector_role;
+
+/// Starts collecting edges hit by the calling thread (acquires the collector
+/// role). Clears nothing from previous collections besides its own scratch
+/// table (coverage_take() left it empty).
+void coverage_begin() APF_ACQUIRE(coverage_collector_role);
+
+/// Stops collecting (releases the collector role) and returns the distinct
+/// normalized edge ids hit since coverage_begin(), sorted ascending. Empty
+/// when the binary is not instrumented.
+std::vector<std::uint64_t> coverage_take()
+    APF_RELEASE(coverage_collector_role);
 
 /// Order-independent hash of an edge-id set (for logging/digests).
 std::uint64_t coverage_set_hash(const std::vector<std::uint64_t>& edges);

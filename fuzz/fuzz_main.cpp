@@ -255,6 +255,8 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::cerr << "fuzz_apf: " << arg << " needs a value\n";
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI driver;
+        // no other threads exist while arguments are parsed.
         std::exit(1);
       }
       return argv[++i];

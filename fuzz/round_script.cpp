@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "compress/cmfl.h"
+#include "compress/codecs.h"
 #include "compress/gaia.h"
 #include "compress/randk.h"
 #include "compress/topk.h"
+#include "compress/wrappers.h"
 #include "core/apf_manager.h"
 #include "core/masked_pack.h"
 #include "core/strawmen.h"
@@ -136,7 +138,20 @@ enum class StrategyKind {
   kGaia,
   kRandK,
   kCmfl,
+  kUpdateQsgd,
+  kUpdateTern,
 };
+
+/// update-quant-rounds wraps either a plain FullSync or a live ApfManager
+/// (frozen coordinates never travel, so the codec sees shrinking updates).
+bool update_quant_inner_apf(const RoundScript& s) {
+  return (s.flavor / 2) % 2 != 0;
+}
+
+/// QSGD bit width in [1, 8] — the full range the fuzzed frames exercise.
+unsigned update_quant_bits(const RoundScript& s) {
+  return 1 + static_cast<unsigned>(s.value_seed % 8);
+}
 
 std::unique_ptr<fl::SyncStrategy> make_strategy(const RoundScript& s,
                                                 StrategyKind kind) {
@@ -177,6 +192,21 @@ std::unique_ptr<fl::SyncStrategy> make_strategy(const RoundScript& s,
         return std::make_unique<core::PartialSync>(options);
       }
       return std::make_unique<core::PermanentFreeze>(options);
+    }
+    case StrategyKind::kUpdateQsgd:
+    case StrategyKind::kUpdateTern: {
+      auto inner = make_strategy(s, update_quant_inner_apf(s)
+                                        ? StrategyKind::kApf
+                                        : StrategyKind::kFullSync);
+      std::unique_ptr<compress::UpdateCodec> codec;
+      if (kind == StrategyKind::kUpdateQsgd) {
+        codec = std::make_unique<compress::QsgdCodec>(update_quant_bits(s));
+      } else {
+        codec = std::make_unique<compress::TernGradCodec>();
+      }
+      std::uint64_t seed_state = s.value_seed ^ 0xC0DEC0DEULL;
+      return std::make_unique<compress::UpdateQuantizedSync>(
+          std::move(inner), std::move(codec), splitmix64(seed_state));
     }
     case StrategyKind::kApf:
       break;
@@ -510,6 +540,68 @@ void check_applied(StrategyKind kind, const RoundScript& s,
                         "compress strategy reported frozen scalars");
       break;
     }
+    case StrategyKind::kUpdateQsgd:
+    case StrategyKind::kUpdateTern: {
+      // Both inner strategies (FullSync, APF) leave every client on the
+      // global model; the wrapper commits exactly what the inner synced.
+      for (const auto& params : post_clients) {
+        require_invariant(bits_equal(params, post_global),
+                          "quantized client diverged from the global model");
+      }
+      // Transmitted coordinates: everything not frozen when the round's
+      // payloads traveled (the wrapper reads the mask before the inner
+      // strategy can grow it).
+      std::size_t sent = dim;
+      double down_bytes =
+          static_cast<double>(wire::encode_dense(post_global).size());
+      if (update_quant_inner_apf(s)) {
+        const std::size_t frozen = pre_mask.count();
+        sent = dim - frozen;
+        for (std::size_t j = 0; j < dim; ++j) {
+          if (pre_mask.get(j)) {
+            require_invariant(bit_eq(post_global[j], pre_global[j]),
+                              "quantized APF moved a frozen scalar");
+          }
+        }
+        const double up_inner = static_cast<double>(
+            wire::encode_dense(wire::pack_unfrozen(post_global, pre_mask))
+                .size());
+        down_bytes =
+            (s.flags & kFlagServerSideMask) != 0
+                ? static_cast<double>(
+                      core::encode_masked_update(post_global, pre_mask)
+                          .size())
+                : up_inner;
+        require_invariant(
+            result.frozen_fraction ==
+                static_cast<double>(frozen) / static_cast<double>(dim),
+            "quantized APF frozen_fraction disagrees with the active mask");
+      } else {
+        require_invariant(result.frozen_fraction == 0.0,
+                          "quantized FullSync reported frozen scalars");
+      }
+      // Measured-byte equality on the push: the wrapper charges the codec's
+      // real framed buffer, whose size is a pure function of the
+      // transmitted coordinate count — QSGD packs (bits+1)-bit fields
+      // behind a 13-byte header, TernGrad 2-bit codes behind 12 bytes.
+      const double up_bytes =
+          kind == StrategyKind::kUpdateQsgd
+              ? static_cast<double>(
+                    13 + (sent * (update_quant_bits(s) + 1) + 7) / 8)
+              : static_cast<double>(12 + (sent * 2 + 7) / 8);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (weights[i] == 0.0) {
+          require_invariant(result.bytes_up[i] == 0.0,
+                            "zero-weight client charged on the uplink");
+        } else {
+          require_invariant(result.bytes_up[i] == up_bytes,
+                            "quantized bytes_up != framed buffer size");
+        }
+        require_invariant(result.bytes_down[i] == down_bytes,
+                          "quantized bytes_down != inner encoded size");
+      }
+      break;
+    }
   }
 }
 
@@ -804,6 +896,16 @@ std::uint64_t run_compress_rounds(std::span<const std::uint8_t> bytes) {
 
 std::uint64_t run_runner_rounds(std::span<const std::uint8_t> bytes) {
   return run_runner_script(parse_round_script(bytes));
+}
+
+std::uint64_t run_update_quant_rounds(std::span<const std::uint8_t> bytes) {
+  const RoundScript script = parse_round_script(bytes);
+  // flavor bit 0 picks the codec; bit 1 (via update_quant_inner_apf) picks
+  // the wrapped strategy, so all four codec x inner pairings stay reachable.
+  const StrategyKind kind = script.flavor % 2 == 0
+                                ? StrategyKind::kUpdateQsgd
+                                : StrategyKind::kUpdateTern;
+  return run_sync_script(script, kind);
 }
 
 }  // namespace apf::fuzz

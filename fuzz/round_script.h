@@ -108,5 +108,6 @@ std::uint64_t run_apf_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_strawman_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_compress_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_runner_rounds(std::span<const std::uint8_t> bytes);
+std::uint64_t run_update_quant_rounds(std::span<const std::uint8_t> bytes);
 
 }  // namespace apf::fuzz

@@ -8,6 +8,7 @@
 #include "compress/gaia.h"
 #include "compress/randk.h"
 #include "compress/topk.h"
+#include "compress/wrappers.h"
 #include "core/apf_manager.h"
 #include "core/strawmen.h"
 #include "util/bytes.h"
@@ -77,6 +78,15 @@ std::vector<std::uint8_t> snapshot_strategy(const fl::SyncStrategy& strategy) {
     append_floats(writer, cmfl->prev_update());
     writer.u64(cmfl->considered());
     writer.u64(cmfl->accepted());
+  } else if (const auto* quant =
+                 dynamic_cast<const compress::UpdateQuantizedSync*>(
+                     &strategy)) {
+    // Wrappers snapshot the wrapped strategy recursively: a rejected round
+    // must leave the inner EMA / freezing state untouched, not just the
+    // wrapper's delegated observable surface.
+    const std::vector<std::uint8_t> inner = snapshot_strategy(quant->inner());
+    writer.u32(static_cast<std::uint32_t>(inner.size()));
+    writer.raw(inner);
   }
   return writer.take();
 }

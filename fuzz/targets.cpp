@@ -296,6 +296,10 @@ constexpr FuzzTarget kTargets[] = {
      "stateful: round script vs a small FederatedRunner simulation "
      "(accounting, determinism, admission control)",
      generate_round_script, run_runner_rounds},
+    {"update-quant-rounds",
+     "stateful: round script vs UpdateQuantizedSync (QSGD/TernGrad) over "
+     "FullSync or APF (measured frame bytes, atomic rejection)",
+     generate_round_script, run_update_quant_rounds},
 };
 
 }  // namespace
@@ -375,7 +379,11 @@ FuzzSummary run_fuzz(const FuzzTarget& target, std::uint64_t seed,
     }
     ++summary.iterations;
     bool accepted = false;
-    if (instrumented) coverage_begin();
+    // Unconditional begin/take (a cheap no-op when uninstrumented) keeps the
+    // collector-role acquire/release balanced on every path the thread
+    // safety analysis can see; `instrumented` only gates what the edge set
+    // is used for.
+    coverage_begin();
     try {
       const std::uint64_t result = target.execute(buf);
       accepted = true;
@@ -392,8 +400,8 @@ FuzzSummary run_fuzz(const FuzzTarget& target, std::uint64_t seed,
     // reached then — fine, the run is over.
 
     bool interesting = false;
+    const std::vector<std::uint64_t> edges = coverage_take();
     if (instrumented) {
-      const std::vector<std::uint64_t> edges = coverage_take();
       for (const std::uint64_t e : edges) {
         const auto it =
             std::lower_bound(seen_edges.begin(), seen_edges.end(), e);

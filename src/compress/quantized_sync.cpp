@@ -61,13 +61,17 @@ fl::SyncStrategy::Result QuantizedSync::synchronize(
   std::vector<double> up_bytes(n, 0.0);
   std::vector<double> down_bytes(n, 0.0);
   // Push-side: each participant's payload travels as a real half-precision
-  // buffer; the server aggregates what the wire carried.
+  // buffer; the server aggregates what the wire carried. The round trips
+  // run on STAGED copies: a shape-valid round the inner strategy still
+  // rejects (non-finite weights, zero total) must leave the caller's
+  // proposals untouched — rejection is atomic.
+  std::vector<std::vector<float>> staged = client_params;
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
-    up_bytes[i] =
-        static_cast<double>(fp16_round_trip(client_params[i], mask));
+    up_bytes[i] = static_cast<double>(fp16_round_trip(staged[i], mask));
   }
-  Result result = inner_->synchronize(round, client_params, weights);
+  Result result = inner_->synchronize(round, staged, weights);
+  client_params = std::move(staged);
   // Pull-side: the post-sync parameters travel back the same way.
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;

@@ -32,14 +32,21 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
   }
   if (!well_formed) return inner_->synchronize(round, client_params, weights);
 
-  // Only transmitted coordinates run through the codec: under a freezing
-  // inner strategy the frozen scalars never leave the client.
+  // Quantize into STAGED copies of the proposals and the rng: the codec can
+  // reject mid-loop (a non-finite update), and a shape-valid round can still
+  // be thrown out by the inner strategy (non-finite weights, zero total).
+  // Rejection must be atomic — the caller's proposals and this wrapper's rng
+  // stream stay exactly as they were, as if the round never happened.
   const Bitmap* mask = inner_->frozen_mask();
+  Rng staged_rng = rng_;
+  std::vector<std::vector<float>> staged = client_params;
   std::vector<double> up_bytes(n, 0.0);
   std::vector<float> update;
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
-    auto& params = client_params[i];
+    auto& params = staged[i];
+    // Only transmitted coordinates run through the codec: under a freezing
+    // inner strategy the frozen scalars never leave the client.
     update.clear();
     for (std::size_t j = 0; j < dim; ++j) {
       if (mask != nullptr && mask->get(j)) continue;
@@ -47,7 +54,7 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
     }
     // Push: the quantized update travels as the codec's framed buffer; the
     // receiver applies the decoded update on top of the shared model.
-    const std::vector<std::uint8_t> buf = codec_->encode(update, rng_);
+    const std::vector<std::uint8_t> buf = codec_->encode(update, staged_rng);
     const std::vector<float> decoded = codec_->decode(buf);
     up_bytes[i] = static_cast<double>(buf.size());
     std::size_t t = 0;
@@ -56,7 +63,10 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
       params[j] = global[j] + decoded[t++];
     }
   }
-  Result result = inner_->synchronize(round, client_params, weights);
+  Result result = inner_->synchronize(round, staged, weights);
+  // Commit only after the inner strategy accepted the round.
+  client_params = std::move(staged);
+  rng_ = staged_rng;
   // The pull direction is left to the inner strategy (QSGD and TernGrad
   // compress the push only).
   result.bytes_up = std::move(up_bytes);

@@ -35,6 +35,10 @@ class UpdateQuantizedSync : public fl::SyncStrategy {
   std::span<const float> frozen_anchor() const override;
   std::string name() const override;
 
+  /// The wrapped strategy, for state inspection (snapshot oracles recurse
+  /// through the wrapper to reach the inner EMA / freezing state).
+  const fl::SyncStrategy& inner() const { return *inner_; }
+
  private:
   std::unique_ptr<fl::SyncStrategy> inner_;
   std::unique_ptr<UpdateCodec> codec_;

@@ -2,14 +2,21 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+#include <ostream>
+
+#include "util/annotations.h"
 
 namespace apf {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-// Serializes emission so concurrent worker-thread messages never interleave.
-std::mutex g_emit_mutex;
+// Serializes emission so concurrent worker-thread messages never interleave,
+// and guards the redirectable sink below.
+util::Mutex g_emit_mutex;
+// Replacement sink (nullptr = stderr). Guarded both as a pointer (swapped by
+// set_log_sink) and as a pointee (streamed into by log_emit).
+std::ostream* g_sink APF_GUARDED_BY(g_emit_mutex)
+    APF_PT_GUARDED_BY(g_emit_mutex) = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,10 +35,16 @@ void set_log_level(LogLevel level) {
 }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(std::ostream* sink) {
+  util::MutexLock lock(g_emit_mutex);
+  g_sink = sink;
+}
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+  util::MutexLock lock(g_emit_mutex);
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << '[' << level_name(level) << "] " << msg << '\n';
 }
 }  // namespace detail
 

@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(std::size_t lanes) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -46,19 +46,21 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && job_seq_ != seen_seq);
-      });
+      MutexLock lock(mutex_);
+      // Explicit while-loop (not a predicate lambda) so the analysis sees
+      // the guarded reads happen with mutex_ held.
+      while (!stop_ && !(job_ != nullptr && job_seq_ != seen_seq)) {
+        wake_cv_.wait(mutex_);
+      }
       if (stop_) return;
       seen_seq = job_seq_;
       job = job_;
-      ++job->active;
+      ++active_;
     }
     run_chunks(*job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --job->active;
+      MutexLock lock(mutex_);
+      --active_;
     }
     done_cv_.notify_one();
   }
@@ -74,8 +76,8 @@ void ThreadPool::run_chunks(Job& job) {
     try {
       for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!job.error) job.error = std::current_exception();
+      MutexLock lock(mutex_);
+      if (!error_) error_ = std::current_exception();
     }
     job.done.fetch_add(end - begin, std::memory_order_acq_rel);
   }
@@ -93,30 +95,35 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
   // One parallel region at a time; concurrent submitters queue up here.
-  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  MutexLock submit_lock(submit_mutex_);
   Job job;
   job.fn = &fn;
   job.n = n;
   job.chunk = std::max<std::size_t>(1, n / (lanes() * 4));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &job;
     ++job_seq_;
-    ++job.active;  // the caller participates as a lane
+    active_ = 1;  // the caller participates as a lane
+    error_ = nullptr;
   }
   wake_cv_.notify_all();
   run_chunks(job);
-  std::unique_lock<std::mutex> lock(mutex_);
-  --job.active;
-  // `job` lives on this stack frame: wait until no worker still holds a
-  // reference (active == 0) besides finishing the index space.
-  done_cv_.wait(lock, [&] {
-    return job.done.load(std::memory_order_acquire) >= job.n &&
-           job.active == 0;
-  });
-  job_ = nullptr;
-  lock.unlock();
-  if (job.error) std::rethrow_exception(job.error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    --active_;
+    // `job` lives on this stack frame: wait until no worker still holds a
+    // reference (active_ == 0) besides finishing the index space.
+    while (!(job.done.load(std::memory_order_acquire) >= job.n &&
+             active_ == 0)) {
+      done_cv_.wait(mutex_);
+    }
+    job_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

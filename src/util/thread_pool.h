@@ -22,14 +22,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace apf::util {
 
@@ -76,27 +76,36 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  // One parallel region. Only one Job is live at a time (submit_mutex_
+  // serializes submitters), so the per-job lane count and exception slot
+  // live on the pool itself, guarded by mutex_; the Job carries only the
+  // lock-free work-stealing state.
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t n = 0;
     std::size_t chunk = 1;
+    // apf-lint: unguarded(lock-free chunk hand-out; atomics synchronize)
     std::atomic<std::size_t> next{0};
+    // apf-lint: unguarded(completed-index count; acq_rel atomics synchronize)
     std::atomic<std::size_t> done{0};
-    int active = 0;                   // lanes inside run_chunks; guarded by mutex_
-    std::exception_ptr error;         // first failure; guarded by mutex_
   };
 
-  void worker_loop();
-  void run_chunks(Job& job);
+  void worker_loop() APF_EXCLUDES(mutex_);
+  void run_chunks(Job& job) APF_EXCLUDES(mutex_);
 
+  // apf-lint: unguarded(filled in ctor, joined in dtor; immutable between)
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;  // workers wait here for a job
-  std::condition_variable done_cv_;  // the submitter waits here
-  std::mutex submit_mutex_;          // serializes concurrent parallel_for calls
-  Job* job_ = nullptr;               // guarded by mutex_
-  std::uint64_t job_seq_ = 0;        // guarded by mutex_
-  bool stop_ = false;                // guarded by mutex_
+  Mutex mutex_;
+  CondVar wake_cv_;  // workers wait here for a job
+  CondVar done_cv_;  // the submitter waits here
+  // Serializes concurrent parallel_for calls; always taken before mutex_
+  // (the declared ordering edge makes an inversion a compile error).
+  Mutex submit_mutex_ APF_ACQUIRED_BEFORE(mutex_);
+  Job* job_ APF_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_seq_ APF_GUARDED_BY(mutex_) = 0;
+  bool stop_ APF_GUARDED_BY(mutex_) = false;
+  int active_ APF_GUARDED_BY(mutex_) = 0;    // lanes inside run_chunks
+  std::exception_ptr error_ APF_GUARDED_BY(mutex_);  // first failure
 };
 
 /// Pool used by the library's internal hot paths (tensor kernels, parallel

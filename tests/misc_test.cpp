@@ -145,6 +145,21 @@ TEST(Logging, LevelSwitch) {
   set_log_level(before);
 }
 
+TEST(Logging, SinkCapturesWholeLinesAndRestores) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kWarn);
+  std::ostringstream captured;
+  set_log_sink(&captured);
+  APF_WARN("sink test " << 42);
+  set_log_sink(nullptr);  // back to stderr before `captured` dies
+  set_log_level(before);
+  const std::string line = captured.str();
+  EXPECT_NE(line.find("[WARN]"), std::string::npos) << line;
+  EXPECT_NE(line.find("sink test 42"), std::string::npos) << line;
+  EXPECT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+}
+
 data::SyntheticImageSpec runner_spec() {
   data::SyntheticImageSpec spec;
   spec.num_classes = 4;

@@ -103,7 +103,8 @@ TEST(RoundFuzzSnapshot, IsReproducibleWithoutMutation) {
 // -- round scripts: parsing + two outcomes -----------------------------------
 
 TEST(RoundFuzzScript, GeneratedScriptsParseAndRunOnEveryRoundTarget) {
-  const char* const names[] = {"apf-rounds", "strawman-rounds"};
+  const char* const names[] = {"apf-rounds", "strawman-rounds",
+                               "update-quant-rounds"};
   Rng rng(0x5C21B7ULL);
   for (const char* name : names) {
     const FuzzTarget* target = apf::fuzz::find_target(name);
@@ -145,7 +146,7 @@ TEST(RoundFuzzScript, MalformedScriptsAreRejectedAtomically) {
 TEST(RoundFuzzScript, MutationsAndCrossoversNeverEscapeTheTwoOutcomes) {
   Rng rng(0xF00DFACEULL);
   const char* const names[] = {"apf-rounds", "strawman-rounds",
-                               "runner-rounds"};
+                               "runner-rounds", "update-quant-rounds"};
   for (const char* name : names) {
     const FuzzTarget* target = apf::fuzz::find_target(name);
     ASSERT_NE(target, nullptr) << name;

@@ -1,0 +1,30 @@
+// Compile-fail fixture: acquiring two mutexes against their declared
+// APF_ACQUIRED_BEFORE edge must be rejected under -Wthread-safety-beta
+// (the ordering checks live in the beta group). tools/check_thread_safety.sh
+// asserts this TU does NOT compile; it is never part of the normal build.
+#include "util/annotations.h"
+
+namespace {
+
+class Pipeline {
+ public:
+  // Violation: the declared order is submit_mutex_ before state_mutex_
+  // (mirroring ThreadPool), but this path inverts it — the shape of an
+  // ABBA deadlock.
+  void wrong_order() {
+    apf::util::MutexLock state_lock(state_mutex_);
+    apf::util::MutexLock submit_lock(submit_mutex_);
+  }
+
+ private:
+  apf::util::Mutex state_mutex_;
+  apf::util::Mutex submit_mutex_ APF_ACQUIRED_BEFORE(state_mutex_);
+};
+
+}  // namespace
+
+int drive() {
+  Pipeline pipeline;
+  pipeline.wrong_order();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Compile-fail fixture: reading a member annotated APF_GUARDED_BY without
+// holding its mutex must be rejected by -Werror=thread-safety-analysis.
+// tools/check_thread_safety.sh asserts this TU does NOT compile; it is never
+// part of the normal build (tests/CMakeLists.txt does not list it).
+#include "util/annotations.h"
+
+namespace {
+
+class Tally {
+ public:
+  void add(int v) {
+    apf::util::MutexLock lock(mutex_);
+    total_ += v;
+  }
+
+  // Violation: total_ is guarded by mutex_, which is not held here.
+  int read_unlocked() const { return total_; }
+
+ private:
+  mutable apf::util::Mutex mutex_;
+  int total_ APF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int drive() {
+  Tally tally;
+  tally.add(1);
+  return tally.read_unlocked();
+}

@@ -76,8 +76,8 @@ TEST(WireFuzzCorpus, EveryEntryReplaysCleanly) {
     }
     ++files;
   }
-  // 13 targets x 3 valid seeds + 14 regression entries.
-  EXPECT_GE(files, 53u) << "corpus went missing?";
+  // 14 targets x 3 valid seeds + 15 regression entries.
+  EXPECT_GE(files, 57u) << "corpus went missing?";
 }
 
 // -- two-outcome property over adversarial inputs ---------------------------

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Drives Clang Thread Safety Analysis over the annotated tree.
+#
+# Positive pass: every TU in src/, fuzz/ and tests/ must compile with
+# -Wthread-safety -Wthread-safety-beta promoted to errors — a guarded-member
+# access without its mutex, an unbalanced acquire/release, or a lock-order
+# inversion against a declared APF_ACQUIRED_BEFORE edge fails the build.
+#
+# Negative pass: the seeded violations in tests/thread_safety_negative/
+# (never part of the normal build) must be REJECTED with a thread-safety
+# diagnostic, proving the analysis is actually armed rather than silently
+# off. CI runs both passes as the blocking `thread-safety` job.
+#
+# Usage: tools/check_thread_safety.sh [--if-available] [--negative-only]
+#   --if-available   exit 0 instead of 3 when clang++ is not on PATH
+#                    (GCC-only machines rely on tools/lint_apf.py instead)
+#   --negative-only  run just the negative-compile assertions
+set -u
+cd "$(dirname "$0")/.."
+
+IF_AVAILABLE=0
+NEGATIVE_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --if-available) IF_AVAILABLE=1 ;;
+    --negative-only) NEGATIVE_ONLY=1 ;;
+    *) echo "usage: $0 [--if-available] [--negative-only]" >&2; exit 2 ;;
+  esac
+done
+
+CLANGXX="${CLANGXX:-clang++}"
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  if [ "$IF_AVAILABLE" = 1 ]; then
+    echo "check_thread_safety: $CLANGXX not found; skipping (--if-available)"
+    exit 0
+  fi
+  echo "check_thread_safety: $CLANGXX not found; install clang or set" \
+       "CLANGXX" >&2
+  exit 3
+fi
+
+# Only the thread-safety groups are promoted to errors: this job proves the
+# lock discipline, not clang/gcc warning parity (the build jobs own that).
+FLAGS=(-std=c++20 -fsyntax-only -Isrc -I. -Itests
+       -DAPF_ENABLE_DEBUG_CHECKS=1
+       "-DAPF_FUZZ_CORPUS_DIR=\"fuzz/corpus\""
+       -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+fail=0
+
+if [ "$NEGATIVE_ONLY" = 0 ]; then
+  while IFS= read -r tu; do
+    if ! "$CLANGXX" "${FLAGS[@]}" "$tu"; then
+      echo "check_thread_safety: FAIL $tu" >&2
+      fail=1
+    fi
+  done < <(find src fuzz tests -name '*.cpp' \
+             ! -path 'tests/thread_safety_negative/*' | sort)
+fi
+
+for tu in tests/thread_safety_negative/*.cpp; do
+  out=$("$CLANGXX" "${FLAGS[@]}" "$tu" 2>&1)
+  if [ $? -eq 0 ]; then
+    echo "check_thread_safety: NEGATIVE FAIL: $tu compiled cleanly but seeds" \
+         "a violation the analysis must reject" >&2
+    fail=1
+  elif ! printf '%s' "$out" | grep -q "thread-safety"; then
+    echo "check_thread_safety: NEGATIVE FAIL: $tu was rejected for the wrong" \
+         "reason (no thread-safety diagnostic):" >&2
+    printf '%s\n' "$out" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_thread_safety: clean"

@@ -44,6 +44,27 @@ on, so this tool does. Rules:
                      between client and server. Iterate a sorted view or
                      use std::map/std::set instead.
 
+  capability-raw-mutex  No raw std::mutex / std::lock_guard / std::unique_lock
+                     / std::scoped_lock / std::condition_variable anywhere in
+                     src/, fuzz/, tests/, bench/ or examples/ outside
+                     src/util/annotations.h. Clang Thread Safety Analysis only
+                     tracks locks expressed through annotated types; one raw
+                     mutex is a hole in the whole compile-time proof. Use
+                     apf::util::Mutex + MutexLock + CondVar.
+
+  capability-unguarded-member  In src/ and fuzz/, every data member of a class
+                     that owns an apf::util::Mutex must declare its protection
+                     relationship: APF_GUARDED_BY / APF_PT_GUARDED_BY, or an
+                     explicit '// apf-lint: unguarded(<reason>)' waiver for
+                     members synchronized some other way (atomics,
+                     init-then-immutable, external serialization).
+
+  capability-requires-doc  A function annotated APF_REQUIRES hands its locking
+                     obligation to the caller, so in src/ and fuzz/ it must be
+                     non-public or carry a doc comment (a '//' line directly
+                     above the declaration) telling the caller which lock to
+                     hold and why.
+
   layering           The module include graph must stay the acyclic hierarchy
                      util(0) < tensor(1) < {nn, data}(2) < optim(3) < fl(4)
                      < compress(5) < core(6). A file may include its own
@@ -68,6 +89,11 @@ Waivers (use sparingly, always with a reason):
                                                iterating line
   // lint-apf: allow-layering(<reason>)        on the #include line (cycles
                                                cannot be waived)
+  // apf-lint: unguarded(<reason>)             on or directly above a member
+                                               declaration, for
+                                               capability-unguarded-member
+                                               (raw-mutex and requires-doc
+                                               findings cannot be waived)
 
 Usage: tools/lint_apf.py [--root DIR] [--self-test] [paths...]
 Exit status 0 when clean, 1 when any rule fires.
@@ -120,6 +146,26 @@ CONCURRENCY_PATTERNS = [
     (re.compile(r"\bstd::async\b"), "std::async"),
     (re.compile(r"\.\s*detach\s*\("), ".detach()"),
 ]
+
+WAIVER_UNGUARDED = "apf-lint: unguarded"
+
+# Raw synchronization primitives banned outside src/util/annotations.h.
+RAW_SYNC_PATTERN = re.compile(
+    r"\bstd::(?:(?:recursive_|timed_|recursive_timed_|shared_)?mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable(?:_any)?)\b")
+
+# Trees whose files the capability rules scan (besides src/).
+CAPABILITY_TREES = ("fuzz", "bench", "examples", "tests")
+# Trees where annotation coverage (guarded members, requires-doc) is
+# mandatory; tests/bench may hold a Mutex in scaffolding without annotating.
+ANNOTATED_TREES = ("src", "fuzz")
+
+MUTEX_MEMBER = re.compile(r"^(?:apf::)?(?:util::)?Mutex\s+[A-Za-z_]\w*")
+SYNC_MEMBER_TYPE = re.compile(r"^(?:apf::)?(?:util::)?(?:Mutex|CondVar)\b")
+MEMBER_SKIP = re.compile(
+    r"^(?:using|typedef|friend|static|constexpr|enum|class|struct|template|"
+    r"public|protected|private)\b")
 
 UNORDERED_MODULES = ("core", "fl", "compress")
 UNORDERED_DECL = re.compile(
@@ -501,6 +547,146 @@ def collect_unordered_names(text):
 
 
 # --------------------------------------------------------------------------
+# capability: raw-mutex ban, guarded-member coverage, APF_REQUIRES docs
+# --------------------------------------------------------------------------
+
+def check_capability_raw_sync(path, text, findings):
+    if pathlib.Path(path).name == "annotations.h":
+        return  # the one sanctioned home for the raw primitives
+    stripped = strip_comments_and_strings(text)
+    for line_no, line in enumerate(stripped.split("\n"), 1):
+        m = RAW_SYNC_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                path, line_no, "capability-raw-mutex",
+                f"raw '{m.group(0)}' outside src/util/annotations.h; use "
+                f"apf::util::Mutex / MutexLock / CondVar so Clang Thread "
+                f"Safety Analysis can see the lock (no waiver — an "
+                f"unannotated lock is a hole in the compile-time proof)"))
+
+
+def collect_class_statements(stripped: str):
+    """Returns [(class_name, [(line_no, logical_statement), ...])] for every
+    class/struct body, with nested class bodies and function bodies excluded.
+    Multi-line declarations are joined into one statement anchored at their
+    first line."""
+    lines = stripped.split("\n")
+    results = []
+    stack = []  # [kind, name, entry_depth, statements, buf, buf_line]
+    depth = 0
+    for idx, line in enumerate(lines):
+        m = CLASS_OPEN.search(line)
+        in_class = stack and stack[-1][0] == "class" and depth == stack[-1][2]
+        if in_class and m is None and ACCESS_RE.match(line) is None:
+            entry = stack[-1]
+            if not entry[4]:
+                entry[5] = idx + 1
+            entry[4] = (entry[4] + " " + line.strip()).strip()
+            # A statement ends at ';' or at a brace (function body opener or
+            # the class's own closing line).
+            if ";" in line or "{" in line or "}" in line:
+                if entry[4]:
+                    entry[3].append((entry[5], entry[4]))
+                entry[4] = ""
+        mm = m
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if mm is not None:
+                    stack.append(["class", mm.group(2), depth, [], "", 0])
+                    mm = None
+                else:
+                    stack.append(["other", "", depth, [], "", 0])
+            elif ch == "}":
+                if stack and stack[-1][2] == depth:
+                    top = stack.pop()
+                    if top[0] == "class":
+                        results.append((top[1], top[3]))
+                depth -= 1
+    return results
+
+
+def check_capability_members(path, text, findings):
+    """Every data member of a class owning an apf::util::Mutex must carry
+    APF_GUARDED_BY / APF_PT_GUARDED_BY or an explicit unguarded() waiver."""
+    raw_lines = text.split("\n")
+    stripped = strip_comments_and_strings(text)
+    for cls, statements in collect_class_statements(stripped):
+        if not any(MUTEX_MEMBER.match(stmt) for _, stmt in statements):
+            continue
+        for line_no, stmt in statements:
+            if not re.match(r"[A-Za-z_~]", stmt) or MEMBER_SKIP.match(stmt):
+                continue
+            if SYNC_MEMBER_TYPE.match(stmt):
+                continue  # the capability itself / its condition variables
+            # Blank annotation macros before testing for '(': a '(' in what
+            # remains means a function or constructor declaration.
+            sans = re.sub(r"\bAPF_[A-Z_]+\s*\([^()]*\)", " ", stmt)
+            if "(" in sans or not sans.rstrip().endswith(";"):
+                continue
+            if "APF_GUARDED_BY" in stmt or "APF_PT_GUARDED_BY" in stmt:
+                continue
+            if has_waiver(raw_lines, line_no, WAIVER_UNGUARDED):
+                continue
+            findings.append(Finding(
+                path, line_no, "capability-unguarded-member",
+                f"member of '{cls}' (which owns a Mutex) has no "
+                f"APF_GUARDED_BY/APF_PT_GUARDED_BY; declare what protects it "
+                f"or waive with '// {WAIVER_UNGUARDED}(<reason>)'"))
+
+
+def check_capability_requires(path, text, findings):
+    """APF_REQUIRES hands a locking obligation to the caller: the function
+    must be non-public, or documented with a '//' comment directly above."""
+    stripped_lines = strip_comments_and_strings(text).split("\n")
+    raw_lines = text.split("\n")
+    # Access tracking, mirroring parse_header's brace walk.
+    stack = []  # [kind, access, entry_depth]
+    depth = 0
+    for idx, line in enumerate(stripped_lines):
+        m = CLASS_OPEN.search(line)
+        access_m = ACCESS_RE.match(line)
+        if access_m and stack and stack[-1][0] == "class":
+            stack[-1][1] = access_m.group(1)
+        if "APF_REQUIRES" in line and not line.lstrip().startswith("#"):
+            in_class = (stack and stack[-1][0] == "class"
+                        and depth == stack[-1][2])
+            accessible = (not in_class) or stack[-1][1] == "public"
+            if accessible:
+                # Walk to the first line of the declaration (continuations
+                # have a non-terminated line above them).
+                start = idx
+                while start > 0:
+                    prev = stripped_lines[start - 1].strip()
+                    if not prev or prev.endswith((";", "{", "}", ":")):
+                        break
+                    start -= 1
+                documented = (start > 0
+                              and raw_lines[start - 1].lstrip().startswith(
+                                  "//"))
+                if not documented:
+                    findings.append(Finding(
+                        path, idx + 1, "capability-requires-doc",
+                        "public function with APF_REQUIRES must document the "
+                        "lock the caller has to hold ('//' comment directly "
+                        "above the declaration) or become non-public"))
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if m is not None:
+                    kind = m.group(1)
+                    default = "private" if kind == "class" else "public"
+                    stack.append(["class", default, depth])
+                    m = None
+                else:
+                    stack.append(["other", "", depth])
+            elif ch == "}":
+                if stack and stack[-1][2] == depth:
+                    stack.pop()
+                depth -= 1
+
+
+# --------------------------------------------------------------------------
 # layering: module-DAG + file-level cycle analysis of the include graph
 # --------------------------------------------------------------------------
 
@@ -697,6 +883,57 @@ def self_test():
             "int drive() { return 0; }\n",
             set()),
         "fuzz/targets.h": ("#pragma once\n", set()),
+        # Raw std::mutex + std::lock_guard outside annotations.h.
+        "src/fl/bad_raw_mutex.cpp": (
+            "#include <mutex>\n"
+            "std::mutex g_m;\n"
+            "void touch() { std::lock_guard<std::mutex> lock(g_m); }\n",
+            {"capability-raw-mutex"}),
+        # Mutex-owning class with an unannotated data member.
+        "src/util/bad_unguarded.h": (
+            "#pragma once\n"
+            '#include "util/annotations.h"\n'
+            "class Counter {\n"
+            " public:\n"
+            "  void bump();\n"
+            " private:\n"
+            "  apf::util::Mutex mutex_;\n"
+            "  int count_ = 0;\n"
+            "};\n",
+            {"capability-unguarded-member"}),
+        # Public APF_REQUIRES without a doc comment.
+        "src/util/bad_requires.h": (
+            "#pragma once\n"
+            '#include "util/annotations.h"\n'
+            "class Registry {\n"
+            " public:\n"
+            "  void poke() APF_REQUIRES(mutex_);\n"
+            " private:\n"
+            "  apf::util::Mutex mutex_;\n"
+            "};\n",
+            {"capability-requires-doc"}),
+        # Clean capability usage: annotation, waiver, doc'd public REQUIRES,
+        # undocumented-but-private REQUIRES. None of it may fire.
+        "src/util/guarded_ok.h": (
+            "#pragma once\n"
+            '#include "util/annotations.h"\n'
+            "class Tally {\n"
+            " public:\n"
+            "  /// Caller must hold mutex_ across the batch.\n"
+            "  void add_locked(int v) APF_REQUIRES(mutex_);\n"
+            " private:\n"
+            "  void drain() APF_REQUIRES(mutex_);\n"
+            "  apf::util::Mutex mutex_;\n"
+            "  int total_ APF_GUARDED_BY(mutex_) = 0;\n"
+            "  // apf-lint: unguarded(written once in the ctor, then const)\n"
+            "  int capacity_ = 0;\n"
+            "};\n",
+            set()),
+        # Raw mutex in a tool tree is caught too.
+        "fuzz/bad_tool_mutex.cpp": (
+            "#include <mutex>\n"
+            "std::mutex g_tool_m;\n",
+            {"capability-raw-mutex"}),
         # Waivers suppress their rules.
         "src/fl/waived.cpp": (
             "#include <thread>\n"
@@ -751,10 +988,16 @@ def self_test():
 def run_checks(root, paths=None):
     """Runs every rule; returns the findings list."""
     src = root / "src"
+    extra_files: list[pathlib.Path] = []
     if paths:
         files = [pathlib.Path(p).resolve() for p in paths]
     else:
         files = sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp"))
+        for tree in CAPABILITY_TREES:
+            tree_dir = root / tree
+            if tree_dir.is_dir():
+                extra_files += sorted(tree_dir.rglob("*.h")) + \
+                    sorted(tree_dir.rglob("*.cpp"))
 
     # Public-API maps for the entry-check rule.
     classes: dict[str, dict[str, str]] = {}
@@ -798,6 +1041,20 @@ def run_checks(root, paths=None):
         if path.suffix == ".cpp" and module in ("core", "fl") \
                 and path.parent.parent == src:
             check_entry_points(rel, text, classes, free_decls, findings)
+
+    # Capability rules span src/ plus the tool and test trees: the raw-mutex
+    # ban everywhere, annotation coverage where the wrappers are mandatory.
+    for path in files + extra_files:
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            continue
+        rel = path.relative_to(root) if path.is_relative_to(root) else path
+        check_capability_raw_sync(rel, text, findings)
+        top = rel.parts[0] if rel.parts else ""
+        if top in ANNOTATED_TREES:
+            check_capability_members(rel, text, findings)
+            check_capability_requires(rel, text, findings)
 
     # Whole-graph analysis is independent of the path selection: an include
     # cycle is a repo property, not a file property.
