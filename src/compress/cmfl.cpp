@@ -33,6 +33,7 @@ fl::SyncStrategy::Result CmflSync::synchronize(
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
+  result.frames_up.resize(n);
 
   // Relevance check: sign agreement with the previous global update. In the
   // first round there is no reference update, so every upload is relevant.
@@ -78,9 +79,10 @@ fl::SyncStrategy::Result CmflSync::synchronize(
     if (!upload[i]) continue;
     // Push: a relevant upload ships the full parameter vector as an "APD1"
     // dense buffer; the server aggregates the decoded values.
-    const std::vector<std::uint8_t> buf = encode_dense(client_params[i]);
+    std::vector<std::uint8_t> buf = encode_dense(client_params[i]);
     const std::vector<float> decoded = decode_dense(buf);
     result.bytes_up[i] = static_cast<double>(buf.size());
+    result.frames_up[i] = std::move(buf);
     const double w = weights[i] / weight_total;
     for (std::size_t j = 0; j < dim; ++j) {
       acc[j] += w * static_cast<double>(decoded[j] - global_[j]);
@@ -92,12 +94,13 @@ fl::SyncStrategy::Result CmflSync::synchronize(
   }
   // Pull: every client — dropped ones included — receives the new model as
   // one dense buffer (the long-standing CMFL convention charges all n).
-  const std::vector<std::uint8_t> down = encode_dense(global_);
+  std::vector<std::uint8_t> down = encode_dense(global_);
   const std::vector<float> decoded_down = decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
     result.bytes_down[i] = static_cast<double>(down.size());
   }
+  result.broadcast_frame = std::move(down);
   return result;
 }
 

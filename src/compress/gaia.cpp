@@ -14,8 +14,15 @@ GaiaSync::GaiaSync(GaiaOptions options) : options_(options) {
 void GaiaSync::init(std::span<const float> initial_params,
                     std::size_t num_clients) {
   SyncStrategyBase::init(initial_params, num_clients);
-  residual_.assign(num_clients,
-                   std::vector<float>(initial_params.size(), 0.f));
+  residual_.clear();
+}
+
+std::vector<std::vector<float>> GaiaSync::residuals() const {
+  std::vector<std::vector<float>> out(
+      num_clients_, std::vector<float>(global_.size(), 0.f));
+  residual_.for_each_ordered(
+      [&](std::uint64_t id, const std::vector<float>& r) { out[id] = r; });
+  return out;
 }
 
 fl::SyncStrategy::Result GaiaSync::synchronize(
@@ -24,7 +31,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
-  APF_CHECK(n == residual_.size());
+  APF_CHECK(n == num_clients_);
   const double threshold =
       options_.decay_threshold
           ? options_.significance_threshold /
@@ -38,6 +45,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
+  result.frames_up.resize(n);
 
   std::vector<double> acc(dim, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -47,6 +55,8 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
       continue;
     }
     const double w = weights[i] / weight_total;
+    std::vector<float>& residual = residual_.obtain(i);
+    if (residual.empty()) residual.assign(dim, 0.f);
     // Push: the significant set travels as an "APS1" sparse buffer
     // (ascending coordinate order); the server aggregates the decoded
     // components.
@@ -54,7 +64,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
     payload.dim = static_cast<std::uint32_t>(dim);
     for (std::size_t j = 0; j < dim; ++j) {
       // Pending update = this round's local change plus carried residual.
-      const float u = client_params[i][j] - global_[j] + residual_[i][j];
+      const float u = client_params[i][j] - global_[j] + residual[j];
       const double denom =
           std::max(static_cast<double>(std::fabs(global_[j])), options_.eps);
       const bool significant =
@@ -62,14 +72,15 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
       if (significant) {
         payload.indices.push_back(static_cast<std::uint32_t>(j));
         payload.values.push_back(u);
-        residual_[i][j] = 0.f;
+        residual[j] = 0.f;
       } else {
-        residual_[i][j] = u;
+        residual[j] = u;
       }
     }
-    const std::vector<std::uint8_t> buf = encode_sparse(payload);
+    std::vector<std::uint8_t> buf = encode_sparse(payload);
     const SparsePayload decoded = decode_sparse(buf);
     result.bytes_up[i] = static_cast<double>(buf.size());
+    result.frames_up[i] = std::move(buf);
     for (std::size_t t = 0; t < decoded.indices.size(); ++t) {
       acc[decoded.indices[t]] += w * static_cast<double>(decoded.values[t]);
     }
@@ -79,7 +90,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
   }
   // Pull: one dense model buffer, decoded by every client; only this
   // round's participants are charged for it.
-  const std::vector<std::uint8_t> down = encode_dense(global_);
+  std::vector<std::uint8_t> down = encode_dense(global_);
   const std::vector<float> decoded_down = decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
@@ -87,6 +98,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
       result.bytes_down[i] = static_cast<double>(down.size());
     }
   }
+  result.broadcast_frame = std::move(down);
   return result;
 }
 

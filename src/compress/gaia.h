@@ -8,6 +8,7 @@
 #pragma once
 
 #include "fl/sync_strategy.h"
+#include "transport/client_store.h"
 #include "util/rng.h"
 
 namespace apf::compress {
@@ -30,14 +31,16 @@ class GaiaSync : public fl::SyncStrategyBase {
                      const std::vector<double>& weights) override;
   std::string name() const override { return "Gaia"; }
 
-  /// Per-client error-feedback residuals (exposed for the fuzz state oracle).
-  const std::vector<std::vector<float>>& residuals() const {
-    return residual_;
-  }
+  /// Per-client error-feedback residuals, materialized densely (client id ->
+  /// vector; untouched clients are all-zero). Exposed for the fuzz state
+  /// oracle; live state is the lazy sharded store below.
+  std::vector<std::vector<float>> residuals() const;
 
  private:
   GaiaOptions options_;
-  std::vector<std::vector<float>> residual_;  // per client error feedback
+  // Per-client error feedback, created lazily on first participation so a
+  // huge client universe costs nothing until a client actually shows up.
+  transport::ShardedClientStore<std::vector<float>> residual_;
 };
 
 }  // namespace apf::compress

@@ -23,9 +23,10 @@ namespace {
 
 /// Rounds the client's transmitted scalars (the unfrozen ones when `mask` is
 /// set, all of them otherwise) through a real "APH1" half-precision buffer
-/// and returns its size. Frozen scalars never travel, so they stay exact.
-std::size_t fp16_round_trip(std::vector<float>& params,
-                            const std::optional<Bitmap>& mask) {
+/// and returns that buffer (its size is the charge, and the runner routes it
+/// over the transport bus). Frozen scalars never travel, so they stay exact.
+std::vector<std::uint8_t> fp16_round_trip(std::vector<float>& params,
+                                          const std::optional<Bitmap>& mask) {
   std::vector<std::uint8_t> buf;
   if (mask.has_value()) {
     buf = wire::encode_fp16_payload(wire::pack_unfrozen(params, *mask));
@@ -34,7 +35,7 @@ std::size_t fp16_round_trip(std::vector<float>& params,
     buf = wire::encode_fp16_payload(params);
     params = wire::decode_fp16_payload(buf);
   }
-  return buf.size();
+  return buf;
 }
 
 }  // namespace
@@ -60,6 +61,8 @@ fl::SyncStrategy::Result QuantizedSync::synchronize(
 
   std::vector<double> up_bytes(n, 0.0);
   std::vector<double> down_bytes(n, 0.0);
+  std::vector<std::vector<std::uint8_t>> up_frames(n);
+  std::vector<std::vector<std::uint8_t>> down_frames(n);
   // Push-side: each participant's payload travels as a real half-precision
   // buffer; the server aggregates what the wire carried. The round trips
   // run on STAGED copies: a shape-valid round the inner strategy still
@@ -68,18 +71,24 @@ fl::SyncStrategy::Result QuantizedSync::synchronize(
   std::vector<std::vector<float>> staged = client_params;
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
-    up_bytes[i] = static_cast<double>(fp16_round_trip(staged[i], mask));
+    up_frames[i] = fp16_round_trip(staged[i], mask);
+    up_bytes[i] = static_cast<double>(up_frames[i].size());
   }
   Result result = inner_->synchronize(round, staged, weights);
   client_params = std::move(staged);
   // Pull-side: the post-sync parameters travel back the same way.
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
-    down_bytes[i] =
-        static_cast<double>(fp16_round_trip(client_params[i], mask));
+    down_frames[i] = fp16_round_trip(client_params[i], mask);
+    down_bytes[i] = static_cast<double>(down_frames[i].size());
   }
+  // The wrapper's fp16 buffers replace the inner strategy's traffic in both
+  // directions (per-client pulls, so no shared broadcast frame survives).
   result.bytes_up = std::move(up_bytes);
   result.bytes_down = std::move(down_bytes);
+  result.frames_up = std::move(up_frames);
+  result.frames_down = std::move(down_frames);
+  result.broadcast_frame.clear();
   return result;
 }
 

@@ -17,8 +17,15 @@ RandKSync::RandKSync(RandKOptions options) : options_(options) {
 void RandKSync::init(std::span<const float> initial_params,
                      std::size_t num_clients) {
   SyncStrategyBase::init(initial_params, num_clients);
-  residual_.assign(num_clients,
-                   std::vector<float>(initial_params.size(), 0.f));
+  residual_.clear();
+}
+
+std::vector<std::vector<float>> RandKSync::residuals() const {
+  std::vector<std::vector<float>> out(
+      num_clients_, std::vector<float>(global_.size(), 0.f));
+  residual_.for_each_ordered(
+      [&](std::uint64_t id, const std::vector<float>& r) { out[id] = r; });
+  return out;
 }
 
 fl::SyncStrategy::Result RandKSync::synchronize(
@@ -27,7 +34,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
-  APF_CHECK(n == residual_.size());
+  APF_CHECK(n == num_clients_);
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(options_.fraction * static_cast<double>(dim))));
@@ -55,6 +62,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
+  result.frames_up.resize(n);
 
   // The round's coordinates in ascending order — the order both sides
   // derive from the shared seed, and the order values travel in.
@@ -71,6 +79,8 @@ fl::SyncStrategy::Result RandKSync::synchronize(
       continue;
     }
     const double w = weights[i] / weight_total;
+    std::vector<float>& residual = residual_.obtain(i);
+    if (residual.empty()) residual.assign(dim, 0.f);
     // Push: values only, framed as an "APR1" buffer — the coordinate set is
     // derivable from the seed material that rides along in the header.
     RandkPayload payload;
@@ -79,18 +89,18 @@ fl::SyncStrategy::Result RandKSync::synchronize(
     payload.seed = mix;
     payload.scale = scale;
     for (std::size_t j = 0; j < dim; ++j) {
-      const float pending =
-          client_params[i][j] - global_[j] + residual_[i][j];
+      const float pending = client_params[i][j] - global_[j] + residual[j];
       if (selected[j]) {
         payload.values.push_back(pending);
-        residual_[i][j] = 0.f;
+        residual[j] = 0.f;
       } else {
-        residual_[i][j] = pending;
+        residual[j] = pending;
       }
     }
-    const std::vector<std::uint8_t> buf = encode_randk(payload);
+    std::vector<std::uint8_t> buf = encode_randk(payload);
     const RandkPayload decoded = decode_randk(buf);
     result.bytes_up[i] = static_cast<double>(buf.size());
+    result.frames_up[i] = std::move(buf);
     APF_DEBUG_ASSERT_MSG(decoded.seed == mix,
                          "rand-k seed drifted through the wire");
     for (std::size_t t = 0; t < coords.size(); ++t) {
@@ -103,7 +113,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
   }
   // Pull: one dense model buffer, decoded by every client; only this
   // round's participants are charged for it.
-  const std::vector<std::uint8_t> down = encode_dense(global_);
+  std::vector<std::uint8_t> down = encode_dense(global_);
   const std::vector<float> decoded_down = decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
@@ -111,6 +121,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
       result.bytes_down[i] = static_cast<double>(down.size());
     }
   }
+  result.broadcast_frame = std::move(down);
   return result;
 }
 

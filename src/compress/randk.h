@@ -10,6 +10,7 @@
 #pragma once
 
 #include "fl/sync_strategy.h"
+#include "transport/client_store.h"
 #include "util/rng.h"
 
 namespace apf::compress {
@@ -33,14 +34,14 @@ class RandKSync : public fl::SyncStrategyBase {
                      const std::vector<double>& weights) override;
   std::string name() const override { return "RandK"; }
 
-  /// Per-client error-feedback residuals (exposed for the fuzz state oracle).
-  const std::vector<std::vector<float>>& residuals() const {
-    return residual_;
-  }
+  /// Per-client error-feedback residuals, materialized densely (client id ->
+  /// vector; untouched clients are all-zero). Exposed for the fuzz state
+  /// oracle; live state is the lazy sharded store below.
+  std::vector<std::vector<float>> residuals() const;
 
  private:
   RandKOptions options_;
-  std::vector<std::vector<float>> residual_;
+  transport::ShardedClientStore<std::vector<float>> residual_;
 };
 
 }  // namespace apf::compress

@@ -16,8 +16,15 @@ TopKSync::TopKSync(TopKOptions options) : options_(options) {
 void TopKSync::init(std::span<const float> initial_params,
                     std::size_t num_clients) {
   SyncStrategyBase::init(initial_params, num_clients);
-  residual_.assign(num_clients,
-                   std::vector<float>(initial_params.size(), 0.f));
+  residual_.clear();
+}
+
+std::vector<std::vector<float>> TopKSync::residuals() const {
+  std::vector<std::vector<float>> out(
+      num_clients_, std::vector<float>(global_.size(), 0.f));
+  residual_.for_each_ordered(
+      [&](std::uint64_t id, const std::vector<float>& r) { out[id] = r; });
+  return out;
 }
 
 fl::SyncStrategy::Result TopKSync::synchronize(
@@ -26,7 +33,7 @@ fl::SyncStrategy::Result TopKSync::synchronize(
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
-  APF_CHECK(n == residual_.size());
+  APF_CHECK(n == num_clients_);
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(options_.fraction * static_cast<double>(dim))));
@@ -38,6 +45,7 @@ fl::SyncStrategy::Result TopKSync::synchronize(
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
+  result.frames_up.resize(n);
 
   std::vector<double> acc(dim, 0.0);
   std::vector<float> pending(dim);
@@ -48,8 +56,10 @@ fl::SyncStrategy::Result TopKSync::synchronize(
       // its residual nor the byte counters should move.
       continue;
     }
+    std::vector<float>& residual = residual_.obtain(i);
+    if (residual.empty()) residual.assign(dim, 0.f);
     for (std::size_t j = 0; j < dim; ++j) {
-      pending[j] = client_params[i][j] - global_[j] + residual_[i][j];
+      pending[j] = client_params[i][j] - global_[j] + residual[j];
     }
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
@@ -68,16 +78,17 @@ fl::SyncStrategy::Result TopKSync::synchronize(
       payload.indices.push_back(static_cast<std::uint32_t>(j));
       payload.values.push_back(pending[j]);
     }
-    const std::vector<std::uint8_t> buf = encode_sparse(payload);
+    std::vector<std::uint8_t> buf = encode_sparse(payload);
     const SparsePayload decoded = decode_sparse(buf);
     result.bytes_up[i] = static_cast<double>(buf.size());
+    result.frames_up[i] = std::move(buf);
     const double w = weights[i] / weight_total;
     for (std::size_t t = 0; t < decoded.indices.size(); ++t) {
       acc[decoded.indices[t]] += w * static_cast<double>(decoded.values[t]);
     }
     for (std::size_t r = 0; r < dim; ++r) {
       const std::size_t j = order[r];
-      residual_[i][j] = r < k ? 0.f : pending[j];
+      residual[j] = r < k ? 0.f : pending[j];
     }
   }
   for (std::size_t j = 0; j < dim; ++j) {
@@ -85,7 +96,7 @@ fl::SyncStrategy::Result TopKSync::synchronize(
   }
   // Pull: one dense model buffer, decoded by every client; only this
   // round's participants are charged for it.
-  const std::vector<std::uint8_t> down = encode_dense(global_);
+  std::vector<std::uint8_t> down = encode_dense(global_);
   const std::vector<float> decoded_down = decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
@@ -93,6 +104,7 @@ fl::SyncStrategy::Result TopKSync::synchronize(
       result.bytes_down[i] = static_cast<double>(down.size());
     }
   }
+  result.broadcast_frame = std::move(down);
   return result;
 }
 

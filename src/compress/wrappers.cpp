@@ -41,6 +41,7 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
   Rng staged_rng = rng_;
   std::vector<std::vector<float>> staged = client_params;
   std::vector<double> up_bytes(n, 0.0);
+  std::vector<std::vector<std::uint8_t>> up_frames(n);
   std::vector<float> update;
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
@@ -54,9 +55,10 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
     }
     // Push: the quantized update travels as the codec's framed buffer; the
     // receiver applies the decoded update on top of the shared model.
-    const std::vector<std::uint8_t> buf = codec_->encode(update, staged_rng);
+    std::vector<std::uint8_t> buf = codec_->encode(update, staged_rng);
     const std::vector<float> decoded = codec_->decode(buf);
     up_bytes[i] = static_cast<double>(buf.size());
+    up_frames[i] = std::move(buf);
     std::size_t t = 0;
     for (std::size_t j = 0; j < dim; ++j) {
       if (mask != nullptr && mask->get(j)) continue;
@@ -68,8 +70,10 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
   client_params = std::move(staged);
   rng_ = staged_rng;
   // The pull direction is left to the inner strategy (QSGD and TernGrad
-  // compress the push only).
+  // compress the push only), so its pull frames survive; the push frames
+  // are the codec's framed buffers.
   result.bytes_up = std::move(up_bytes);
+  result.frames_up = std::move(up_frames);
   return result;
 }
 

@@ -65,6 +65,10 @@ void ApfManager::init(std::span<const float> initial_params,
   random_remaining_.assign(dim, 0);
   effective_mask_ = Bitmap(dim, false);
   rounds_since_check_ = 0;
+  agg_.reset();
+  pull_mask_ = Bitmap(dim, false);
+  fold_frozen_fraction_ = 0.0;
+  fold_round_ = 0;
 }
 
 fl::SyncStrategy::Result ApfManager::synchronize(
@@ -74,61 +78,89 @@ fl::SyncStrategy::Result ApfManager::synchronize(
   // All input validation happens before any member is mutated, so a
   // malformed round is rejected atomically: a non-finite participant
   // payload, a wrong-dimension vector (even at weight 0), or a bad weight
-  // leaves the manager byte-identical to its pre-round state.
+  // leaves the manager byte-identical to its pre-round state. After this,
+  // none of the stream hooks below can throw.
   require_round_inputs(client_params, weights);
-  const std::size_t dim = global_.size();
   const std::size_t n = client_params.size();
 
-  // The mask active during this round's local training.
-  const std::size_t frozen_count = effective_mask_.count();
-  const double frozen_fraction =
-      static_cast<double>(frozen_count) / static_cast<double>(dim);
-
   // Aggregate through the actual wire path (paper Alg. 1): each client
-  // packs only its unfrozen scalars (masked_select), the server averages
-  // the compact payloads, and the result is merged back over the frozen
-  // values (masked_fill). Frozen scalars never leave the client, so they
-  // stay bit-exact at the anchor.
+  // packs only its unfrozen scalars (masked_select), the server folds the
+  // compact payloads into the streaming aggregate as they arrive, and the
+  // result is merged back over the frozen values (masked_fill). Frozen
+  // scalars never leave the client, so they stay bit-exact at the anchor.
   double weight_total = 0.0;
-  for (double w : weights) {
+  for (const double w : weights) {
     APF_CHECK(w >= 0.0);
     weight_total += w;
   }
   APF_CHECK_MSG(weight_total > 0.0, "all aggregation weights are zero");
-  APF_DEBUG_ASSERT_MSG(frozen_count <= dim,
-                       "mask count " << frozen_count << " exceeds dim "
-                                     << dim);
-  const std::size_t payload_size = dim - frozen_count;
-  std::vector<double> payload_acc(payload_size, 0.0);
+  begin_fold(round);
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
+  result.frames_up.resize(n);
+  result.frozen_fraction = fold_frozen_fraction_;
   for (std::size_t i = 0; i < n; ++i) {
-    APF_CHECK(client_params[i].size() == dim);
     // Every client (participating or not) uploads its packed unfrozen
     // scalars as a dense wire buffer; aggregation consumes the decoded
     // values of the participants.
-    const std::vector<std::uint8_t> up_buf =
-        wire::encode_dense(pack_unfrozen(client_params[i], effective_mask_));
+    std::vector<std::uint8_t> up_buf = encode_push(i, client_params[i]);
     result.bytes_up[i] = static_cast<double>(up_buf.size());
-    if (weights[i] == 0.0) continue;
-    const std::vector<float> payload = wire::decode_dense(up_buf);
-    APF_DEBUG_ASSERT_MSG(payload.size() == payload_size,
-                         "client " << i << " payload " << payload.size()
-                                   << " != unfrozen count " << payload_size);
-    APF_DEBUG_CHECK_FINITE(std::span<const float>(payload),
-                           "ApfManager::synchronize client payload");
-    const double w = weights[i] / weight_total;
-    for (std::size_t p = 0; p < payload_size; ++p) {
-      payload_acc[p] += w * static_cast<double>(payload[p]);
-    }
+    if (weights[i] > 0.0) fold_push(i, up_buf, weights[i] / weight_total);
+    result.frames_up[i] = std::move(up_buf);
   }
-  APF_DEBUG_CHECK_FINITE(std::span<const double>(payload_acc),
+  std::vector<std::uint8_t> down_buf = finish_fold();
+  for (std::size_t i = 0; i < n; ++i) {
+    apply_pull(down_buf, client_params[i]);
+    result.bytes_down[i] = static_cast<double>(down_buf.size());
+  }
+  result.broadcast_frame = std::move(down_buf);
+  return result;
+}
+
+std::vector<std::uint8_t> ApfManager::encode_push(
+    std::uint64_t /*client*/, std::span<const float> params) {
+  APF_CHECK_MSG(perturbation_.has_value(), "encode_push before init()");
+  APF_CHECK(params.size() == global_.size());
+  return wire::encode_dense(pack_unfrozen(params, effective_mask_));
+}
+
+void ApfManager::begin_fold(std::size_t round) {
+  APF_CHECK_MSG(perturbation_.has_value(), "begin_fold before init()");
+  const std::size_t dim = global_.size();
+  // The mask active during this round's local training.
+  const std::size_t frozen_count = effective_mask_.count();
+  APF_DEBUG_ASSERT_MSG(frozen_count <= dim,
+                       "mask count " << frozen_count << " exceeds dim "
+                                     << dim);
+  fold_frozen_fraction_ =
+      static_cast<double>(frozen_count) / static_cast<double>(dim);
+  fold_round_ = round;
+  agg_.emplace(dim - frozen_count);
+}
+
+void ApfManager::fold_push(std::uint64_t client,
+                           std::span<const std::uint8_t> frame,
+                           double normalized_weight) {
+  APF_CHECK_MSG(agg_.has_value(), "fold_push before begin_fold()");
+  const std::vector<float> payload = wire::decode_dense(frame);
+  APF_DEBUG_ASSERT_MSG(payload.size() == agg_->dim(),
+                       "client " << client << " payload " << payload.size()
+                                 << " != unfrozen count " << agg_->dim());
+  APF_DEBUG_CHECK_FINITE(std::span<const float>(payload),
+                         "ApfManager::synchronize client payload");
+  agg_->fold(client, payload, normalized_weight);
+}
+
+std::vector<std::uint8_t> ApfManager::finish_fold() {
+  APF_CHECK_MSG(agg_.has_value(), "finish_fold before begin_fold()");
+  APF_CHECK_MSG(agg_->folded() > 0, "finish_fold with no folded pushes");
+  const std::size_t dim = global_.size();
+  APF_DEBUG_CHECK_FINITE(agg_->accumulated(),
                          "ApfManager::synchronize aggregated payload");
-  std::vector<float> merged_payload(payload_size);
-  for (std::size_t p = 0; p < payload_size; ++p) {
-    merged_payload[p] = static_cast<float>(payload_acc[p]);
-  }
+  std::vector<float> merged_payload(agg_->dim());
+  agg_->finish_weighted(merged_payload);
+  agg_.reset();
   std::vector<float> new_global = global_;
   unpack_unfrozen(merged_payload, effective_mask_, new_global);
   APF_DEBUG_CHECK_FINITE(std::span<const float>(new_global),
@@ -144,24 +176,14 @@ fl::SyncStrategy::Result ApfManager::synchronize(
 
   // Pull: the §9 server-side variant frames the mask with the values (APM1);
   // the default ships only the packed values — client-computed masks are
-  // free. Either way every client rebuilds its full vector from the frozen
-  // anchor it already holds plus the decoded payload.
-  std::vector<std::uint8_t> down_buf;
-  std::vector<float> down_payload;
-  if (options_.server_side_mask) {
-    down_buf = encode_masked_update(global_, effective_mask_);
-    MaskedUpdate update = decode_masked_update(down_buf);
-    down_payload = std::move(update.payload);
-  } else {
-    down_buf = wire::encode_dense(pack_unfrozen(global_, effective_mask_));
-    down_payload = wire::decode_dense(down_buf);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    client_params[i].assign(global_.begin(), global_.end());
-    unpack_unfrozen(down_payload, effective_mask_, client_params[i]);
-    result.bytes_down[i] = static_cast<double>(down_buf.size());
-  }
-  result.frozen_fraction = frozen_fraction;
+  // free. The frame is encoded under the mask the round ran with, and that
+  // mask is stored for apply_pull, BEFORE the stability check / random
+  // freezing evolve it for the next round.
+  pull_mask_ = effective_mask_;
+  std::vector<std::uint8_t> down_buf =
+      options_.server_side_mask
+          ? encode_masked_update(global_, effective_mask_)
+          : wire::encode_dense(pack_unfrozen(global_, effective_mask_));
 
   // Stability check every Fc rounds.
   if (++rounds_since_check_ >= options_.check_every_rounds) {
@@ -170,9 +192,25 @@ fl::SyncStrategy::Result ApfManager::synchronize(
   }
 
   // Random freezing (APF# / APF++) for the next round.
-  advance_random_freezing(round);
+  advance_random_freezing(fold_round_);
   rebuild_effective_mask();
-  return result;
+  return down_buf;
+}
+
+void ApfManager::apply_pull(std::span<const std::uint8_t> frame,
+                            std::vector<float>& params) const {
+  APF_CHECK_MSG(perturbation_.has_value(), "apply_pull before init()");
+  // Every client rebuilds its full vector from the frozen anchor it already
+  // holds plus the decoded payload.
+  std::vector<float> down_payload;
+  if (options_.server_side_mask) {
+    MaskedUpdate update = decode_masked_update(frame);
+    down_payload = std::move(update.payload);
+  } else {
+    down_payload = wire::decode_dense(frame);
+  }
+  params.assign(global_.begin(), global_.end());
+  unpack_unfrozen(down_payload, pull_mask_, params);
 }
 
 void ApfManager::run_stability_check() {

@@ -78,7 +78,7 @@ struct ApfOptions {
   std::uint64_t seed = 0xAFF1E5ULL;
 };
 
-class ApfManager : public fl::SyncStrategyBase {
+class ApfManager : public fl::SyncStrategyBase, public fl::StreamSync {
  public:
   explicit ApfManager(ApfOptions options = {});
 
@@ -91,6 +91,24 @@ class ApfManager : public fl::SyncStrategyBase {
   Result synchronize(std::size_t round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
+
+  /// Streaming transport hooks (docs/TRANSPORT.md): synchronize() is the
+  /// batch driver over these, so the bus path and the in-memory path share
+  /// one code path. encode_push packs under the mask in force for the round
+  /// (the one local training ran with); finish_fold encodes the pull under
+  /// that same mask BEFORE evolving it for the next round, and apply_pull
+  /// rebuilds clients from the stored pull mask, so a late apply_pull is
+  /// unaffected by the mask having moved on.
+  fl::StreamSync* stream_sync() override { return this; }
+  std::vector<std::uint8_t> encode_push(
+      std::uint64_t client, std::span<const float> params) override;
+  void begin_fold(std::size_t round) override;
+  void fold_push(std::uint64_t client, std::span<const std::uint8_t> frame,
+                 double normalized_weight) override;
+  std::vector<std::uint8_t> finish_fold() override;
+  void apply_pull(std::span<const std::uint8_t> frame,
+                  std::vector<float>& params) const override;
+
   const Bitmap* frozen_mask() const override { return &effective_mask_; }
   std::span<const float> frozen_anchor() const override { return global_; }
   std::string name() const override;
@@ -128,6 +146,14 @@ class ApfManager : public fl::SyncStrategyBase {
   std::vector<std::uint32_t> random_remaining_;  // rounds (APF# / APF++)
   Bitmap effective_mask_;                 // stability OR random freezing
   std::size_t rounds_since_check_ = 0;
+
+  // Streaming-fold state (valid between begin_fold and finish_fold; the
+  // pull mask persists until the next finish_fold so apply_pull works
+  // after the effective mask has evolved).
+  std::optional<transport::StreamingAggregator> agg_;
+  Bitmap pull_mask_;
+  double fold_frozen_fraction_ = 0.0;
+  std::size_t fold_round_ = 0;
 };
 
 }  // namespace apf::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/state_io.h"
+#include "transport/streaming.h"
 #include "util/error.h"
 #include "wire/masked.h"
 #include "wire/wire.h"
@@ -94,36 +95,45 @@ fl::SyncStrategy::Result PartialSync::synchronize(
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
+  double weight_total = 0.0;
+  for (const double w : weights) weight_total += w;
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
+  result.frames_up.resize(n);
   // Push: each client uploads only its non-excluded scalars (packed under the
-  // mask in force at upload time), framed as a dense wire buffer.
+  // mask in force at upload time), framed as a dense wire buffer; the server
+  // folds each decoded frame straight into the streaming aggregate instead
+  // of staging per-client copies.
   const Bitmap pre_excluded = excluded_;
-  std::vector<std::vector<float>> uploads(n);
+  transport::StreamingAggregator agg(global_.size() - pre_excluded.count());
   for (std::size_t i = 0; i < n; ++i) {
-    const std::vector<std::uint8_t> buf = wire::encode_dense(
+    std::vector<std::uint8_t> buf = wire::encode_dense(
         wire::pack_unfrozen(client_params[i], pre_excluded));
-    uploads[i] = wire::decode_dense(buf);
     result.bytes_up[i] = static_cast<double>(buf.size());
+    if (weights[i] > 0.0) {
+      agg.fold(i, wire::decode_dense(buf), weights[i] / weight_total);
+    }
+    result.frames_up[i] = std::move(buf);
   }
   // Excluded scalars are not synchronized: the server keeps its stale value
   // and every client keeps its own local value.
-  std::vector<float> packed_global;
-  weighted_average(uploads, weights, packed_global);
+  std::vector<float> packed_global(agg.dim());
+  agg.finish_weighted(packed_global);
   std::vector<float> new_global(global_);
   wire::unpack_unfrozen(packed_global, pre_excluded, new_global);
   observe_round(new_global);
   global_ = std::move(new_global);
   // Pull: one packed buffer under the (possibly grown) post-round mask;
   // every client scatters the decoded values into its live positions.
-  const std::vector<std::uint8_t> down =
+  std::vector<std::uint8_t> down =
       wire::encode_dense(wire::pack_unfrozen(global_, excluded_));
   const std::vector<float> decoded_down = wire::decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
     wire::unpack_unfrozen(decoded_down, excluded_, client_params[i]);
     result.bytes_down[i] = static_cast<double>(down.size());
   }
+  result.broadcast_frame = std::move(down);
   result.frozen_fraction = excluded_.fraction();
   return result;
 }
@@ -136,21 +146,28 @@ fl::SyncStrategy::Result PermanentFreeze::synchronize(
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
+  double weight_total = 0.0;
+  for (const double w : weights) weight_total += w;
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
-  // Push: non-frozen scalars only, packed under the upload-time mask.
+  result.frames_up.resize(n);
+  // Push: non-frozen scalars only, packed under the upload-time mask and
+  // folded into the streaming aggregate frame by frame.
   const Bitmap pre_excluded = excluded_;
-  std::vector<std::vector<float>> uploads(n);
+  transport::StreamingAggregator agg(global_.size() - pre_excluded.count());
   for (std::size_t i = 0; i < n; ++i) {
-    const std::vector<std::uint8_t> buf = wire::encode_dense(
+    std::vector<std::uint8_t> buf = wire::encode_dense(
         wire::pack_unfrozen(client_params[i], pre_excluded));
-    uploads[i] = wire::decode_dense(buf);
     result.bytes_up[i] = static_cast<double>(buf.size());
+    if (weights[i] > 0.0) {
+      agg.fold(i, wire::decode_dense(buf), weights[i] / weight_total);
+    }
+    result.frames_up[i] = std::move(buf);
   }
   // Frozen scalars stay at their anchor forever.
-  std::vector<float> packed_global;
-  weighted_average(uploads, weights, packed_global);
+  std::vector<float> packed_global(agg.dim());
+  agg.finish_weighted(packed_global);
   std::vector<float> new_global(global_);
   wire::unpack_unfrozen(packed_global, pre_excluded, new_global);
   observe_round(new_global);
@@ -158,7 +175,7 @@ fl::SyncStrategy::Result PermanentFreeze::synchronize(
   // Pull: live scalars under the post-round mask; each client rebuilds the
   // full vector from the frozen anchor it already holds plus the decoded
   // payload.
-  const std::vector<std::uint8_t> down =
+  std::vector<std::uint8_t> down =
       wire::encode_dense(wire::pack_unfrozen(global_, excluded_));
   const std::vector<float> decoded_down = wire::decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
@@ -166,6 +183,7 @@ fl::SyncStrategy::Result PermanentFreeze::synchronize(
     wire::unpack_unfrozen(decoded_down, excluded_, client_params[i]);
     result.bytes_down[i] = static_cast<double>(down.size());
   }
+  result.broadcast_frame = std::move(down);
   result.frozen_fraction = excluded_.fraction();
   return result;
 }

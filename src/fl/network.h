@@ -1,30 +1,12 @@
-// Edge network model.
-//
-// The paper's testbed gives every client 9 Mbps download / 3 Mbps upload
-// (global-average Internet conditions) and the server 10 Gbps. Round time in
-// the simulator is the BSP barrier: the slowest client's compute plus its
-// two transfers. The server link is shared: with many clients pushing
-// simultaneously, the server-side time is total bytes over server bandwidth,
-// and the barrier takes whichever side is slower.
+// NetworkModel moved to the transport module (it prices the frames the
+// message bus carries); this shim keeps the historical apf::fl spelling
+// working for configs, tests and benches.
 #pragma once
 
-#include <cstddef>
+#include "transport/network.h"
 
 namespace apf::fl {
 
-struct NetworkModel {
-  double client_download_mbps = 9.0;
-  double client_upload_mbps = 3.0;
-  double server_bandwidth_mbps = 10000.0;
-
-  /// Seconds for one client to download `bytes`.
-  double client_download_seconds(double bytes) const;
-
-  /// Seconds for one client to upload `bytes`.
-  double client_upload_seconds(double bytes) const;
-
-  /// Seconds for the server to move `total_bytes` across its link.
-  double server_seconds(double total_bytes) const;
-};
+using NetworkModel = transport::NetworkModel;
 
 }  // namespace apf::fl

@@ -10,6 +10,9 @@
 #include "nn/param_vector.h"
 #include "optim/clip.h"
 #include "optim/fedprox.h"
+#include "transport/bus.h"
+#include "transport/frame.h"
+#include "transport/streaming.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -53,6 +56,7 @@ FederatedRunner::FederatedRunner(FlConfig config, const data::Dataset& train,
       model_factory_(std::move(model_factory)),
       optimizer_factory_(std::move(optimizer_factory)),
       strategy_(strategy) {
+  APF_CHECK_MSG(config_.num_clients > 0, "FlConfig::num_clients must be > 0");
   APF_CHECK_MSG(partition_.size() == config_.num_clients,
                 "partition size " << partition_.size() << " != clients "
                                   << config_.num_clients);
@@ -61,6 +65,9 @@ FederatedRunner::FederatedRunner(FlConfig config, const data::Dataset& train,
             config_.workload_fraction.size() == config_.num_clients);
   APF_CHECK(config_.participation_fraction > 0.0 &&
             config_.participation_fraction <= 1.0);
+  // Reject a broken network model here, with config context, instead of
+  // letting the first transfer_seconds() call trip mid-round (issue #7).
+  config_.network.validate("FlConfig::network");
   APF_CHECK(config_.grad_clip_norm >= 0.0);
 }
 
@@ -140,6 +147,11 @@ SimulationResult FederatedRunner::run() {
       buffer_dim > 0 ? nn::flatten_buffers(*clients[0].model)
                      : std::vector<float>{};
 
+  // All round traffic travels as framed messages over the in-process bus
+  // (docs/TRANSPORT.md); per-link byte totals priced once per direction keep
+  // the timing bit-identical to the pre-bus accounting.
+  transport::Bus bus(config_.network);
+
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
     if (lr_schedule_ != nullptr) {
       const double lr = lr_schedule_->lr(round - 1);
@@ -213,6 +225,10 @@ SimulationResult FederatedRunner::run() {
     for (std::size_t i = 0; i < n; ++i) {
       if (participates[i]) active.push_back(i);
     }
+    // The participant draw clamps to >= 1, so an empty round is a logic bug:
+    // it would train nothing and then divide by zero participants below.
+    APF_CHECK_MSG(!active.empty(),
+                  "round " << round << " selected zero participants");
     pool.parallel_for(active.size(), [&](std::size_t slot) {
       const std::size_t i = active[slot];
       train_client(i, client_loss[i], client_iters[i]);
@@ -242,7 +258,7 @@ SimulationResult FederatedRunner::run() {
                        ? 0.0
                        : static_cast<double>(partition_[i].size());
     }
-    const SyncStrategy::Result sync =
+    SyncStrategy::Result sync =
         strategy_.synchronize(round, client_params, weights);
     APF_CHECK(sync.bytes_up.size() == n && sync.bytes_down.size() == n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -250,55 +266,119 @@ SimulationResult FederatedRunner::run() {
       // Non-participants keep their stale local state untouched.
     }
 
-    // BatchNorm-style buffers: full-precision average over participants
-    // every round (not trainable, so APF does not manage them). Each
-    // participant's buffer vector travels as a real dense wire frame; the
-    // server averages the decoded values and broadcasts the result the same
-    // way, so the charge is the measured frame size in each direction.
-    double buffer_bytes = 0.0;
-    if (buffer_dim > 0) {
-      std::vector<double> buf_acc(buffer_dim, 0.0);
-      std::size_t buf_sources = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!participates[i]) continue;
-        const std::vector<std::uint8_t> up_buf =
-            wire::encode_dense(nn::flatten_buffers(*clients[i].model));
-        const std::vector<float> decoded = wire::decode_dense(up_buf);
-        buffer_bytes = static_cast<double>(up_buf.size());
-        for (std::size_t j = 0; j < buffer_dim; ++j) buf_acc[j] += decoded[j];
-        ++buf_sources;
-      }
-      APF_CHECK(buf_sources > 0);
-      for (std::size_t j = 0; j < buffer_dim; ++j) {
-        global_buffers[j] =
-            static_cast<float>(buf_acc[j] / static_cast<double>(buf_sources));
-      }
-      const std::vector<std::uint8_t> down_buf =
-          wire::encode_dense(global_buffers);
-      const std::vector<float> decoded_down = wire::decode_dense(down_buf);
-      // Dense frames are symmetric, so one scalar covers both directions.
-      APF_CHECK(buffer_bytes == static_cast<double>(down_buf.size()));
-      for (std::size_t i = 0; i < n; ++i) {
-        if (participates[i]) {
-          nn::load_buffers(*clients[i].model, decoded_down);
+    // ---- Transport phase: every byte of round traffic rides the bus ----
+    // The strategy already folded the pushes (its synchronize() is the batch
+    // driver over the StreamSync hooks where available), so here the runner
+    // routes the actual frames: captured strategy buffers when the strategy
+    // provides them, placeholder frames of the declared sizes otherwise, so
+    // byte accounting is identical either way. BatchNorm buffers genuinely
+    // aggregate on the server side of the bus: aux push frames fold into a
+    // streaming mean in ascending client order and the result broadcasts
+    // back as one aux frame per participant.
+    bus.begin_round(static_cast<std::uint32_t>(round));
+    APF_CHECK_MSG(
+        sync.frames_up.empty() || sync.frames_up.size() == n,
+        strategy_.name() << " captured " << sync.frames_up.size()
+                         << " push frames for " << n << " clients");
+    const bool captured = sync.frames_up.size() == n;
+    auto placeholder_frame = [&](double declared,
+                                 const char* dir) -> std::vector<std::uint8_t> {
+      APF_CHECK_MSG(std::isfinite(declared) && declared >= 0.0 &&
+                        declared == std::floor(declared),
+                    strategy_.name() << " declared non-integral " << dir
+                                     << " byte count " << declared);
+      return std::vector<std::uint8_t>(static_cast<std::size_t>(declared), 0);
+    };
+    for (std::size_t i : active) {
+      if (captured) {
+        APF_CHECK_MSG(
+            static_cast<double>(sync.frames_up[i].size()) == sync.bytes_up[i],
+            strategy_.name() << " client " << i << " push frame size "
+                             << sync.frames_up[i].size() << " != declared "
+                             << sync.bytes_up[i]);
+        if (!sync.frames_up[i].empty()) {
+          bus.push(i, transport::Frame::Kind::kStrategy,
+                   std::move(sync.frames_up[i]));
         }
+      } else if (sync.bytes_up[i] > 0.0) {
+        bus.push(i, transport::Frame::Kind::kStrategy,
+                 placeholder_frame(sync.bytes_up[i], "upload"));
+      }
+      if (buffer_dim > 0) {
+        bus.push(i, transport::Frame::Kind::kAuxiliary,
+                 wire::encode_dense(nn::flatten_buffers(*clients[i].model)));
+      }
+    }
+
+    // Server side: drain the inboxes in deterministic (client, seq) order,
+    // folding aux frames into the buffer mean as they stream past. Peak
+    // server memory stays O(model): one streaming accumulator, never a
+    // per-client staging table.
+    double buffer_bytes = 0.0;
+    {
+      transport::StreamingAggregator buf_agg(buffer_dim);
+      for (transport::Frame& frame : bus.take_pushes()) {
+        if (frame.kind != transport::Frame::Kind::kAuxiliary) continue;
+        const std::vector<float> decoded = wire::decode_dense(frame.payload);
+        buffer_bytes = static_cast<double>(frame.payload.size());
+        buf_agg.fold(frame.client, decoded, 1.0);
+      }
+      if (buffer_dim > 0) {
+        APF_CHECK(buf_agg.folded() > 0);
+        buf_agg.finish_mean(global_buffers);
+      }
+    }
+    std::vector<std::uint8_t> buffer_down;
+    if (buffer_dim > 0) {
+      buffer_down = wire::encode_dense(global_buffers);
+      // Dense frames are symmetric, so one scalar covers both directions.
+      APF_CHECK(buffer_bytes == static_cast<double>(buffer_down.size()));
+    }
+
+    // Pull direction: the strategy's pull frame (per-client when it ships
+    // distinct payloads, the shared broadcast otherwise) plus the buffer
+    // broadcast, delivered per participant and drained from each mailbox.
+    const bool per_client_down = captured && sync.frames_down.size() == n;
+    for (std::size_t i : active) {
+      std::vector<std::uint8_t> down;
+      if (per_client_down && !sync.frames_down[i].empty()) {
+        down = std::move(sync.frames_down[i]);
+      } else if (captured && !sync.broadcast_frame.empty() &&
+                 sync.bytes_down[i] > 0.0) {
+        down = sync.broadcast_frame;  // one copy per receiving client
+      } else if (sync.bytes_down[i] > 0.0) {
+        down = placeholder_frame(sync.bytes_down[i], "download");
+      }
+      if (!down.empty()) {
+        APF_CHECK_MSG(
+            static_cast<double>(down.size()) == sync.bytes_down[i],
+            strategy_.name() << " client " << i << " pull frame size "
+                             << down.size() << " != declared "
+                             << sync.bytes_down[i]);
+        bus.deliver(i, transport::Frame::Kind::kStrategy, std::move(down));
+      }
+      if (buffer_dim > 0) {
+        bus.deliver(i, transport::Frame::Kind::kAuxiliary, buffer_down);
+      }
+    }
+    for (std::size_t i : active) {
+      for (transport::Frame& frame : bus.take_pulls(i)) {
+        if (frame.kind == transport::Frame::Kind::kAuxiliary) {
+          nn::load_buffers(*clients[i].model,
+                           wire::decode_dense(frame.payload));
+        }
+        // Strategy pull frames were already applied by synchronize() (the
+        // batch driver runs apply_pull itself); the bus leg is the wire.
       }
     }
 
     // Byte and time accounting: BSP barrier = slowest participant, and the
-    // server link carries everyone's traffic.
-    double max_client_comm_seconds = 0.0;
-    double total_bytes_all_clients = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!participates[i]) continue;
-      const double up = sync.bytes_up[i] + buffer_bytes;
-      const double down = sync.bytes_down[i] + buffer_bytes;
-      total_bytes_all_clients += up + down;
-      max_client_comm_seconds =
-          std::max(max_client_comm_seconds,
-                   config_.network.client_upload_seconds(up) +
-                       config_.network.client_download_seconds(down));
-    }
+    // server link carries everyone's traffic. The bus prices each link's
+    // byte totals once per direction, reproducing the pre-bus arithmetic
+    // bit for bit.
+    const transport::RoundStats net = bus.finish_round();
+    const double max_client_comm_seconds = net.max_client_comm_seconds;
+    const double total_bytes_all_clients = net.total_bytes;
     // bytes_per_client amortizes the round's traffic over ALL n clients
     // (non-participants contribute zero traffic but stay in the
     // denominator); bytes_per_participant divides by participants only. See

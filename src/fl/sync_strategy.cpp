@@ -66,33 +66,72 @@ void SyncStrategyBase::weighted_average(
 }
 
 SyncStrategy::Result FullSync::synchronize(
-    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+    std::size_t round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
+  // Everything is validated before any state moves (rejection stays
+  // atomic); after this, none of the stream hooks below can throw.
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
+  double weight_total = 0.0;
+  for (const double w : weights) weight_total += w;
   Result result;
   result.bytes_up.assign(n, 0.0);
   result.bytes_down.assign(n, 0.0);
-  // Push: every client uploads its full model as a dense wire buffer; the
-  // server aggregates the decoded values (fp32 round-trips bit-exactly).
-  std::vector<std::vector<float>> uploads(n);
+  result.frames_up.resize(n);
+  // Push: every client uploads its full model as a dense wire buffer; each
+  // decoded frame folds straight into the streaming aggregate (fp32
+  // round-trips bit-exactly), so the server never stages per-client copies.
+  begin_fold(round);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::vector<std::uint8_t> buf = wire::encode_dense(client_params[i]);
-    uploads[i] = wire::decode_dense(buf);
+    std::vector<std::uint8_t> buf = encode_push(i, client_params[i]);
     result.bytes_up[i] = static_cast<double>(buf.size());
+    if (weights[i] > 0.0) fold_push(i, buf, weights[i] / weight_total);
+    result.frames_up[i] = std::move(buf);
   }
-  // Average into a local first: passing global_ as the output would zero it
-  // before weighted_average's own checks run, making a rejection non-atomic.
-  std::vector<float> new_global;
-  weighted_average(uploads, weights, new_global);
-  global_ = std::move(new_global);
   // Pull: one dense model buffer, decoded by every client.
-  const std::vector<std::uint8_t> down = wire::encode_dense(global_);
+  std::vector<std::uint8_t> down = finish_fold();
   for (std::size_t i = 0; i < n; ++i) {
-    client_params[i] = wire::decode_dense(down);
+    apply_pull(down, client_params[i]);
     result.bytes_down[i] = static_cast<double>(down.size());
   }
+  result.broadcast_frame = std::move(down);
   return result;
+}
+
+std::vector<std::uint8_t> FullSync::encode_push(std::uint64_t /*client*/,
+                                                std::span<const float> params) {
+  APF_CHECK_MSG(!global_.empty(), "encode_push before init()");
+  APF_CHECK(params.size() == global_.size());
+  return wire::encode_dense(params);
+}
+
+void FullSync::begin_fold(std::size_t /*round*/) {
+  APF_CHECK_MSG(!global_.empty(), "begin_fold before init()");
+  agg_.emplace(global_.size());
+}
+
+void FullSync::fold_push(std::uint64_t client,
+                         std::span<const std::uint8_t> frame,
+                         double normalized_weight) {
+  APF_CHECK_MSG(agg_.has_value(), "fold_push before begin_fold()");
+  const std::vector<float> values = wire::decode_dense(frame);
+  agg_->fold(client, values, normalized_weight);
+}
+
+std::vector<std::uint8_t> FullSync::finish_fold() {
+  APF_CHECK_MSG(agg_.has_value(), "finish_fold before begin_fold()");
+  APF_CHECK_MSG(agg_->folded() > 0, "finish_fold with no folded pushes");
+  std::vector<float> new_global(global_.size());
+  agg_->finish_weighted(new_global);
+  global_ = std::move(new_global);
+  agg_.reset();
+  return wire::encode_dense(global_);
+}
+
+void FullSync::apply_pull(std::span<const std::uint8_t> frame,
+                          std::vector<float>& params) const {
+  params = wire::decode_dense(frame);
+  APF_CHECK(params.size() == global_.size());
 }
 
 }  // namespace apf::fl

@@ -9,13 +9,56 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "transport/streaming.h"
 #include "util/bitmap.h"
 
 namespace apf::fl {
+
+/// Optional frame-streaming capability (see docs/TRANSPORT.md).
+///
+/// A strategy that implements StreamSync exposes its round as five transport
+/// hooks so a driver can run it over a message bus without ever staging
+/// per-client vectors on the server: encode each client's push frame, fold
+/// arriving frames one at a time (strictly ascending client id — that order
+/// IS the determinism guarantee), finish into the broadcast pull frame, and
+/// rebuild a client from it. synchronize() on such a strategy is just the
+/// batch driver over these hooks, so both paths are bit-identical by
+/// construction.
+class StreamSync {
+ public:
+  virtual ~StreamSync() = default;
+
+  /// Client side: the push frame for `client` given its post-training
+  /// parameters. Valid any time between rounds (the round's mask/state is
+  /// whatever the last finish_fold() left behind).
+  virtual std::vector<std::uint8_t> encode_push(
+      std::uint64_t client, std::span<const float> params) = 0;
+
+  /// Server side: arms the fold for `round` (1-based).
+  virtual void begin_fold(std::size_t round) = 0;
+
+  /// Server side: folds one arriving push frame. `normalized_weight` is the
+  /// client's aggregation weight divided by the round's weight total.
+  /// Clients must fold in strictly ascending id order.
+  virtual void fold_push(std::uint64_t client,
+                         std::span<const std::uint8_t> frame,
+                         double normalized_weight) = 0;
+
+  /// Server side: commits the fold into the global model, advances any
+  /// per-round strategy state, and returns the broadcast pull frame.
+  virtual std::vector<std::uint8_t> finish_fold() = 0;
+
+  /// Client side: rebuilds `params` from the pull frame returned by the
+  /// round's finish_fold().
+  virtual void apply_pull(std::span<const std::uint8_t> frame,
+                          std::vector<float>& params) const = 0;
+};
 
 class SyncStrategy {
  public:
@@ -26,6 +69,19 @@ class SyncStrategy {
     std::vector<double> bytes_up;    // per client, this round
     std::vector<double> bytes_down;  // per client, this round
     double frozen_fraction = 0.0;    // of scalars excluded from sync
+
+    // -- captured transport frames ----------------------------------------
+    // A strategy that captures its traffic fills frames_up with exactly one
+    // entry per client (empty payload = that client sent nothing) and
+    // either broadcast_frame (one shared pull payload) or frames_down (a
+    // distinct pull per client). The runner routes captured frames through
+    // the transport bus and APF_CHECKs every payload size against the
+    // declared byte counts; when frames_up is empty (a third-party strategy
+    // that only reports sizes) it synthesizes placeholder frames of the
+    // declared sizes instead, so byte accounting is unchanged either way.
+    std::vector<std::vector<std::uint8_t>> frames_up;
+    std::vector<std::vector<std::uint8_t>> frames_down;
+    std::vector<std::uint8_t> broadcast_frame;
   };
 
   /// Called once before the first round with the initial global model.
@@ -51,6 +107,10 @@ class SyncStrategy {
   /// Values frozen parameters are pinned to (valid when frozen_mask() is
   /// non-null; same layout as the flat parameter vector).
   virtual std::span<const float> frozen_anchor() const { return {}; }
+
+  /// The strategy's streaming capability, or nullptr when it only supports
+  /// the batch synchronize() path.
+  virtual StreamSync* stream_sync() { return nullptr; }
 
   virtual std::string name() const = 0;
 };
@@ -84,14 +144,29 @@ class SyncStrategyBase : public SyncStrategy {
   std::size_t num_clients_ = 0;
 };
 
-/// Vanilla FedAvg: full model both directions every round.
-class FullSync : public SyncStrategyBase {
+/// Vanilla FedAvg: full model both directions every round. Implements
+/// StreamSync — synchronize() is the batch driver over the stream hooks, so
+/// the bus path and the in-memory path are one code path.
+class FullSync : public SyncStrategyBase, public StreamSync {
  public:
   Result synchronize(std::size_t round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
 
+  StreamSync* stream_sync() override { return this; }
+  std::vector<std::uint8_t> encode_push(
+      std::uint64_t client, std::span<const float> params) override;
+  void begin_fold(std::size_t round) override;
+  void fold_push(std::uint64_t client, std::span<const std::uint8_t> frame,
+                 double normalized_weight) override;
+  std::vector<std::uint8_t> finish_fold() override;
+  void apply_pull(std::span<const std::uint8_t> frame,
+                  std::vector<float>& params) const override;
+
   std::string name() const override { return "FedAvg"; }
+
+ private:
+  std::optional<transport::StreamingAggregator> agg_;
 };
 
 }  // namespace apf::fl

@@ -1,0 +1,146 @@
+#include "transport/bus.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace apf::transport {
+
+Bus::Bus(NetworkModel network, std::size_t shard_count)
+    : network_(network), links_(shard_count) {
+  network_.validate("transport::Bus");
+}
+
+void Bus::begin_round(std::uint32_t round) {
+  APF_CHECK_MSG(!in_round_, "begin_round while round " << round_
+                                                       << " is still open");
+  APF_CHECK(round > 0);
+  round_ = round;
+  in_round_ = true;
+}
+
+std::uint64_t Bus::push(std::uint64_t client, Frame::Kind kind,
+                        std::vector<std::uint8_t> payload) {
+  APF_CHECK_MSG(in_round_, "push outside begin_round/finish_round");
+  LinkState& link = links_.obtain(client);
+  Frame frame;
+  frame.client = client;
+  frame.round = round_;
+  frame.kind = kind;
+  frame.seq = link.next_seq++;
+  const std::uint64_t seq = frame.seq;
+  const std::size_t bytes = payload.size();
+  frame.payload = std::move(payload);
+  link.up_bytes += bytes;
+  ++link.up_frames;
+  link.inbox.push_back(std::move(frame));
+  note_queued(bytes);
+  return seq;
+}
+
+std::uint64_t Bus::deliver(std::uint64_t client, Frame::Kind kind,
+                           std::vector<std::uint8_t> payload) {
+  APF_CHECK_MSG(in_round_, "deliver outside begin_round/finish_round");
+  LinkState& link = links_.obtain(client);
+  Frame frame;
+  frame.client = client;
+  frame.round = round_;
+  frame.kind = kind;
+  frame.seq = link.next_seq++;
+  const std::uint64_t seq = frame.seq;
+  const std::size_t bytes = payload.size();
+  frame.payload = std::move(payload);
+  link.down_bytes += bytes;
+  ++link.down_frames;
+  link.mailbox.push_back(std::move(frame));
+  note_queued(bytes);
+  return seq;
+}
+
+std::vector<Frame> Bus::take_pushes() {
+  APF_CHECK_MSG(in_round_, "take_pushes outside begin_round/finish_round");
+  std::vector<Frame> out;
+  links_.for_each_ordered([&](std::uint64_t /*id*/, LinkState& link) {
+    for (Frame& frame : link.inbox) {
+      note_taken(frame.size_bytes());
+      out.push_back(std::move(frame));
+    }
+    link.inbox.clear();
+  });
+  return out;
+}
+
+std::vector<Frame> Bus::take_pulls(std::uint64_t client) {
+  APF_CHECK_MSG(in_round_, "take_pulls outside begin_round/finish_round");
+  std::vector<Frame> out;
+  LinkState* link = links_.find(client);
+  if (link == nullptr) return out;
+  for (Frame& frame : link->mailbox) {
+    note_taken(frame.size_bytes());
+    out.push_back(std::move(frame));
+  }
+  link->mailbox.clear();
+  return out;
+}
+
+std::uint64_t Bus::link_up_bytes(std::uint64_t client) const {
+  const LinkState* link = links_.find(client);
+  return link == nullptr ? 0 : link->up_bytes;
+}
+
+std::uint64_t Bus::link_down_bytes(std::uint64_t client) const {
+  const LinkState* link = links_.find(client);
+  return link == nullptr ? 0 : link->down_bytes;
+}
+
+RoundStats Bus::finish_round() {
+  APF_CHECK_MSG(in_round_, "finish_round without begin_round");
+  RoundStats stats;
+  stats.round = round_;
+  // Ascending client id: the same order (and therefore the same double
+  // addition sequence) the pre-bus runner used, so the totals are
+  // bit-identical to the legacy in-memory accounting.
+  links_.for_each_ordered([&](std::uint64_t id, LinkState& link) {
+    APF_CHECK_MSG(link.inbox.empty(),
+                  "round " << round_ << ": client " << id << " pushed "
+                           << link.inbox.size()
+                           << " frame(s) the server never took");
+    APF_CHECK_MSG(link.mailbox.empty(),
+                  "round " << round_ << ": client " << id << " never took "
+                           << link.mailbox.size()
+                           << " delivered frame(s)");
+    const double up = static_cast<double>(link.up_bytes);
+    const double down = static_cast<double>(link.down_bytes);
+    stats.total_bytes += up + down;
+    stats.frames_up += link.up_frames;
+    stats.frames_down += link.down_frames;
+    double comm = network_.client_upload_seconds(up) +
+                  network_.client_download_seconds(down);
+    if (network_.frame_latency_seconds > 0.0) {
+      comm += network_.frame_latency_seconds *
+              static_cast<double>(link.up_frames + link.down_frames);
+    }
+    stats.max_client_comm_seconds =
+        std::max(stats.max_client_comm_seconds, comm);
+    ++stats.active_links;
+  });
+  stats.server_seconds = network_.server_seconds(stats.total_bytes);
+  in_round_ = false;
+  links_.clear();
+  return stats;
+}
+
+void Bus::note_queued(std::size_t bytes) {
+  const std::size_t now =
+      queued_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = peak_queued_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_queued_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Bus::note_taken(std::size_t bytes) {
+  queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace apf::transport

@@ -1,0 +1,123 @@
+// In-process message bus: per-link framed channels between clients and the
+// server, priced by NetworkModel.
+//
+// One Bus instance models the star topology of a federated round: every
+// client has its own link, a push travels client -> server and a delivery
+// travels server -> client. Payloads are the REAL encoded wire buffers
+// (docs/WIRE.md); the bus counts their measured sizes and never models a
+// byte. Lifecycle per round (docs/TRANSPORT.md):
+//
+//   begin_round(r)
+//     clients:  push(id, kind, payload)          [concurrent, distinct links]
+//     server:   take_pushes() -> frames sorted by (client, seq)
+//     server:   deliver(id, kind, payload)
+//     clients:  take_pulls(id) -> that link's frames in send order
+//   finish_round() -> RoundStats
+//
+// finish_round() checks every frame was consumed (an undelivered frame is a
+// routing bug, not traffic), prices each link with the legacy per-round
+// arithmetic — upload_seconds(sum of up bytes) + download_seconds(sum of
+// down bytes), plus frame_latency_seconds per frame when configured — and
+// resets the per-round link state, so bus memory is O(links active this
+// round), not O(client universe).
+//
+// Thread safety: push/deliver/take_pulls may run concurrently for DISTINCT
+// clients (per-link state lives in a ShardedClientStore; see its contract);
+// a single link has a single logical owner on each side. begin_round /
+// take_pushes / finish_round belong to the server coordinator thread and
+// must not overlap client calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "transport/client_store.h"
+#include "transport/frame.h"
+#include "transport/network.h"
+
+namespace apf::transport {
+
+/// Measured traffic of one round, priced by the NetworkModel.
+struct RoundStats {
+  std::uint32_t round = 0;
+  std::size_t active_links = 0;  // links that carried at least one frame
+  std::uint64_t frames_up = 0;
+  std::uint64_t frames_down = 0;
+  double total_bytes = 0.0;  // up + down across all links, ascending-id sum
+  /// BSP barrier: the slowest link's upload + download time.
+  double max_client_comm_seconds = 0.0;
+  /// Time for the shared server link to carry total_bytes.
+  double server_seconds = 0.0;
+};
+
+class Bus {
+ public:
+  explicit Bus(NetworkModel network, std::size_t shard_count = 16);
+
+  const NetworkModel& network() const { return network_; }
+
+  /// Arms the bus for round `round` (1-based).
+  void begin_round(std::uint32_t round);
+
+  /// Client -> server. The payload must be a real encoded wire buffer; its
+  /// size is the charge. Returns the frame's per-link sequence number.
+  std::uint64_t push(std::uint64_t client, Frame::Kind kind,
+                     std::vector<std::uint8_t> payload);
+
+  /// Server -> client. Same contract as push(), opposite direction.
+  std::uint64_t deliver(std::uint64_t client, Frame::Kind kind,
+                        std::vector<std::uint8_t> payload);
+
+  /// Server receive: drains every arrived push, sorted by (client id, send
+  /// sequence) — the deterministic fold order for streaming aggregation.
+  std::vector<Frame> take_pushes();
+
+  /// Client receive: drains `client`'s mailbox in send order.
+  std::vector<Frame> take_pulls(std::uint64_t client);
+
+  /// Per-link byte counters for the round in flight (0 for untouched links).
+  std::uint64_t link_up_bytes(std::uint64_t client) const;
+  std::uint64_t link_down_bytes(std::uint64_t client) const;
+
+  /// Payload bytes currently queued (pushed or delivered, not yet taken).
+  std::size_t queued_bytes() const {
+    return queued_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of queued_bytes() since construction — the figure the
+  /// million-client bench asserts is O(in-flight window), independent of the
+  /// client universe.
+  std::size_t peak_queued_bytes() const {
+    return peak_queued_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Closes the round: every frame must have been taken. Prices each link in
+  /// ascending client id order and resets all per-round link state.
+  RoundStats finish_round();
+
+ private:
+  struct LinkState {
+    std::uint64_t next_seq = 0;
+    std::uint64_t up_bytes = 0;
+    std::uint64_t down_bytes = 0;
+    std::uint64_t up_frames = 0;
+    std::uint64_t down_frames = 0;
+    std::vector<Frame> inbox;    // server-bound, awaiting take_pushes()
+    std::vector<Frame> mailbox;  // client-bound, awaiting take_pulls()
+  };
+
+  void note_queued(std::size_t bytes);
+  void note_taken(std::size_t bytes);
+
+  NetworkModel network_;
+  // Round lifecycle state; owned by the server coordinator thread (see the
+  // header comment), so it needs no lock.
+  std::uint32_t round_ = 0;
+  bool in_round_ = false;
+  ShardedClientStore<LinkState> links_;
+  std::atomic<std::size_t> queued_bytes_{0};
+  std::atomic<std::size_t> peak_queued_bytes_{0};
+};
+
+}  // namespace apf::transport

@@ -1,0 +1,134 @@
+// Sharded per-client state store.
+//
+// A million-client round must not allocate per-client state for clients that
+// never participate: entries here are created lazily on first touch and keyed
+// by client id, so memory is O(clients ever touched), not O(client universe).
+// The id space is hashed over a fixed set of shards, each guarded by its own
+// mutex, so concurrent lanes touching different clients rarely contend.
+//
+// Concurrency contract: obtain()/find() serialize only the map operation.
+// The returned reference is stable until clear() (std::map nodes do not
+// move), and DISTINCT clients may be used concurrently, but callers must not
+// mutate the SAME client's entry from two threads — per-link state has a
+// single owner by construction (one logical sender per link).
+//
+// Iteration (sorted_ids / for_each_ordered) visits entries in ascending
+// client id, which is the deterministic fold order the streaming aggregation
+// layer relies on (docs/TRANSPORT.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace apf::transport {
+
+template <typename T>
+class ShardedClientStore {
+ public:
+  explicit ShardedClientStore(std::size_t shard_count = 16) {
+    APF_CHECK(shard_count > 0);
+    shards_.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  /// Returns the entry for `client`, default-constructing it if absent.
+  /// The reference stays valid until clear().
+  T& obtain(std::uint64_t client) {
+    Shard& shard = shard_for(client);
+    util::MutexLock lock(shard.mu);
+    return shard.entries[client];
+  }
+
+  /// Returns the entry for `client`, or nullptr if it was never touched.
+  T* find(std::uint64_t client) {
+    Shard& shard = shard_for(client);
+    util::MutexLock lock(shard.mu);
+    auto it = shard.entries.find(client);
+    return it == shard.entries.end() ? nullptr : &it->second;
+  }
+
+  const T* find(std::uint64_t client) const {
+    const Shard& shard = shard_for(client);
+    util::MutexLock lock(shard.mu);
+    auto it = shard.entries.find(client);
+    return it == shard.entries.end() ? nullptr : &it->second;
+  }
+
+  /// Total entries across all shards.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      util::MutexLock lock(shard->mu);
+      total += shard->entries.size();
+    }
+    return total;
+  }
+
+  /// Every touched client id, ascending.
+  std::vector<std::uint64_t> sorted_ids() const {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(size());
+    for (const auto& shard : shards_) {
+      util::MutexLock lock(shard->mu);
+      for (const auto& [id, entry] : shard->entries) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Visits every entry in ascending client id order. `fn(id, entry)` runs
+  /// without the shard lock held (the reference is stable); must not be
+  /// interleaved with concurrent obtain()/clear().
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) {
+    for (const std::uint64_t id : sorted_ids()) {
+      T* entry = find(id);
+      if (entry != nullptr) fn(id, *entry);
+    }
+  }
+
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) const {
+    for (const std::uint64_t id : sorted_ids()) {
+      const T* entry = find(id);
+      if (entry != nullptr) fn(id, *entry);
+    }
+  }
+
+  /// Drops every entry (all outstanding references become dangling).
+  void clear() {
+    for (auto& shard : shards_) {
+      util::MutexLock lock(shard->mu);
+      shard->entries.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable util::Mutex mu;
+    std::map<std::uint64_t, T> entries APF_GUARDED_BY(mu);
+  };
+
+  Shard& shard_for(std::uint64_t client) {
+    std::uint64_t state = client;
+    return *shards_[splitmix64(state) % shards_.size()];
+  }
+  const Shard& shard_for(std::uint64_t client) const {
+    std::uint64_t state = client;
+    return *shards_[splitmix64(state) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace apf::transport

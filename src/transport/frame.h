@@ -1,0 +1,33 @@
+// A framed message on the transport bus.
+//
+// A frame is the unit the bus carries in either direction: an opaque encoded
+// wire buffer (APS1/APM1/APQ1/... — see docs/WIRE.md) tagged with the link it
+// travels on, the round it belongs to, and a per-link send sequence number.
+// The bus never inspects payloads; byte accounting is always the measured
+// payload size, never a modeled estimate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apf::transport {
+
+struct Frame {
+  /// What the payload carries. The bus treats both identically; the tag lets
+  /// the receiver dispatch without sniffing the wire magic.
+  enum class Kind : std::uint8_t {
+    kStrategy = 0,   // a SyncStrategy push/pull payload
+    kAuxiliary = 1,  // auxiliary state (e.g. BatchNorm buffer vectors)
+  };
+
+  std::uint64_t client = 0;  // the link (client id) this frame travels on
+  std::uint32_t round = 0;   // 1-based communication round
+  Kind kind = Kind::kStrategy;
+  std::uint64_t seq = 0;     // per-link send order, assigned by the bus
+  std::vector<std::uint8_t> payload;
+
+  std::size_t size_bytes() const { return payload.size(); }
+};
+
+}  // namespace apf::transport

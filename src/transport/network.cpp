@@ -1,0 +1,47 @@
+#include "transport/network.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::transport {
+
+namespace {
+double seconds(double bytes, double mbps) {
+  APF_CHECK(mbps > 0.0);
+  return bytes * 8.0 / (mbps * 1e6);
+}
+}  // namespace
+
+void NetworkModel::validate(const std::string& context) const {
+  const auto require_bandwidth = [&](double mbps, const char* field) {
+    APF_CHECK_MSG(std::isfinite(mbps) && mbps > 0.0,
+                  context << ": NetworkModel::" << field
+                          << " must be a finite positive Mbps value, got "
+                          << mbps);
+  };
+  require_bandwidth(client_download_mbps, "client_download_mbps");
+  require_bandwidth(client_upload_mbps, "client_upload_mbps");
+  require_bandwidth(server_bandwidth_mbps, "server_bandwidth_mbps");
+  APF_CHECK_MSG(
+      std::isfinite(frame_latency_seconds) && frame_latency_seconds >= 0.0,
+      context << ": NetworkModel::frame_latency_seconds must be finite and "
+              << ">= 0, got " << frame_latency_seconds);
+}
+
+double NetworkModel::client_download_seconds(double bytes) const {
+  APF_CHECK(bytes >= 0.0);
+  return seconds(bytes, client_download_mbps);
+}
+
+double NetworkModel::client_upload_seconds(double bytes) const {
+  APF_CHECK(bytes >= 0.0);
+  return seconds(bytes, client_upload_mbps);
+}
+
+double NetworkModel::server_seconds(double total_bytes) const {
+  APF_CHECK(total_bytes >= 0.0);
+  return seconds(total_bytes, server_bandwidth_mbps);
+}
+
+}  // namespace apf::transport

@@ -1,0 +1,58 @@
+#include "transport/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::transport {
+
+StreamingAggregator::StreamingAggregator(std::size_t dim) : acc_(dim, 0.0) {}
+
+void StreamingAggregator::reset() {
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  folded_ = 0;
+  last_client_ = 0;
+}
+
+void StreamingAggregator::fold(std::uint64_t client,
+                               std::span<const float> values, double weight) {
+  APF_CHECK_MSG(values.size() == acc_.size(),
+                "streaming fold payload dim " << values.size()
+                                              << " != aggregator dim "
+                                              << acc_.size());
+  APF_CHECK_MSG(std::isfinite(weight) && weight >= 0.0,
+                "streaming fold weight must be finite and >= 0, got "
+                    << weight);
+  APF_CHECK_MSG(folded_ == 0 || client > last_client_,
+                "streaming fold out of order: client "
+                    << client << " after client " << last_client_
+                    << " (folds must arrive in ascending client id)");
+  last_client_ = client;
+  ++folded_;
+  for (std::size_t j = 0; j < acc_.size(); ++j) {
+    acc_[j] += weight * static_cast<double>(values[j]);
+  }
+}
+
+void StreamingAggregator::finish_weighted(std::span<float> out) const {
+  APF_CHECK(out.size() == acc_.size());
+  for (std::size_t j = 0; j < acc_.size(); ++j) {
+    out[j] = static_cast<float>(acc_[j]);
+  }
+}
+
+void StreamingAggregator::finish_mean(std::span<float> out) const {
+  APF_CHECK(out.size() == acc_.size());
+  APF_CHECK_MSG(folded_ > 0, "finish_mean with no folded contributions");
+  const double count = static_cast<double>(folded_);
+  for (std::size_t j = 0; j < acc_.size(); ++j) {
+    out[j] = static_cast<float>(acc_[j] / count);
+  }
+}
+
+std::size_t StreamingAggregator::memory_bytes() const {
+  return sizeof(*this) + acc_.capacity() * sizeof(double);
+}
+
+}  // namespace apf::transport

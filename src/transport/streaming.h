@@ -1,0 +1,56 @@
+// Streaming aggregation: fold decoded frames one at a time.
+//
+// The server never stages per-client uploads: each decoded payload folds
+// into a double accumulator the moment it arrives, so peak server memory is
+// O(model) regardless of fan-in. Determinism comes from fold ORDER, not
+// timing — callers must fold in strictly ascending client id (the order the
+// bus hands frames over in), which the aggregator enforces, so the result is
+// bit-identical for any worker count or arrival schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace apf::transport {
+
+class StreamingAggregator {
+ public:
+  /// An aggregator over payloads of `dim` scalars (may be 0, e.g. a fully
+  /// frozen APF round whose packed payload is empty).
+  explicit StreamingAggregator(std::size_t dim);
+
+  /// Forgets all folded contributions; keeps the dimension.
+  void reset();
+
+  /// Folds one client's decoded payload: acc[j] += weight * values[j].
+  /// `weight` is the client's (already normalized) aggregation weight.
+  /// Client ids must be folded in strictly ascending order — that IS the
+  /// determinism guarantee, so violations throw.
+  void fold(std::uint64_t client, std::span<const float> values,
+            double weight);
+
+  std::size_t dim() const { return acc_.size(); }
+  std::size_t folded() const { return folded_; }
+  std::span<const double> accumulated() const { return acc_; }
+
+  /// Writes float(acc[j]) over `out` — the weighted-sum finish used when the
+  /// folded weights were pre-normalized.
+  void finish_weighted(std::span<float> out) const;
+
+  /// Writes float(acc[j] / folded()) over `out` — the plain-mean finish used
+  /// for unweighted folds (weight 1.0 per client). Requires folded() > 0.
+  void finish_mean(std::span<float> out) const;
+
+  /// Resident bytes of the accumulator — the O(model) figure the
+  /// million-client bench asserts is independent of fan-in.
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<double> acc_;
+  std::size_t folded_ = 0;
+  std::uint64_t last_client_ = 0;
+};
+
+}  // namespace apf::transport

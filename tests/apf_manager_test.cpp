@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/apf_manager.h"
@@ -351,6 +352,59 @@ TEST(PermanentFreezeStrawman, FrozenForever) {
       EXPECT_EQ(strategy.global_params()[j], anchors[j]);
     }
   }
+}
+
+TEST(ApfManager, StreamHooksMatchBatchSynchronize) {
+  // Two identical managers, several rounds in: one runs the batch
+  // synchronize() driver, the other is driven through its StreamSync hooks
+  // (the transport-bus path). Both must produce the same pull frame, the
+  // same global model, and the same evolved mask — including across the
+  // stability check where the mask moves AFTER the pull frame is cut.
+  ApfOptions opt;
+  opt.check_every_rounds = 2;
+  opt.stability_threshold = 0.4;
+  ApfManager batch(opt), streamed(opt);
+  const std::size_t dim = 6, n = 2;
+  std::vector<float> init(dim, 0.f);
+  batch.init(init, n);
+  streamed.init(init, n);
+  fl::StreamSync* stream = streamed.stream_sync();
+  ASSERT_NE(stream, nullptr);
+
+  std::vector<std::vector<float>> batch_params(n, init);
+  std::vector<std::vector<float>> stream_params(n, init);
+  const std::vector<double> weights = {1.0, 2.0};
+  for (std::size_t k = 1; k <= 8; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        // Half oscillate, half drift; both replicas see identical values.
+        const float step = (j < dim / 2)
+                               ? ((k % 2 == 0) ? 0.5f : -0.5f)
+                               : 0.1f * static_cast<float>(j + i + 1);
+        batch_params[i][j] += step;
+        stream_params[i][j] = batch_params[i][j];
+      }
+    }
+    const auto result = batch.synchronize(k, batch_params, weights);
+
+    stream->begin_fold(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto frame = stream->encode_push(i, stream_params[i]);
+      EXPECT_EQ(static_cast<double>(frame.size()), result.bytes_up[i])
+          << "round " << k << " client " << i;
+      stream->fold_push(i, frame, weights[i] / 3.0);
+    }
+    const auto pull = stream->finish_fold();
+    EXPECT_EQ(pull, result.broadcast_frame) << "round " << k;
+    for (std::size_t i = 0; i < n; ++i) {
+      stream->apply_pull(pull, stream_params[i]);
+      EXPECT_EQ(stream_params[i], batch_params[i])
+          << "round " << k << " client " << i;
+    }
+  }
+  EXPECT_TRUE(std::equal(streamed.global_params().begin(),
+                         streamed.global_params().end(),
+                         batch.global_params().begin()));
 }
 
 TEST(PermanentFreezeStrawman, ReportsFrozenMaskForPinning) {

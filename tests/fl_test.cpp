@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "data/loader.h"
@@ -276,6 +278,163 @@ TEST(Runner, LearnsSeparableTask) {
       strategy);
   const auto result = runner.run();
   EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(FullSync, StreamHooksMatchBatchSynchronize) {
+  // Driving the StreamSync hooks by hand (the bus path) must land on the
+  // same global model and pull frame as the batch synchronize() driver.
+  Rng rng(21);
+  std::vector<float> init(17);
+  for (auto& v : init) v = rng.uniform_float(-0.5f, 0.5f);
+  std::vector<std::vector<float>> params(3, init);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (auto& v : params[i]) v += static_cast<float>(i) * 0.25f;
+  }
+
+  fl::FullSync batch;
+  batch.init(init, 3);
+  auto batch_params = params;
+  const auto result = batch.synchronize(1, batch_params, weights);
+
+  fl::FullSync streamed;
+  streamed.init(init, 3);
+  fl::StreamSync* stream = streamed.stream_sync();
+  ASSERT_NE(stream, nullptr);
+  const double weight_total = 1.0 + 0.0 + 3.0;
+  stream->begin_fold(1);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto frame = stream->encode_push(i, params[i]);
+    EXPECT_EQ(static_cast<double>(frame.size()), result.bytes_up[i]);
+    if (weights[i] > 0.0) stream->fold_push(i, frame, weights[i] / weight_total);
+  }
+  const auto pull = stream->finish_fold();
+  EXPECT_EQ(pull, result.broadcast_frame);
+  std::vector<float> rebuilt;
+  stream->apply_pull(pull, rebuilt);
+  EXPECT_EQ(rebuilt, batch_params[0]);
+  EXPECT_TRUE(std::equal(streamed.global_params().begin(),
+                         streamed.global_params().end(),
+                         batch.global_params().begin()));
+}
+
+TEST(Runner, SmallestParticipationClampsToOneClientWithFiniteBytes) {
+  // Issue #7: a participation fraction whose rounded subset would be zero
+  // must clamp to one participant, and the per-participant byte figure must
+  // be the exact measured traffic — never the NaN/Inf a zero-participant
+  // division would produce.
+  SyntheticImageDataset train(tiny_spec(), 80, 1);
+  SyntheticImageDataset test(tiny_spec(), 16, 2);
+  Rng prng(11);
+  auto partition = data::iid_partition(train.size(), 10, prng);
+
+  fl::FlConfig config;
+  config.num_clients = 10;
+  config.rounds = 2;
+  config.local_iters = 1;
+  config.batch_size = 8;
+  config.eval_every = 100;
+  config.participation_fraction = 0.01;  // 0.01 * 10 rounds to 0 -> clamp
+
+  auto factory = tiny_mlp_factory(64, 4);
+  fl::FullSync strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, factory,
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      strategy);
+  const auto result = runner.run();
+  const std::size_t dim = factory()->parameter_count();
+  const double frame = 8.0 + 4.0 * static_cast<double>(dim);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  for (const auto& r : result.rounds) {
+    EXPECT_EQ(r.participants, 1u);
+    EXPECT_TRUE(std::isfinite(r.bytes_per_participant));
+    // The lone participant ships one dense frame each way.
+    EXPECT_DOUBLE_EQ(r.bytes_per_participant, 2.0 * frame);
+    // Amortized over all 10 clients, the same traffic is a tenth of that.
+    EXPECT_DOUBLE_EQ(r.bytes_per_client, 2.0 * frame / 10.0);
+  }
+}
+
+TEST(Runner, RejectsNonPositiveBandwidthAtConstruction) {
+  // Issue #7: a zero/negative bandwidth must be rejected when the runner is
+  // built (with config context), not when the first transfer is priced
+  // mid-round. APF_CHECK fires in every build type.
+  SyntheticImageDataset train(tiny_spec(), 16, 1);
+  SyntheticImageDataset test(tiny_spec(), 8, 2);
+  Rng prng(12);
+  auto partition = data::iid_partition(train.size(), 2, prng);
+  auto opt_factory = [](nn::Module& m) {
+    return std::make_unique<optim::Sgd>(m.parameters(), 0.1);
+  };
+  fl::FullSync strategy;
+  for (double bad : {0.0, -9.0}) {
+    fl::FlConfig config;
+    config.num_clients = 2;
+    config.network.client_upload_mbps = bad;
+    EXPECT_THROW(fl::FederatedRunner(config, train, partition, test,
+                                     tiny_mlp_factory(64, 4), opt_factory,
+                                     strategy),
+                 Error);
+    config.network = fl::NetworkModel{};
+    config.network.client_download_mbps = bad;
+    EXPECT_THROW(fl::FederatedRunner(config, train, partition, test,
+                                     tiny_mlp_factory(64, 4), opt_factory,
+                                     strategy),
+                 Error);
+    config.network = fl::NetworkModel{};
+    config.network.server_bandwidth_mbps = bad;
+    EXPECT_THROW(fl::FederatedRunner(config, train, partition, test,
+                                     tiny_mlp_factory(64, 4), opt_factory,
+                                     strategy),
+                 Error);
+  }
+}
+
+// A strategy that only reports byte sizes (no captured frames): the runner
+// must synthesize placeholder frames so the bus totals match the declaration.
+class BytesOnlyStrategy : public fl::SyncStrategyBase {
+ public:
+  Result synchronize(std::size_t /*round*/,
+                     std::vector<std::vector<float>>& client_params,
+                     const std::vector<double>& weights) override {
+    require_round_inputs(client_params, weights);
+    weighted_average(client_params, weights, global_);
+    for (auto& p : client_params) p = global_;
+    Result result;
+    result.bytes_up.assign(client_params.size(), 123.0);
+    result.bytes_down.assign(client_params.size(), 45.0);
+    return result;  // frames_up left empty on purpose
+  }
+  std::string name() const override { return "BytesOnly"; }
+};
+
+TEST(Runner, PlaceholderFramesCarryDeclaredSizesForBytesOnlyStrategies) {
+  SyntheticImageDataset train(tiny_spec(), 32, 1);
+  SyntheticImageDataset test(tiny_spec(), 8, 2);
+  Rng prng(13);
+  auto partition = data::iid_partition(train.size(), 2, prng);
+
+  fl::FlConfig config;
+  config.num_clients = 2;
+  config.rounds = 2;
+  config.local_iters = 1;
+  config.batch_size = 8;
+  config.eval_every = 100;
+
+  BytesOnlyStrategy strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, tiny_mlp_factory(64, 4),
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      strategy);
+  const auto result = runner.run();
+  for (const auto& r : result.rounds) {
+    EXPECT_DOUBLE_EQ(r.bytes_per_client, 123.0 + 45.0);
+  }
 }
 
 TEST(Runner, PartitionSizeMismatchThrows) {

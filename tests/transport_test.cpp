@@ -1,0 +1,354 @@
+// Transport layer: NetworkModel validation, the sharded per-client store,
+// streaming aggregation, and the frame bus (docs/TRANSPORT.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "transport/bus.h"
+#include "transport/client_store.h"
+#include "transport/frame.h"
+#include "transport/network.h"
+#include "transport/streaming.h"
+#include "util/error.h"
+
+namespace apf {
+namespace {
+
+using transport::Bus;
+using transport::Frame;
+using transport::NetworkModel;
+using transport::RoundStats;
+using transport::ShardedClientStore;
+using transport::StreamingAggregator;
+
+// ---------------------------------------------------------------- network --
+
+TEST(TransportNetwork, ValidateAcceptsDefaults) {
+  NetworkModel net;
+  EXPECT_NO_THROW(net.validate("test"));
+}
+
+TEST(TransportNetwork, ValidateRejectsNonPositiveBandwidth) {
+  // APF_CHECK throws in every build type, so these hold in release too.
+  for (double bad : {0.0, -3.0}) {
+    NetworkModel net;
+    net.client_upload_mbps = bad;
+    EXPECT_THROW(net.validate("test"), Error);
+    net = NetworkModel{};
+    net.client_download_mbps = bad;
+    EXPECT_THROW(net.validate("test"), Error);
+    net = NetworkModel{};
+    net.server_bandwidth_mbps = bad;
+    EXPECT_THROW(net.validate("test"), Error);
+  }
+}
+
+TEST(TransportNetwork, ValidateRejectsNonFiniteBandwidthAndBadLatency) {
+  NetworkModel net;
+  net.client_upload_mbps = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(net.validate("test"), Error);
+  net = NetworkModel{};
+  net.frame_latency_seconds = -1e-3;
+  EXPECT_THROW(net.validate("test"), Error);
+}
+
+TEST(TransportNetwork, ValidateMessageCarriesContextAndField) {
+  NetworkModel net;
+  net.client_upload_mbps = -1.0;
+  try {
+    net.validate("FlConfig::network");
+    FAIL() << "expected apf::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("FlConfig::network"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("client_upload_mbps"), std::string::npos) << msg;
+  }
+}
+
+// ----------------------------------------------------------- client store --
+
+TEST(ShardedClientStore, ObtainIsLazyAndFindSeesOnlyTouched) {
+  ShardedClientStore<int> store(4);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.find(7), nullptr);
+  store.obtain(7) = 42;
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.find(7), nullptr);
+  EXPECT_EQ(*store.find(7), 42);
+  EXPECT_EQ(store.find(8), nullptr);
+}
+
+TEST(ShardedClientStore, ForEachOrderedVisitsAscendingAcrossShards) {
+  // Ids chosen to land in different shards; iteration must still be global
+  // ascending order — that order is the determinism guarantee.
+  ShardedClientStore<int> store(3);
+  const std::vector<std::uint64_t> ids = {901, 5, 44, 1000000, 17, 2};
+  for (std::uint64_t id : ids) store.obtain(id) = static_cast<int>(id % 97);
+  std::vector<std::uint64_t> seen;
+  store.for_each_ordered([&](std::uint64_t id, const int& v) {
+    EXPECT_EQ(v, static_cast<int>(id % 97));
+    seen.push_back(id);
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{2, 5, 17, 44, 901, 1000000}));
+  EXPECT_EQ(store.sorted_ids(), seen);
+}
+
+TEST(ShardedClientStore, ConcurrentObtainOnDistinctClients) {
+  ShardedClientStore<std::uint64_t> store;
+  constexpr std::uint64_t kClients = 512;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t id = static_cast<std::uint64_t>(t); id < kClients;
+           id += 4) {
+        store.obtain(id) = id * 3;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(store.size(), kClients);
+  std::uint64_t expect = 0;
+  store.for_each_ordered([&](std::uint64_t id, const std::uint64_t& v) {
+    EXPECT_EQ(id, expect++);
+    EXPECT_EQ(v, id * 3);
+  });
+}
+
+TEST(ShardedClientStore, ClearForgetsEverything) {
+  ShardedClientStore<int> store(2);
+  store.obtain(1) = 1;
+  store.obtain(2) = 2;
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.find(1), nullptr);
+}
+
+// ------------------------------------------------------------- aggregator --
+
+TEST(StreamingAggregator, WeightedFoldMatchesHandComputedSum) {
+  StreamingAggregator agg(2);
+  const std::vector<float> a = {1.f, 2.f};
+  const std::vector<float> b = {3.f, 4.f};
+  agg.fold(0, a, 0.25);
+  agg.fold(5, b, 0.75);
+  std::vector<float> out(2);
+  agg.finish_weighted(out);
+  EXPECT_FLOAT_EQ(out[0], static_cast<float>(0.25 * 1.0 + 0.75 * 3.0));
+  EXPECT_FLOAT_EQ(out[1], static_cast<float>(0.25 * 2.0 + 0.75 * 4.0));
+  EXPECT_EQ(agg.folded(), 2u);
+}
+
+TEST(StreamingAggregator, MeanFoldMatchesPlainAverage) {
+  StreamingAggregator agg(1);
+  agg.fold(1, std::vector<float>{1.f}, 1.0);
+  agg.fold(2, std::vector<float>{2.f}, 1.0);
+  agg.fold(3, std::vector<float>{4.f}, 1.0);
+  std::vector<float> out(1);
+  agg.finish_mean(out);
+  EXPECT_FLOAT_EQ(out[0], static_cast<float>((1.0 + 2.0 + 4.0) / 3.0));
+}
+
+TEST(StreamingAggregator, EnforcesStrictlyAscendingClientIds) {
+  StreamingAggregator agg(1);
+  const std::vector<float> v = {1.f};
+  agg.fold(3, v, 0.5);
+  EXPECT_THROW(agg.fold(3, v, 0.5), Error);  // duplicate
+  EXPECT_THROW(agg.fold(1, v, 0.5), Error);  // descending
+  agg.fold(4, v, 0.5);                       // ascending is fine
+  agg.reset();
+  agg.fold(0, v, 1.0);  // reset re-admits any id
+  EXPECT_EQ(agg.folded(), 1u);
+}
+
+TEST(StreamingAggregator, RejectsDimMismatchAndBadWeight) {
+  StreamingAggregator agg(2);
+  EXPECT_THROW(agg.fold(0, std::vector<float>{1.f}, 1.0), Error);
+  EXPECT_THROW(
+      agg.fold(0, std::vector<float>{1.f, 2.f}, -0.1), Error);
+  std::vector<float> out(2);
+  EXPECT_THROW(agg.finish_mean(out), Error);  // nothing folded
+}
+
+TEST(StreamingAggregator, MemoryIsProportionalToDimNotFanIn) {
+  StreamingAggregator agg(64);
+  const std::size_t before = agg.memory_bytes();
+  std::vector<float> v(64, 1.f);
+  for (std::uint64_t c = 0; c < 10000; ++c) agg.fold(c, v, 1e-4);
+  EXPECT_EQ(agg.memory_bytes(), before);  // O(model), not O(clients)
+}
+
+// -------------------------------------------------------------------- bus --
+
+std::vector<std::uint8_t> payload_of(std::size_t size, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(size, fill);
+}
+
+TEST(TransportBus, ConstructorValidatesNetwork) {
+  NetworkModel bad;
+  bad.server_bandwidth_mbps = 0.0;
+  EXPECT_THROW(Bus bus(bad), Error);
+}
+
+TEST(TransportBus, RoundTripDeliversFramesInClientSeqOrder) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(1);
+  // Push out of client order; the server must still see (client, seq) order.
+  bus.push(9, Frame::Kind::kStrategy, payload_of(4, 9));
+  bus.push(2, Frame::Kind::kStrategy, payload_of(3, 2));
+  bus.push(2, Frame::Kind::kAuxiliary, payload_of(5, 2));
+  bus.push(4, Frame::Kind::kStrategy, payload_of(2, 4));
+  const std::vector<Frame> pushes = bus.take_pushes();
+  ASSERT_EQ(pushes.size(), 4u);
+  EXPECT_EQ(pushes[0].client, 2u);
+  EXPECT_EQ(pushes[0].kind, Frame::Kind::kStrategy);
+  EXPECT_EQ(pushes[1].client, 2u);
+  EXPECT_EQ(pushes[1].kind, Frame::Kind::kAuxiliary);
+  EXPECT_LT(pushes[0].seq, pushes[1].seq);
+  EXPECT_EQ(pushes[2].client, 4u);
+  EXPECT_EQ(pushes[3].client, 9u);
+  for (const Frame& f : pushes) EXPECT_EQ(f.round, 1u);
+
+  bus.deliver(2, Frame::Kind::kStrategy, payload_of(7, 0));
+  bus.deliver(2, Frame::Kind::kAuxiliary, payload_of(1, 0));
+  const std::vector<Frame> pulls = bus.take_pulls(2);
+  ASSERT_EQ(pulls.size(), 2u);
+  EXPECT_EQ(pulls[0].kind, Frame::Kind::kStrategy);
+  EXPECT_EQ(pulls[1].kind, Frame::Kind::kAuxiliary);
+  EXPECT_TRUE(bus.take_pulls(9).empty());
+
+  const RoundStats stats = bus.finish_round();
+  EXPECT_EQ(stats.round, 1u);
+  EXPECT_EQ(stats.active_links, 3u);
+  EXPECT_EQ(stats.frames_up, 4u);
+  EXPECT_EQ(stats.frames_down, 2u);
+  EXPECT_DOUBLE_EQ(stats.total_bytes, 4 + 3 + 5 + 2 + 7 + 1);
+}
+
+TEST(TransportBus, PricesLinkTotalsWithLegacyArithmetic) {
+  NetworkModel net;  // 3 up / 9 down Mbps, 10 Gbps server
+  Bus bus(net);
+  bus.begin_round(1);
+  bus.push(0, Frame::Kind::kStrategy, payload_of(1000, 0));
+  bus.push(0, Frame::Kind::kAuxiliary, payload_of(500, 0));
+  bus.deliver(0, Frame::Kind::kStrategy, payload_of(2000, 0));
+  bus.push(1, Frame::Kind::kStrategy, payload_of(100, 0));
+  (void)bus.take_pushes();
+  (void)bus.take_pulls(0);
+  const RoundStats stats = bus.finish_round();
+  // Per-link totals priced once per direction — exactly the pre-bus formula.
+  const double link0 =
+      net.client_upload_seconds(1500) + net.client_download_seconds(2000);
+  const double link1 = net.client_upload_seconds(100);
+  EXPECT_DOUBLE_EQ(stats.max_client_comm_seconds, std::max(link0, link1));
+  EXPECT_DOUBLE_EQ(stats.server_seconds, net.server_seconds(3600));
+}
+
+TEST(TransportBus, FrameLatencyChargesPerFrameWhenConfigured) {
+  NetworkModel net;
+  net.frame_latency_seconds = 0.25;
+  Bus bus(net);
+  bus.begin_round(1);
+  bus.push(3, Frame::Kind::kStrategy, payload_of(8, 0));
+  bus.deliver(3, Frame::Kind::kStrategy, payload_of(8, 0));
+  bus.deliver(3, Frame::Kind::kAuxiliary, payload_of(8, 0));
+  (void)bus.take_pushes();
+  (void)bus.take_pulls(3);
+  const RoundStats stats = bus.finish_round();
+  const double wire =
+      net.client_upload_seconds(8) + net.client_download_seconds(16);
+  EXPECT_DOUBLE_EQ(stats.max_client_comm_seconds, wire + 0.25 * 3);
+}
+
+TEST(TransportBus, UntakenFrameIsARoutingBug) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(1);
+  bus.push(0, Frame::Kind::kStrategy, payload_of(4, 0));
+  EXPECT_THROW(bus.finish_round(), Error);  // server never took the push
+
+  Bus bus2(NetworkModel{});
+  bus2.begin_round(1);
+  bus2.deliver(1, Frame::Kind::kStrategy, payload_of(4, 0));
+  (void)bus2.take_pushes();
+  EXPECT_THROW(bus2.finish_round(), Error);  // client 1 never pulled
+}
+
+TEST(TransportBus, RoundLifecycleIsEnforced) {
+  Bus bus(NetworkModel{});
+  EXPECT_THROW(bus.push(0, Frame::Kind::kStrategy, payload_of(1, 0)), Error);
+  EXPECT_THROW(bus.begin_round(0), Error);  // rounds are 1-based
+  bus.begin_round(1);
+  EXPECT_THROW(bus.begin_round(2), Error);  // previous round still open
+  (void)bus.take_pushes();
+  (void)bus.finish_round();
+  bus.begin_round(2);  // fresh round after finish
+  (void)bus.take_pushes();
+  const RoundStats stats = bus.finish_round();
+  EXPECT_EQ(stats.round, 2u);
+  EXPECT_EQ(stats.active_links, 0u);
+}
+
+TEST(TransportBus, LinkStateResetsBetweenRounds) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(1);
+  bus.push(5, Frame::Kind::kStrategy, payload_of(10, 0));
+  EXPECT_EQ(bus.link_up_bytes(5), 10u);
+  (void)bus.take_pushes();
+  (void)bus.finish_round();
+  EXPECT_EQ(bus.link_up_bytes(5), 0u);  // per-round state, not cumulative
+  bus.begin_round(2);
+  bus.deliver(5, Frame::Kind::kStrategy, payload_of(6, 0));
+  EXPECT_EQ(bus.link_down_bytes(5), 6u);
+  (void)bus.take_pulls(5);
+  const RoundStats stats = bus.finish_round();
+  EXPECT_DOUBLE_EQ(stats.total_bytes, 6.0);
+}
+
+TEST(TransportBus, QueuedBytesTracksInFlightWindowAndPeak) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(1);
+  EXPECT_EQ(bus.queued_bytes(), 0u);
+  bus.push(0, Frame::Kind::kStrategy, payload_of(100, 0));
+  bus.push(1, Frame::Kind::kStrategy, payload_of(50, 0));
+  EXPECT_EQ(bus.queued_bytes(), 150u);
+  EXPECT_EQ(bus.peak_queued_bytes(), 150u);
+  (void)bus.take_pushes();
+  EXPECT_EQ(bus.queued_bytes(), 0u);
+  EXPECT_EQ(bus.peak_queued_bytes(), 150u);  // high-water mark persists
+  bus.deliver(0, Frame::Kind::kStrategy, payload_of(20, 0));
+  EXPECT_EQ(bus.queued_bytes(), 20u);
+  (void)bus.take_pulls(0);
+  (void)bus.finish_round();
+  EXPECT_EQ(bus.peak_queued_bytes(), 150u);
+}
+
+TEST(TransportBus, ConcurrentPushesOnDistinctLinksAreSafe) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(1);
+  constexpr std::uint64_t kClients = 256;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t c = static_cast<std::uint64_t>(t); c < kClients;
+           c += 4) {
+        bus.push(c, Frame::Kind::kStrategy,
+                 payload_of(static_cast<std::size_t>(c % 7 + 1), 0));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const std::vector<Frame> pushes = bus.take_pushes();
+  ASSERT_EQ(pushes.size(), kClients);
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(pushes[c].client, c);
+    EXPECT_EQ(pushes[c].payload.size(), c % 7 + 1);
+  }
+  const RoundStats stats = bus.finish_round();
+  EXPECT_EQ(stats.frames_up, kClients);
+}
+
+}  // namespace
+}  // namespace apf

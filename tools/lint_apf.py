@@ -183,9 +183,10 @@ MODULE_LEVELS = {
     "data": 2,
     "optim": 3,
     "wire": 4,
-    "fl": 5,
-    "compress": 6,
-    "core": 7,
+    "transport": 5,
+    "fl": 6,
+    "compress": 7,
+    "core": 8,
 }
 # Root-level tool trees: each sits above all of src/ but is independent of
 # its siblings (fuzz must not include bench, etc.), and src/ must never
@@ -781,8 +782,8 @@ def check_layering(root, findings):
                     f"{MODULE_LEVELS[own_module]}) must not include "
                     f"'{target}' from module '{tgt_module}' (level "
                     f"{MODULE_LEVELS[tgt_module]}); the hierarchy is "
-                    f"util < tensor < nn,data < optim < wire < fl < compress "
-                    f"< core"))
+                    f"util < tensor < nn,data < optim < wire < transport "
+                    f"< fl < compress < core"))
         edges[rel] = out
 
     # File-level cycle detection (DFS, iterative). Includes resolve relative
