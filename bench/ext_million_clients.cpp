@@ -67,9 +67,9 @@ double now_seconds() {
 
 struct RoundReport {
   std::size_t round = 0;
-  double total_bytes = 0.0;
+  transport::ByteCount total_bytes;
   double checksum = 0.0;  // double sum over the post-round global model
-  std::size_t peak_queued_bytes = 0;
+  transport::ByteCount peak_queued_bytes;
   std::size_t aggregate_memory_bytes = 0;
   double wall_seconds = 0.0;
 };
@@ -142,8 +142,8 @@ StrategyReport run_strategy(fl::SyncStrategy& strategy, const char* name,
     const double norm_weight =
         1.0 / static_cast<double>(participants_per_round);
 
-    bus.begin_round(static_cast<std::uint32_t>(round));
-    stream->begin_fold(round);
+    bus.begin_round(fl::RoundId(round));
+    stream->begin_fold(fl::RoundId(round));
     // Windowed pipeline: encode+push a chunk in parallel (distinct client
     // ids -> distinct links, which the bus contract allows), then drain and
     // fold it before the next chunk, so at most one chunk of frames is ever
@@ -154,8 +154,8 @@ StrategyReport run_strategy(fl::SyncStrategy& strategy, const char* name,
         const std::uint64_t id = active[base + slot];
         std::vector<float> params;
         synth_update(id, round, strategy.global_params(), params);
-        bus.push(id, transport::Frame::Kind::kStrategy,
-                 stream->encode_push(id, params));
+        bus.push(fl::ClientId(id), transport::Frame::Kind::kStrategy,
+                 stream->encode_push(fl::ClientId(id), params));
       });
       for (transport::Frame& frame : bus.take_pushes()) {
         stream->fold_push(frame.client, frame.payload, norm_weight);
@@ -171,11 +171,11 @@ StrategyReport run_strategy(fl::SyncStrategy& strategy, const char* name,
     for (std::size_t base = 0; base < active.size(); base += kChunk) {
       const std::size_t end = std::min(base + kChunk, active.size());
       for (std::size_t k = base; k < end; ++k) {
-        bus.deliver(active[k], transport::Frame::Kind::kStrategy, pull);
+        bus.deliver(fl::ClientId(active[k]), transport::Frame::Kind::kStrategy, pull);
       }
       for (std::size_t k = base; k < end; ++k) {
         std::vector<float> rebuilt;
-        for (transport::Frame& frame : bus.take_pulls(active[k])) {
+        for (transport::Frame& frame : bus.take_pulls(fl::ClientId(active[k]))) {
           stream->apply_pull(frame.payload, rebuilt);
         }
         APF_CHECK(rebuilt.size() == dim);
@@ -186,7 +186,8 @@ StrategyReport run_strategy(fl::SyncStrategy& strategy, const char* name,
     APF_CHECK(stats.active_links == active.size());
 
     // O(model) / O(window) assertions: the server never held the universe.
-    APF_CHECK_MSG(bus.peak_queued_bytes() <= kChunk * max_frame_bytes,
+    APF_CHECK_MSG(bus.peak_queued_bytes() <=
+                      transport::ByteCount(kChunk * max_frame_bytes),
                   "peak queued " << bus.peak_queued_bytes()
                                  << " exceeds one chunk window");
 

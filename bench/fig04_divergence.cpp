@@ -32,7 +32,7 @@ int main() {
   fl::FederatedRunner runner(task.config, *task.train, task.partition,
                              *task.test, task.model, task.optimizer,
                              strategy);
-  runner.set_observer([&](std::size_t round, std::span<const float>,
+  runner.set_observer([&](fl::RoundId round, std::span<const float>,
                           const std::vector<std::vector<float>>& clients) {
     if (watched.size() < 2) {
       for (std::size_t j = 0; j < strategy.excluded().size() &&
@@ -46,7 +46,7 @@ int main() {
         }
       }
     }
-    rounds_axis.push_back(static_cast<double>(round));
+    rounds_axis.push_back(static_cast<double>(round.value()));
     for (std::size_t t = 0; t < watched.size(); ++t) {
       client0[t].push_back(clients[0][watched[t]]);
       client1[t].push_back(clients[1][watched[t]]);

@@ -39,7 +39,7 @@ void BM_FedAvgRound(benchmark::State& state) {
   const std::vector<double> weights(5, 1.0);
   std::size_t round = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(strategy.synchronize(++round, clients, weights));
+    benchmark::DoNotOptimize(strategy.synchronize(fl::RoundId(++round), clients, weights));
   }
   state.counters["dim"] = static_cast<double>(dim);
 }
@@ -56,7 +56,7 @@ void BM_ApfRound(benchmark::State& state) {
   const std::vector<double> weights(5, 1.0);
   std::size_t round = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(strategy.synchronize(++round, clients, weights));
+    benchmark::DoNotOptimize(strategy.synchronize(fl::RoundId(++round), clients, weights));
   }
   state.counters["dim"] = static_cast<double>(dim);
   // APF per-scalar state: EMA E + A (4 B each), delta accumulator (4 B),
@@ -80,7 +80,7 @@ void BM_ApfStabilityCheckOnly(benchmark::State& state) {
   const std::vector<double> weights(1, 1.0);
   std::size_t round = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(strategy.synchronize(++round, clients, weights));
+    benchmark::DoNotOptimize(strategy.synchronize(fl::RoundId(++round), clients, weights));
   }
 }
 

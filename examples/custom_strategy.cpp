@@ -36,7 +36,7 @@ class LayerFreeze : public fl::SyncStrategyBase {
     mask_ = Bitmap(initial_params.size(), false);
   }
 
-  Result synchronize(std::size_t round,
+  Result synchronize(fl::RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override {
     const std::size_t dim = global_.size();
@@ -50,7 +50,7 @@ class LayerFreeze : public fl::SyncStrategyBase {
       params.assign(global_.begin(), global_.end());
     }
     Result result;
-    const double payload = 4.0 * static_cast<double>(dim - mask_.count());
+    const fl::ByteCount payload(4 * (dim - mask_.count()));
     result.bytes_up.assign(client_params.size(), payload);
     result.bytes_down.assign(client_params.size(), payload);
     result.frozen_fraction = mask_.fraction();
@@ -58,7 +58,8 @@ class LayerFreeze : public fl::SyncStrategyBase {
     // Schedule: after every `rounds_per_layer_` rounds, freeze one more
     // tensor (bottom-up), keeping at least the classifier trainable.
     const std::size_t layers_frozen =
-        std::min(round / rounds_per_layer_, segments_.size() - 2);
+        std::min(round.value() / rounds_per_layer_,
+                 static_cast<std::uint64_t>(segments_.size() - 2));
     for (std::size_t s = 0; s < layers_frozen; ++s) {
       for (std::size_t j = segments_[s].offset;
            j < segments_[s].offset + segments_[s].size; ++j) {

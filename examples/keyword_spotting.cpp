@@ -76,7 +76,7 @@ int main() {
   TablePrinter table({"Round", "Accuracy", "Frozen", "Cum. traffic/client"});
   for (const auto& r : result.rounds) {
     if (r.test_accuracy < 0) continue;
-    table.add_row({std::to_string(r.round),
+    table.add_row({std::to_string(r.round.value()),
                    TablePrinter::fmt(r.test_accuracy, 3),
                    TablePrinter::fmt_percent(r.frozen_fraction),
                    TablePrinter::fmt_bytes(r.cumulative_bytes_per_client)});

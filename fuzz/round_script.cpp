@@ -339,12 +339,8 @@ void check_result_common(const fl::SyncStrategy::Result& result,
                     "bytes_up size != client count");
   require_invariant(result.bytes_down.size() == n,
                     "bytes_down size != client count");
-  for (const double b : result.bytes_up) {
-    require_invariant(std::isfinite(b) && b >= 0.0, "bytes_up not sane");
-  }
-  for (const double b : result.bytes_down) {
-    require_invariant(std::isfinite(b) && b >= 0.0, "bytes_down not sane");
-  }
+  // ByteCount entries are non-negative exact integers by construction
+  // (src/util/ids.h), so the old isfinite/>=0 sanity loop is a type fact.
   require_invariant(
       result.frozen_fraction >= 0.0 && result.frozen_fraction <= 1.0,
       "frozen_fraction out of [0,1]");
@@ -380,12 +376,12 @@ void check_applied(StrategyKind kind, const RoundScript& s,
       }
       // Byte accounting must match the real encoded buffers: re-frame the
       // round's payloads exactly as the transport does and compare sizes.
-      const double up_bytes = static_cast<double>(
+      const fl::ByteCount up_bytes(
           wire::encode_dense(wire::pack_unfrozen(post_global, pre_mask))
               .size());
-      const double down_bytes =
+      const fl::ByteCount down_bytes =
           (s.flags & kFlagServerSideMask) != 0
-              ? static_cast<double>(
+              ? fl::ByteCount(
                     core::encode_masked_update(post_global, pre_mask).size())
               : up_bytes;
       for (std::size_t i = 0; i < n; ++i) {
@@ -405,8 +401,7 @@ void check_applied(StrategyKind kind, const RoundScript& s,
         require_invariant(bits_equal(params, post_global),
                           "FullSync client diverged from the global model");
       }
-      const double payload =
-          static_cast<double>(wire::encode_dense(post_global).size());
+      const fl::ByteCount payload(wire::encode_dense(post_global).size());
       for (std::size_t i = 0; i < n; ++i) {
         require_invariant(result.bytes_up[i] == payload &&
                               result.bytes_down[i] == payload,
@@ -457,10 +452,10 @@ void check_applied(StrategyKind kind, const RoundScript& s,
       }
       // Uploads travel under the pre-round mask, pulls under the (possibly
       // grown) post-round mask; both are measured dense-packed buffers.
-      const double up_bytes = static_cast<double>(
+      const fl::ByteCount up_bytes(
           wire::encode_dense(wire::pack_unfrozen(post_global, pre_excluded))
               .size());
-      const double down_bytes = static_cast<double>(
+      const fl::ByteCount down_bytes(
           wire::encode_dense(wire::pack_unfrozen(post_global, post_excluded))
               .size());
       for (std::size_t i = 0; i < n; ++i) {
@@ -482,24 +477,24 @@ void check_applied(StrategyKind kind, const RoundScript& s,
         require_invariant(bits_equal(params, post_global),
                           "compress client diverged from the global model");
       }
-      const double down_bytes =
-          static_cast<double>(wire::encode_dense(post_global).size());
+      const fl::ByteCount down_bytes(wire::encode_dense(post_global).size());
       const std::size_t k = std::max<std::size_t>(
           1, static_cast<std::size_t>(
                  std::ceil(s.threshold * static_cast<double>(dim))));
       bool any_up = false;
       for (std::size_t i = 0; i < n; ++i) {
         const bool participant = weights[i] > 0.0;
-        const double up = result.bytes_up[i];
-        const double down = result.bytes_down[i];
-        any_up = any_up || up > 0.0;
+        const fl::ByteCount up = result.bytes_up[i];
+        const fl::ByteCount down = result.bytes_down[i];
+        any_up = any_up || up > fl::ByteCount(0);
         if (!participant) {
-          require_invariant(up == 0.0,
+          require_invariant(up == fl::ByteCount(0),
                             "non-participant charged on the uplink");
           // CMFL broadcasts to all n clients; the sparsifiers charge only
           // this round's participants for the pull.
           require_invariant(
-              down == (kind == StrategyKind::kCmfl ? down_bytes : 0.0),
+              down == (kind == StrategyKind::kCmfl ? down_bytes
+                                                    : fl::ByteCount(0)),
               "non-participant downlink charge is wrong");
           continue;
         }
@@ -508,26 +503,26 @@ void check_applied(StrategyKind kind, const RoundScript& s,
         switch (kind) {
           case StrategyKind::kTopK:
             // Exactly k (index, value) pairs behind the 12-byte APS1 header.
-            require_invariant(up == static_cast<double>(12 + 8 * k),
+            require_invariant(up == fl::ByteCount(12 + 8 * k),
                               "TopK bytes_up != encoded APS1 size");
             break;
           case StrategyKind::kRandK:
             // Exactly k values behind the 24-byte APR1 header.
-            require_invariant(up == static_cast<double>(24 + 4 * k),
+            require_invariant(up == fl::ByteCount(24 + 4 * k),
                               "RandK bytes_up != encoded APR1 size");
             break;
           case StrategyKind::kGaia: {
             // The significant set varies per client; the charge must still
             // be a well-formed APS1 frame no larger than all-significant.
-            const double span = up - 12.0;
-            require_invariant(span >= 0.0 && std::fmod(span, 8.0) == 0.0 &&
-                                  span <= 8.0 * static_cast<double>(dim),
+            require_invariant(up.value() >= 12 &&
+                                  (up.value() - 12) % 8 == 0 &&
+                                  up.value() - 12 <= 8 * dim,
                               "Gaia bytes_up is not a plausible APS1 size");
             break;
           }
           default:  // kCmfl: filtered uploads cost nothing; relevant ones
                     // ship a full dense frame.
-            require_invariant(up == 0.0 || up == down_bytes,
+            require_invariant(up == fl::ByteCount(0) || up == down_bytes,
                               "CMFL bytes_up != 0 or the dense frame size");
             break;
         }
@@ -552,8 +547,7 @@ void check_applied(StrategyKind kind, const RoundScript& s,
       // payloads traveled (the wrapper reads the mask before the inner
       // strategy can grow it).
       std::size_t sent = dim;
-      double down_bytes =
-          static_cast<double>(wire::encode_dense(post_global).size());
+      fl::ByteCount down_bytes(wire::encode_dense(post_global).size());
       if (update_quant_inner_apf(s)) {
         const std::size_t frozen = pre_mask.count();
         sent = dim - frozen;
@@ -563,12 +557,12 @@ void check_applied(StrategyKind kind, const RoundScript& s,
                               "quantized APF moved a frozen scalar");
           }
         }
-        const double up_inner = static_cast<double>(
+        const fl::ByteCount up_inner(
             wire::encode_dense(wire::pack_unfrozen(post_global, pre_mask))
                 .size());
         down_bytes =
             (s.flags & kFlagServerSideMask) != 0
-                ? static_cast<double>(
+                ? fl::ByteCount(
                       core::encode_masked_update(post_global, pre_mask)
                           .size())
                 : up_inner;
@@ -584,14 +578,13 @@ void check_applied(StrategyKind kind, const RoundScript& s,
       // real framed buffer, whose size is a pure function of the
       // transmitted coordinate count — QSGD packs (bits+1)-bit fields
       // behind a 13-byte header, TernGrad 2-bit codes behind 12 bytes.
-      const double up_bytes =
+      const fl::ByteCount up_bytes =
           kind == StrategyKind::kUpdateQsgd
-              ? static_cast<double>(
-                    13 + (sent * (update_quant_bits(s) + 1) + 7) / 8)
-              : static_cast<double>(12 + (sent * 2 + 7) / 8);
+              ? fl::ByteCount(13 + (sent * (update_quant_bits(s) + 1) + 7) / 8)
+              : fl::ByteCount(12 + (sent * 2 + 7) / 8);
       for (std::size_t i = 0; i < n; ++i) {
         if (weights[i] == 0.0) {
-          require_invariant(result.bytes_up[i] == 0.0,
+          require_invariant(result.bytes_up[i] == fl::ByteCount(0),
                             "zero-weight client charged on the uplink");
         } else {
           require_invariant(result.bytes_up[i] == up_bytes,
@@ -640,7 +633,8 @@ std::uint64_t run_sync_script(const RoundScript& s, StrategyKind kind) {
     const auto pre_snapshot = snapshot_strategy(*strategy);
     const std::vector<std::vector<float>> submitted = props;
     try {
-      const auto result = strategy->synchronize(r + 1, props, weights);
+      const auto result =
+          strategy->synchronize(fl::RoundId(r + 1), props, weights);
       check_applied(kind, s, *strategy, strawman, result, props, submitted,
                     weights, pre_global, pre_mask, pre_excluded);
       client_params = std::move(props);
@@ -648,10 +642,9 @@ std::uint64_t run_sync_script(const RoundScript& s, StrategyKind kind) {
       history.emplace_back(g.begin(), g.end());
       if (history.size() > 4) history.erase(history.begin());
       digest = fnv1a_u64(digest ^ 'A', hash_floats(g));
-      digest = fnv1a_u64(digest, static_cast<std::uint64_t>(
-                                     result.bytes_up.empty()
-                                         ? 0
-                                         : result.bytes_up.front()));
+      digest = fnv1a_u64(digest, result.bytes_up.empty()
+                                     ? 0
+                                     : result.bytes_up.front().value());
     } catch (const Error&) {
       require_invariant(snapshot_strategy(*strategy) == pre_snapshot,
                         "rejected round mutated strategy state");
@@ -707,7 +700,8 @@ void check_runner_result(const fl::FlConfig& config,
   double cum_seconds = 0.0;
   for (std::size_t i = 0; i < result.rounds.size(); ++i) {
     const fl::RoundRecord& rec = result.rounds[i];
-    require_invariant(rec.round == i + 1, "round index drifted");
+    require_invariant(rec.round == fl::RoundId(i + 1),
+                      "round index drifted");
     require_invariant(
         rec.participants >= 1 && rec.participants <= config.num_clients,
         "participant count out of range");

@@ -20,19 +20,18 @@ void CmflSync::init(std::span<const float> initial_params,
   prev_global_update_.assign(initial_params.size(), 0.f);
 }
 
-fl::SyncStrategy::Result CmflSync::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result CmflSync::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   const std::size_t dim = global_.size();
   const double threshold =
       options_.relevance_threshold *
-      std::pow(options_.threshold_decay, static_cast<double>(round - 1));
+      std::pow(options_.threshold_decay, static_cast<double>(round.value() - 1));
 
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, fl::ByteCount(0));
+  result.bytes_down.assign(n, fl::ByteCount(0));
   result.frames_up.resize(n);
 
   // Relevance check: sign agreement with the previous global update. In the
@@ -42,7 +41,7 @@ fl::SyncStrategy::Result CmflSync::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
     ++considered_;
-    if (round == 1) {
+    if (round == fl::RoundId(1)) {
       upload[i] = true;
     } else {
       std::size_t agree = 0;
@@ -81,7 +80,7 @@ fl::SyncStrategy::Result CmflSync::synchronize(
     // dense buffer; the server aggregates the decoded values.
     std::vector<std::uint8_t> buf = encode_dense(client_params[i]);
     const std::vector<float> decoded = decode_dense(buf);
-    result.bytes_up[i] = static_cast<double>(buf.size());
+    result.bytes_up[i] = fl::ByteCount(buf.size());
     result.frames_up[i] = std::move(buf);
     const double w = weights[i] / weight_total;
     for (std::size_t j = 0; j < dim; ++j) {
@@ -98,7 +97,7 @@ fl::SyncStrategy::Result CmflSync::synchronize(
   const std::vector<float> decoded_down = decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
-    result.bytes_down[i] = static_cast<double>(down.size());
+    result.bytes_down[i] = fl::ByteCount(down.size());
   }
   result.broadcast_frame = std::move(down);
   return result;

@@ -21,12 +21,13 @@ std::vector<std::vector<float>> GaiaSync::residuals() const {
   std::vector<std::vector<float>> out(
       num_clients_, std::vector<float>(global_.size(), 0.f));
   residual_.for_each_ordered(
-      [&](std::uint64_t id, const std::vector<float>& r) { out[id] = r; });
+      [&](util::ClientId id, const std::vector<float>& r) {
+        out[id.value()] = r;
+      });
   return out;
 }
 
-fl::SyncStrategy::Result GaiaSync::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result GaiaSync::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
@@ -35,7 +36,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
   const double threshold =
       options_.decay_threshold
           ? options_.significance_threshold /
-                std::sqrt(static_cast<double>(round))
+                std::sqrt(static_cast<double>(round.value()))
           : options_.significance_threshold;
 
   double weight_total = 0.0;
@@ -43,8 +44,8 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
   APF_CHECK(weight_total > 0.0);
 
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, fl::ByteCount(0));
+  result.bytes_down.assign(n, fl::ByteCount(0));
   result.frames_up.resize(n);
 
   std::vector<double> acc(dim, 0.0);
@@ -55,7 +56,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
       continue;
     }
     const double w = weights[i] / weight_total;
-    std::vector<float>& residual = residual_.obtain(i);
+    std::vector<float>& residual = residual_.obtain(fl::ClientId(i));
     if (residual.empty()) residual.assign(dim, 0.f);
     // Push: the significant set travels as an "APS1" sparse buffer
     // (ascending coordinate order); the server aggregates the decoded
@@ -79,7 +80,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
     }
     std::vector<std::uint8_t> buf = encode_sparse(payload);
     const SparsePayload decoded = decode_sparse(buf);
-    result.bytes_up[i] = static_cast<double>(buf.size());
+    result.bytes_up[i] = fl::ByteCount(buf.size());
     result.frames_up[i] = std::move(buf);
     for (std::size_t t = 0; t < decoded.indices.size(); ++t) {
       acc[decoded.indices[t]] += w * static_cast<double>(decoded.values[t]);
@@ -95,7 +96,7 @@ fl::SyncStrategy::Result GaiaSync::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
     if (weights[i] > 0.0) {
-      result.bytes_down[i] = static_cast<double>(down.size());
+      result.bytes_down[i] = fl::ByteCount(down.size());
     }
   }
   result.broadcast_frame = std::move(down);

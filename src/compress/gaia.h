@@ -26,7 +26,7 @@ class GaiaSync : public fl::SyncStrategyBase {
 
   void init(std::span<const float> initial_params,
             std::size_t num_clients) override;
-  Result synchronize(std::size_t round,
+  Result synchronize(fl::RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
   std::string name() const override { return "Gaia"; }

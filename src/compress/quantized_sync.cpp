@@ -40,8 +40,7 @@ std::vector<std::uint8_t> fp16_round_trip(std::vector<float>& params,
 
 }  // namespace
 
-fl::SyncStrategy::Result QuantizedSync::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result QuantizedSync::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   // Malformed rounds go straight to the inner strategy, which rejects them
   // atomically before any proposal is quantized.
@@ -59,8 +58,8 @@ fl::SyncStrategy::Result QuantizedSync::synchronize(
   std::optional<Bitmap> mask;
   if (const Bitmap* inner_mask = inner_->frozen_mask()) mask = *inner_mask;
 
-  std::vector<double> up_bytes(n, 0.0);
-  std::vector<double> down_bytes(n, 0.0);
+  std::vector<fl::ByteCount> up_bytes(n, fl::ByteCount(0));
+  std::vector<fl::ByteCount> down_bytes(n, fl::ByteCount(0));
   std::vector<std::vector<std::uint8_t>> up_frames(n);
   std::vector<std::vector<std::uint8_t>> down_frames(n);
   // Push-side: each participant's payload travels as a real half-precision
@@ -72,7 +71,7 @@ fl::SyncStrategy::Result QuantizedSync::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
     up_frames[i] = fp16_round_trip(staged[i], mask);
-    up_bytes[i] = static_cast<double>(up_frames[i].size());
+    up_bytes[i] = fl::ByteCount(up_frames[i].size());
   }
   Result result = inner_->synchronize(round, staged, weights);
   client_params = std::move(staged);
@@ -80,7 +79,7 @@ fl::SyncStrategy::Result QuantizedSync::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] == 0.0) continue;
     down_frames[i] = fp16_round_trip(client_params[i], mask);
-    down_bytes[i] = static_cast<double>(down_frames[i].size());
+    down_bytes[i] = fl::ByteCount(down_frames[i].size());
   }
   // The wrapper's fp16 buffers replace the inner strategy's traffic in both
   // directions (per-client pulls, so no shared broadcast frame survives).

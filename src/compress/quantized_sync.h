@@ -22,7 +22,7 @@ class QuantizedSync : public fl::SyncStrategy {
 
   void init(std::span<const float> initial_params,
             std::size_t num_clients) override;
-  Result synchronize(std::size_t round,
+  Result synchronize(fl::RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
   std::span<const float> global_params() const override;

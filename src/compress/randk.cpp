@@ -24,12 +24,13 @@ std::vector<std::vector<float>> RandKSync::residuals() const {
   std::vector<std::vector<float>> out(
       num_clients_, std::vector<float>(global_.size(), 0.f));
   residual_.for_each_ordered(
-      [&](std::uint64_t id, const std::vector<float>& r) { out[id] = r; });
+      [&](util::ClientId id, const std::vector<float>& r) {
+        out[id.value()] = r;
+      });
   return out;
 }
 
-fl::SyncStrategy::Result RandKSync::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result RandKSync::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
@@ -41,7 +42,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
 
   // The coordinate set for this round: identical on every client/server
   // because it is derived from the synchronized round index.
-  std::uint64_t mix = options_.seed + 0x9E3779B97F4A7C15ULL * round;
+  std::uint64_t mix = options_.seed + 0x9E3779B97F4A7C15ULL * round.value();
   Rng rng(splitmix64(mix));
   std::vector<std::size_t> order(dim);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -60,8 +61,8 @@ fl::SyncStrategy::Result RandKSync::synchronize(
           : 1.f;
 
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, fl::ByteCount(0));
+  result.bytes_down.assign(n, fl::ByteCount(0));
   result.frames_up.resize(n);
 
   // The round's coordinates in ascending order — the order both sides
@@ -79,7 +80,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
       continue;
     }
     const double w = weights[i] / weight_total;
-    std::vector<float>& residual = residual_.obtain(i);
+    std::vector<float>& residual = residual_.obtain(fl::ClientId(i));
     if (residual.empty()) residual.assign(dim, 0.f);
     // Push: values only, framed as an "APR1" buffer — the coordinate set is
     // derivable from the seed material that rides along in the header.
@@ -99,7 +100,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
     }
     std::vector<std::uint8_t> buf = encode_randk(payload);
     const RandkPayload decoded = decode_randk(buf);
-    result.bytes_up[i] = static_cast<double>(buf.size());
+    result.bytes_up[i] = fl::ByteCount(buf.size());
     result.frames_up[i] = std::move(buf);
     APF_DEBUG_ASSERT_MSG(decoded.seed == mix,
                          "rand-k seed drifted through the wire");
@@ -118,7 +119,7 @@ fl::SyncStrategy::Result RandKSync::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
     if (weights[i] > 0.0) {
-      result.bytes_down[i] = static_cast<double>(down.size());
+      result.bytes_down[i] = fl::ByteCount(down.size());
     }
   }
   result.broadcast_frame = std::move(down);

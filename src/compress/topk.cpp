@@ -23,12 +23,13 @@ std::vector<std::vector<float>> TopKSync::residuals() const {
   std::vector<std::vector<float>> out(
       num_clients_, std::vector<float>(global_.size(), 0.f));
   residual_.for_each_ordered(
-      [&](std::uint64_t id, const std::vector<float>& r) { out[id] = r; });
+      [&](util::ClientId id, const std::vector<float>& r) {
+        out[id.value()] = r;
+      });
   return out;
 }
 
-fl::SyncStrategy::Result TopKSync::synchronize(
-    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result TopKSync::synchronize(fl::RoundId /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
@@ -43,8 +44,8 @@ fl::SyncStrategy::Result TopKSync::synchronize(
   APF_CHECK(weight_total > 0.0);
 
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, fl::ByteCount(0));
+  result.bytes_down.assign(n, fl::ByteCount(0));
   result.frames_up.resize(n);
 
   std::vector<double> acc(dim, 0.0);
@@ -56,7 +57,7 @@ fl::SyncStrategy::Result TopKSync::synchronize(
       // its residual nor the byte counters should move.
       continue;
     }
-    std::vector<float>& residual = residual_.obtain(i);
+    std::vector<float>& residual = residual_.obtain(fl::ClientId(i));
     if (residual.empty()) residual.assign(dim, 0.f);
     for (std::size_t j = 0; j < dim; ++j) {
       pending[j] = client_params[i][j] - global_[j] + residual[j];
@@ -80,7 +81,7 @@ fl::SyncStrategy::Result TopKSync::synchronize(
     }
     std::vector<std::uint8_t> buf = encode_sparse(payload);
     const SparsePayload decoded = decode_sparse(buf);
-    result.bytes_up[i] = static_cast<double>(buf.size());
+    result.bytes_up[i] = fl::ByteCount(buf.size());
     result.frames_up[i] = std::move(buf);
     const double w = weights[i] / weight_total;
     for (std::size_t t = 0; t < decoded.indices.size(); ++t) {
@@ -101,7 +102,7 @@ fl::SyncStrategy::Result TopKSync::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i] = decoded_down;
     if (weights[i] > 0.0) {
-      result.bytes_down[i] = static_cast<double>(down.size());
+      result.bytes_down[i] = fl::ByteCount(down.size());
     }
   }
   result.broadcast_frame = std::move(down);

@@ -18,8 +18,7 @@ void UpdateQuantizedSync::init(std::span<const float> initial_params,
   inner_->init(initial_params, num_clients);
 }
 
-fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   const auto global = inner_->global_params();
   const std::size_t dim = global.size();
@@ -40,7 +39,7 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
   const Bitmap* mask = inner_->frozen_mask();
   Rng staged_rng = rng_;
   std::vector<std::vector<float>> staged = client_params;
-  std::vector<double> up_bytes(n, 0.0);
+  std::vector<fl::ByteCount> up_bytes(n, fl::ByteCount(0));
   std::vector<std::vector<std::uint8_t>> up_frames(n);
   std::vector<float> update;
   for (std::size_t i = 0; i < n; ++i) {
@@ -57,7 +56,7 @@ fl::SyncStrategy::Result UpdateQuantizedSync::synchronize(
     // receiver applies the decoded update on top of the shared model.
     std::vector<std::uint8_t> buf = codec_->encode(update, staged_rng);
     const std::vector<float> decoded = codec_->decode(buf);
-    up_bytes[i] = static_cast<double>(buf.size());
+    up_bytes[i] = fl::ByteCount(buf.size());
     up_frames[i] = std::move(buf);
     std::size_t t = 0;
     for (std::size_t j = 0; j < dim; ++j) {
@@ -105,8 +104,7 @@ void DpNoiseSync::init(std::span<const float> initial_params,
   inner_->init(initial_params, num_clients);
 }
 
-fl::SyncStrategy::Result DpNoiseSync::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result DpNoiseSync::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   if (noise_stddev_ > 0.0) {
     // Frozen scalars are not transmitted, so they carry no noise; pinning

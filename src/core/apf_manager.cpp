@@ -71,8 +71,7 @@ void ApfManager::init(std::span<const float> initial_params,
   fold_round_ = 0;
 }
 
-fl::SyncStrategy::Result ApfManager::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result ApfManager::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   APF_CHECK_MSG(perturbation_.has_value(), "synchronize() before init()");
   // All input validation happens before any member is mutated, so a
@@ -96,36 +95,36 @@ fl::SyncStrategy::Result ApfManager::synchronize(
   APF_CHECK_MSG(weight_total > 0.0, "all aggregation weights are zero");
   begin_fold(round);
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, fl::ByteCount(0));
+  result.bytes_down.assign(n, fl::ByteCount(0));
   result.frames_up.resize(n);
   result.frozen_fraction = fold_frozen_fraction_;
   for (std::size_t i = 0; i < n; ++i) {
     // Every client (participating or not) uploads its packed unfrozen
     // scalars as a dense wire buffer; aggregation consumes the decoded
     // values of the participants.
-    std::vector<std::uint8_t> up_buf = encode_push(i, client_params[i]);
-    result.bytes_up[i] = static_cast<double>(up_buf.size());
-    if (weights[i] > 0.0) fold_push(i, up_buf, weights[i] / weight_total);
+    std::vector<std::uint8_t> up_buf = encode_push(fl::ClientId(i), client_params[i]);
+    result.bytes_up[i] = fl::ByteCount(up_buf.size());
+    if (weights[i] > 0.0) fold_push(fl::ClientId(i), up_buf, weights[i] / weight_total);
     result.frames_up[i] = std::move(up_buf);
   }
   std::vector<std::uint8_t> down_buf = finish_fold();
   for (std::size_t i = 0; i < n; ++i) {
     apply_pull(down_buf, client_params[i]);
-    result.bytes_down[i] = static_cast<double>(down_buf.size());
+    result.bytes_down[i] = fl::ByteCount(down_buf.size());
   }
   result.broadcast_frame = std::move(down_buf);
   return result;
 }
 
 std::vector<std::uint8_t> ApfManager::encode_push(
-    std::uint64_t /*client*/, std::span<const float> params) {
+    fl::ClientId /*client*/, std::span<const float> params) {
   APF_CHECK_MSG(perturbation_.has_value(), "encode_push before init()");
   APF_CHECK(params.size() == global_.size());
   return wire::encode_dense(pack_unfrozen(params, effective_mask_));
 }
 
-void ApfManager::begin_fold(std::size_t round) {
+void ApfManager::begin_fold(fl::RoundId round) {
   APF_CHECK_MSG(perturbation_.has_value(), "begin_fold before init()");
   const std::size_t dim = global_.size();
   // The mask active during this round's local training.
@@ -135,11 +134,11 @@ void ApfManager::begin_fold(std::size_t round) {
                                      << dim);
   fold_frozen_fraction_ =
       static_cast<double>(frozen_count) / static_cast<double>(dim);
-  fold_round_ = round;
+  fold_round_ = round.value();
   agg_.emplace(dim - frozen_count);
 }
 
-void ApfManager::fold_push(std::uint64_t client,
+void ApfManager::fold_push(fl::ClientId client,
                            std::span<const std::uint8_t> frame,
                            double normalized_weight) {
   APF_CHECK_MSG(agg_.has_value(), "fold_push before begin_fold()");

@@ -88,7 +88,7 @@ class ApfManager : public fl::SyncStrategyBase, public fl::StreamSync {
 
   void init(std::span<const float> initial_params,
             std::size_t num_clients) override;
-  Result synchronize(std::size_t round,
+  Result synchronize(fl::RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
 
@@ -101,9 +101,9 @@ class ApfManager : public fl::SyncStrategyBase, public fl::StreamSync {
   /// unaffected by the mask having moved on.
   fl::StreamSync* stream_sync() override { return this; }
   std::vector<std::uint8_t> encode_push(
-      std::uint64_t client, std::span<const float> params) override;
-  void begin_fold(std::size_t round) override;
-  void fold_push(std::uint64_t client, std::span<const std::uint8_t> frame,
+      fl::ClientId client, std::span<const float> params) override;
+  void begin_fold(fl::RoundId round) override;
+  void fold_push(fl::ClientId client, std::span<const std::uint8_t> frame,
                  double normalized_weight) override;
   std::vector<std::uint8_t> finish_fold() override;
   void apply_pull(std::span<const std::uint8_t> frame,

@@ -90,16 +90,15 @@ void StrawmanBase::load_state(std::istream& is) {
 
 PartialSync::PartialSync(StrawmanOptions options) : StrawmanBase(options) {}
 
-fl::SyncStrategy::Result PartialSync::synchronize(
-    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result PartialSync::synchronize(fl::RoundId /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   double weight_total = 0.0;
   for (const double w : weights) weight_total += w;
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, fl::ByteCount(0));
+  result.bytes_down.assign(n, fl::ByteCount(0));
   result.frames_up.resize(n);
   // Push: each client uploads only its non-excluded scalars (packed under the
   // mask in force at upload time), framed as a dense wire buffer; the server
@@ -110,9 +109,9 @@ fl::SyncStrategy::Result PartialSync::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     std::vector<std::uint8_t> buf = wire::encode_dense(
         wire::pack_unfrozen(client_params[i], pre_excluded));
-    result.bytes_up[i] = static_cast<double>(buf.size());
+    result.bytes_up[i] = fl::ByteCount(buf.size());
     if (weights[i] > 0.0) {
-      agg.fold(i, wire::decode_dense(buf), weights[i] / weight_total);
+      agg.fold(fl::ClientId(i), wire::decode_dense(buf), weights[i] / weight_total);
     }
     result.frames_up[i] = std::move(buf);
   }
@@ -131,7 +130,7 @@ fl::SyncStrategy::Result PartialSync::synchronize(
   const std::vector<float> decoded_down = wire::decode_dense(down);
   for (std::size_t i = 0; i < n; ++i) {
     wire::unpack_unfrozen(decoded_down, excluded_, client_params[i]);
-    result.bytes_down[i] = static_cast<double>(down.size());
+    result.bytes_down[i] = fl::ByteCount(down.size());
   }
   result.broadcast_frame = std::move(down);
   result.frozen_fraction = excluded_.fraction();
@@ -141,16 +140,15 @@ fl::SyncStrategy::Result PartialSync::synchronize(
 PermanentFreeze::PermanentFreeze(StrawmanOptions options)
     : StrawmanBase(options) {}
 
-fl::SyncStrategy::Result PermanentFreeze::synchronize(
-    std::size_t /*round*/, std::vector<std::vector<float>>& client_params,
+fl::SyncStrategy::Result PermanentFreeze::synchronize(fl::RoundId /*round*/, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   require_round_inputs(client_params, weights);
   const std::size_t n = client_params.size();
   double weight_total = 0.0;
   for (const double w : weights) weight_total += w;
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, fl::ByteCount(0));
+  result.bytes_down.assign(n, fl::ByteCount(0));
   result.frames_up.resize(n);
   // Push: non-frozen scalars only, packed under the upload-time mask and
   // folded into the streaming aggregate frame by frame.
@@ -159,9 +157,9 @@ fl::SyncStrategy::Result PermanentFreeze::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     std::vector<std::uint8_t> buf = wire::encode_dense(
         wire::pack_unfrozen(client_params[i], pre_excluded));
-    result.bytes_up[i] = static_cast<double>(buf.size());
+    result.bytes_up[i] = fl::ByteCount(buf.size());
     if (weights[i] > 0.0) {
-      agg.fold(i, wire::decode_dense(buf), weights[i] / weight_total);
+      agg.fold(fl::ClientId(i), wire::decode_dense(buf), weights[i] / weight_total);
     }
     result.frames_up[i] = std::move(buf);
   }
@@ -181,7 +179,7 @@ fl::SyncStrategy::Result PermanentFreeze::synchronize(
   for (std::size_t i = 0; i < n; ++i) {
     client_params[i].assign(global_.begin(), global_.end());
     wire::unpack_unfrozen(decoded_down, excluded_, client_params[i]);
-    result.bytes_down[i] = static_cast<double>(down.size());
+    result.bytes_down[i] = fl::ByteCount(down.size());
   }
   result.broadcast_frame = std::move(down);
   result.frozen_fraction = excluded_.fraction();

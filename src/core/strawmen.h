@@ -64,7 +64,7 @@ class PartialSync : public StrawmanBase {
  public:
   explicit PartialSync(StrawmanOptions options = {});
 
-  Result synchronize(std::size_t round,
+  Result synchronize(fl::RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
   std::string name() const override { return "PartialSync"; }
@@ -74,7 +74,7 @@ class PermanentFreeze : public StrawmanBase {
  public:
   explicit PermanentFreeze(StrawmanOptions options = {});
 
-  Result synchronize(std::size_t round,
+  Result synchronize(fl::RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
   const Bitmap* frozen_mask() const override { return &excluded_; }

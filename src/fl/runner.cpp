@@ -13,6 +13,7 @@
 #include "transport/bus.h"
 #include "transport/frame.h"
 #include "transport/streaming.h"
+#include "util/annotations.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -189,11 +190,26 @@ SimulationResult FederatedRunner::run() {
     // accumulate into per-CLIENT slots (never per-lane: which lane trains
     // which client varies run to run) and are summed in client index order
     // below, so train_loss is bit-identical for any worker count.
+    //
+    // The slots live behind a mutex so Clang Thread Safety Analysis can
+    // prove the commit protocol instead of trusting the distinct-index
+    // argument: each lane trains into locals and commits its client's slot
+    // under the lock exactly once. The lock orders nothing — slots are still
+    // distinct per client — it only makes the discipline checkable
+    // (tools/check_thread_safety.sh covers this TU).
     double loss_sum = 0.0;
     std::size_t loss_count = 0;
     double max_compute_seconds = 0.0;
-    std::vector<double> client_loss(n, 0.0);
-    std::vector<std::size_t> client_iters(n, 0);
+    struct RoundScratch {
+      util::Mutex mu;
+      std::vector<double> loss APF_GUARDED_BY(mu);
+      std::vector<std::size_t> iters APF_GUARDED_BY(mu);
+    } scratch;
+    {
+      util::MutexLock lock(scratch.mu);
+      scratch.loss.assign(n, 0.0);
+      scratch.iters.assign(n, 0);
+    }
     auto train_client = [&](std::size_t i, double& local_loss_sum,
                             std::size_t& local_loss_count) {
       Client& client = clients[i];
@@ -231,12 +247,20 @@ SimulationResult FederatedRunner::run() {
                   "round " << round << " selected zero participants");
     pool.parallel_for(active.size(), [&](std::size_t slot) {
       const std::size_t i = active[slot];
-      train_client(i, client_loss[i], client_iters[i]);
+      double local_loss_sum = 0.0;
+      std::size_t local_loss_count = 0;
+      train_client(i, local_loss_sum, local_loss_count);
+      util::MutexLock lock(scratch.mu);
+      scratch.loss[i] = local_loss_sum;
+      scratch.iters[i] = local_loss_count;
     });
     // Ordered reduction: client index order, independent of lane count.
-    for (std::size_t i : active) {
-      loss_sum += client_loss[i];
-      loss_count += client_iters[i];
+    {
+      util::MutexLock lock(scratch.mu);
+      for (std::size_t i : active) {
+        loss_sum += scratch.loss[i];
+        loss_count += scratch.iters[i];
+      }
     }
     for (std::size_t i : active) {
       max_compute_seconds =
@@ -259,7 +283,7 @@ SimulationResult FederatedRunner::run() {
                        : static_cast<double>(partition_[i].size());
     }
     SyncStrategy::Result sync =
-        strategy_.synchronize(round, client_params, weights);
+        strategy_.synchronize(RoundId(round), client_params, weights);
     APF_CHECK(sync.bytes_up.size() == n && sync.bytes_down.size() == n);
     for (std::size_t i = 0; i < n; ++i) {
       if (participates[i]) clients[i].view->scatter(client_params[i]);
@@ -275,37 +299,35 @@ SimulationResult FederatedRunner::run() {
     // aggregate on the server side of the bus: aux push frames fold into a
     // streaming mean in ascending client order and the result broadcasts
     // back as one aux frame per participant.
-    bus.begin_round(static_cast<std::uint32_t>(round));
+    bus.begin_round(RoundId(round));
     APF_CHECK_MSG(
         sync.frames_up.empty() || sync.frames_up.size() == n,
         strategy_.name() << " captured " << sync.frames_up.size()
                          << " push frames for " << n << " clients");
     const bool captured = sync.frames_up.size() == n;
-    auto placeholder_frame = [&](double declared,
-                                 const char* dir) -> std::vector<std::uint8_t> {
-      APF_CHECK_MSG(std::isfinite(declared) && declared >= 0.0 &&
-                        declared == std::floor(declared),
-                    strategy_.name() << " declared non-integral " << dir
-                                     << " byte count " << declared);
-      return std::vector<std::uint8_t>(static_cast<std::size_t>(declared), 0);
+    // Declared byte counts are ByteCount by type, so the pre-strong-type
+    // "declared count must be integral" check is now a compile-time fact.
+    auto placeholder_frame = [](ByteCount declared) {
+      return std::vector<std::uint8_t>(
+          static_cast<std::size_t>(declared.value()), 0);
     };
     for (std::size_t i : active) {
       if (captured) {
         APF_CHECK_MSG(
-            static_cast<double>(sync.frames_up[i].size()) == sync.bytes_up[i],
+            ByteCount(sync.frames_up[i].size()) == sync.bytes_up[i],
             strategy_.name() << " client " << i << " push frame size "
                              << sync.frames_up[i].size() << " != declared "
                              << sync.bytes_up[i]);
         if (!sync.frames_up[i].empty()) {
-          bus.push(i, transport::Frame::Kind::kStrategy,
+          bus.push(ClientId(i), transport::Frame::Kind::kStrategy,
                    std::move(sync.frames_up[i]));
         }
-      } else if (sync.bytes_up[i] > 0.0) {
-        bus.push(i, transport::Frame::Kind::kStrategy,
-                 placeholder_frame(sync.bytes_up[i], "upload"));
+      } else if (sync.bytes_up[i] > ByteCount(0)) {
+        bus.push(ClientId(i), transport::Frame::Kind::kStrategy,
+                 placeholder_frame(sync.bytes_up[i]));
       }
       if (buffer_dim > 0) {
-        bus.push(i, transport::Frame::Kind::kAuxiliary,
+        bus.push(ClientId(i), transport::Frame::Kind::kAuxiliary,
                  wire::encode_dense(nn::flatten_buffers(*clients[i].model)));
       }
     }
@@ -314,13 +336,13 @@ SimulationResult FederatedRunner::run() {
     // folding aux frames into the buffer mean as they stream past. Peak
     // server memory stays O(model): one streaming accumulator, never a
     // per-client staging table.
-    double buffer_bytes = 0.0;
+    ByteCount buffer_bytes;
     {
       transport::StreamingAggregator buf_agg(buffer_dim);
       for (transport::Frame& frame : bus.take_pushes()) {
         if (frame.kind != transport::Frame::Kind::kAuxiliary) continue;
         const std::vector<float> decoded = wire::decode_dense(frame.payload);
-        buffer_bytes = static_cast<double>(frame.payload.size());
+        buffer_bytes = frame.size_bytes();
         buf_agg.fold(frame.client, decoded, 1.0);
       }
       if (buffer_dim > 0) {
@@ -331,8 +353,8 @@ SimulationResult FederatedRunner::run() {
     std::vector<std::uint8_t> buffer_down;
     if (buffer_dim > 0) {
       buffer_down = wire::encode_dense(global_buffers);
-      // Dense frames are symmetric, so one scalar covers both directions.
-      APF_CHECK(buffer_bytes == static_cast<double>(buffer_down.size()));
+      // Dense frames are symmetric, so one count covers both directions.
+      APF_CHECK(buffer_bytes == ByteCount(buffer_down.size()));
     }
 
     // Pull direction: the strategy's pull frame (per-client when it ships
@@ -344,25 +366,27 @@ SimulationResult FederatedRunner::run() {
       if (per_client_down && !sync.frames_down[i].empty()) {
         down = std::move(sync.frames_down[i]);
       } else if (captured && !sync.broadcast_frame.empty() &&
-                 sync.bytes_down[i] > 0.0) {
+                 sync.bytes_down[i] > ByteCount(0)) {
         down = sync.broadcast_frame;  // one copy per receiving client
-      } else if (sync.bytes_down[i] > 0.0) {
-        down = placeholder_frame(sync.bytes_down[i], "download");
+      } else if (sync.bytes_down[i] > ByteCount(0)) {
+        down = placeholder_frame(sync.bytes_down[i]);
       }
       if (!down.empty()) {
         APF_CHECK_MSG(
-            static_cast<double>(down.size()) == sync.bytes_down[i],
+            ByteCount(down.size()) == sync.bytes_down[i],
             strategy_.name() << " client " << i << " pull frame size "
                              << down.size() << " != declared "
                              << sync.bytes_down[i]);
-        bus.deliver(i, transport::Frame::Kind::kStrategy, std::move(down));
+        bus.deliver(ClientId(i), transport::Frame::Kind::kStrategy,
+                    std::move(down));
       }
       if (buffer_dim > 0) {
-        bus.deliver(i, transport::Frame::Kind::kAuxiliary, buffer_down);
+        bus.deliver(ClientId(i), transport::Frame::Kind::kAuxiliary,
+                    buffer_down);
       }
     }
     for (std::size_t i : active) {
-      for (transport::Frame& frame : bus.take_pulls(i)) {
+      for (transport::Frame& frame : bus.take_pulls(ClientId(i))) {
         if (frame.kind == transport::Frame::Kind::kAuxiliary) {
           nn::load_buffers(*clients[i].model,
                            wire::decode_dense(frame.payload));
@@ -378,7 +402,9 @@ SimulationResult FederatedRunner::run() {
     // bit for bit.
     const transport::RoundStats net = bus.finish_round();
     const double max_client_comm_seconds = net.max_client_comm_seconds;
-    const double total_bytes_all_clients = net.total_bytes;
+    // Exit the measured integer domain exactly once: everything below is
+    // amortization/pricing math, which runs in double as it always has.
+    const double total_bytes_all_clients = net.total_bytes.to_double();
     // bytes_per_client amortizes the round's traffic over ALL n clients
     // (non-participants contribute zero traffic but stay in the
     // denominator); bytes_per_participant divides by participants only. See
@@ -397,7 +423,7 @@ SimulationResult FederatedRunner::run() {
     frozen_stat.add(sync.frozen_fraction);
 
     RoundRecord record;
-    record.round = round;
+    record.round = RoundId(round);
     record.train_loss =
         loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
     record.bytes_per_client = mean_bytes;
@@ -435,7 +461,9 @@ SimulationResult FederatedRunner::run() {
                         << " loss=" << record.train_loss);
     }
     result.rounds.push_back(record);
-    if (observer_) observer_(round, strategy_.global_params(), client_params);
+    if (observer_) {
+      observer_(RoundId(round), strategy_.global_params(), client_params);
+    }
   }
 
   result.total_bytes_per_client = cum_bytes;

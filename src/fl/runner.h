@@ -73,7 +73,7 @@ struct FlConfig {
 
 /// One round's metrics.
 struct RoundRecord {
-  std::size_t round = 0;
+  RoundId round;
   double test_accuracy = -1.0;  // -1 when not evaluated this round
   double train_loss = 0.0;      // mean local loss across clients
 
@@ -121,9 +121,9 @@ using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
 using OptimizerFactory =
     std::function<std::unique_ptr<optim::Optimizer>(nn::Module&)>;
 
-/// Optional per-round observer (round index, global params, client params).
+/// Optional per-round observer (round id, global params, client params).
 using RoundObserver = std::function<void(
-    std::size_t round, std::span<const float> global_params,
+    RoundId round, std::span<const float> global_params,
     const std::vector<std::vector<float>>& client_params)>;
 
 class FederatedRunner {

@@ -66,7 +66,7 @@ void SyncStrategyBase::weighted_average(
 }
 
 SyncStrategy::Result FullSync::synchronize(
-    std::size_t round, std::vector<std::vector<float>>& client_params,
+    RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
   // Everything is validated before any state moves (rejection stays
   // atomic); after this, none of the stream hooks below can throw.
@@ -75,42 +75,44 @@ SyncStrategy::Result FullSync::synchronize(
   double weight_total = 0.0;
   for (const double w : weights) weight_total += w;
   Result result;
-  result.bytes_up.assign(n, 0.0);
-  result.bytes_down.assign(n, 0.0);
+  result.bytes_up.assign(n, ByteCount(0));
+  result.bytes_down.assign(n, ByteCount(0));
   result.frames_up.resize(n);
   // Push: every client uploads its full model as a dense wire buffer; each
   // decoded frame folds straight into the streaming aggregate (fp32
   // round-trips bit-exactly), so the server never stages per-client copies.
   begin_fold(round);
   for (std::size_t i = 0; i < n; ++i) {
-    std::vector<std::uint8_t> buf = encode_push(i, client_params[i]);
-    result.bytes_up[i] = static_cast<double>(buf.size());
-    if (weights[i] > 0.0) fold_push(i, buf, weights[i] / weight_total);
+    std::vector<std::uint8_t> buf = encode_push(ClientId(i), client_params[i]);
+    result.bytes_up[i] = ByteCount(buf.size());
+    if (weights[i] > 0.0) {
+      fold_push(ClientId(i), buf, weights[i] / weight_total);
+    }
     result.frames_up[i] = std::move(buf);
   }
   // Pull: one dense model buffer, decoded by every client.
   std::vector<std::uint8_t> down = finish_fold();
   for (std::size_t i = 0; i < n; ++i) {
     apply_pull(down, client_params[i]);
-    result.bytes_down[i] = static_cast<double>(down.size());
+    result.bytes_down[i] = ByteCount(down.size());
   }
   result.broadcast_frame = std::move(down);
   return result;
 }
 
-std::vector<std::uint8_t> FullSync::encode_push(std::uint64_t /*client*/,
+std::vector<std::uint8_t> FullSync::encode_push(ClientId /*client*/,
                                                 std::span<const float> params) {
   APF_CHECK_MSG(!global_.empty(), "encode_push before init()");
   APF_CHECK(params.size() == global_.size());
   return wire::encode_dense(params);
 }
 
-void FullSync::begin_fold(std::size_t /*round*/) {
+void FullSync::begin_fold(RoundId /*round*/) {
   APF_CHECK_MSG(!global_.empty(), "begin_fold before init()");
   agg_.emplace(global_.size());
 }
 
-void FullSync::fold_push(std::uint64_t client,
+void FullSync::fold_push(ClientId client,
                          std::span<const std::uint8_t> frame,
                          double normalized_weight) {
   APF_CHECK_MSG(agg_.has_value(), "fold_push before begin_fold()");

@@ -17,8 +17,18 @@
 
 #include "transport/streaming.h"
 #include "util/bitmap.h"
+#include "util/ids.h"
 
 namespace apf::fl {
+
+// Strong id/byte types (util/ids.h): every client id, round id, sequence
+// number and byte count crossing the strategy interface is typed, so
+// transposed arguments are compile errors (apf_ast_lint.py `strong-type`
+// rule keeps bare integers from creeping back in).
+using util::ByteCount;
+using util::ClientId;
+using util::RoundId;
+using util::SeqNo;
 
 /// Optional frame-streaming capability (see docs/TRANSPORT.md).
 ///
@@ -38,15 +48,15 @@ class StreamSync {
   /// parameters. Valid any time between rounds (the round's mask/state is
   /// whatever the last finish_fold() left behind).
   virtual std::vector<std::uint8_t> encode_push(
-      std::uint64_t client, std::span<const float> params) = 0;
+      ClientId client, std::span<const float> params) = 0;
 
   /// Server side: arms the fold for `round` (1-based).
-  virtual void begin_fold(std::size_t round) = 0;
+  virtual void begin_fold(RoundId round) = 0;
 
   /// Server side: folds one arriving push frame. `normalized_weight` is the
   /// client's aggregation weight divided by the round's weight total.
   /// Clients must fold in strictly ascending id order.
-  virtual void fold_push(std::uint64_t client,
+  virtual void fold_push(ClientId client,
                          std::span<const std::uint8_t> frame,
                          double normalized_weight) = 0;
 
@@ -64,11 +74,12 @@ class SyncStrategy {
  public:
   virtual ~SyncStrategy() = default;
 
-  /// Per-round synchronization accounting.
+  /// Per-round synchronization accounting. Byte figures are measured
+  /// ByteCounts — payload.size() of a real wire buffer, never a model.
   struct Result {
-    std::vector<double> bytes_up;    // per client, this round
-    std::vector<double> bytes_down;  // per client, this round
-    double frozen_fraction = 0.0;    // of scalars excluded from sync
+    std::vector<ByteCount> bytes_up;    // per client, this round
+    std::vector<ByteCount> bytes_down;  // per client, this round
+    double frozen_fraction = 0.0;       // of scalars excluded from sync
 
     // -- captured transport frames ----------------------------------------
     // A strategy that captures its traffic fills frames_up with exactly one
@@ -92,7 +103,7 @@ class SyncStrategy {
   /// flattened parameters after local training and, on return, its post-sync
   /// parameters. `weights[i]` is the aggregation weight (0 drops a client).
   /// `round` is 1-based.
-  virtual Result synchronize(std::size_t round,
+  virtual Result synchronize(RoundId round,
                              std::vector<std::vector<float>>& client_params,
                              const std::vector<double>& weights) = 0;
 
@@ -149,15 +160,15 @@ class SyncStrategyBase : public SyncStrategy {
 /// the bus path and the in-memory path are one code path.
 class FullSync : public SyncStrategyBase, public StreamSync {
  public:
-  Result synchronize(std::size_t round,
+  Result synchronize(RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override;
 
   StreamSync* stream_sync() override { return this; }
   std::vector<std::uint8_t> encode_push(
-      std::uint64_t client, std::span<const float> params) override;
-  void begin_fold(std::size_t round) override;
-  void fold_push(std::uint64_t client, std::span<const std::uint8_t> frame,
+      ClientId client, std::span<const float> params) override;
+  void begin_fold(RoundId round) override;
+  void fold_push(ClientId client, std::span<const std::uint8_t> frame,
                  double normalized_weight) override;
   std::vector<std::uint8_t> finish_fold() override;
   void apply_pull(std::span<const std::uint8_t> frame,

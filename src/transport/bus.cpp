@@ -11,46 +11,48 @@ Bus::Bus(NetworkModel network, std::size_t shard_count)
   network_.validate("transport::Bus");
 }
 
-void Bus::begin_round(std::uint32_t round) {
+void Bus::begin_round(RoundId round) {
   APF_CHECK_MSG(!in_round_, "begin_round while round " << round_
                                                        << " is still open");
-  APF_CHECK(round > 0);
+  APF_CHECK(round.value() > 0);
   round_ = round;
   in_round_ = true;
 }
 
-std::uint64_t Bus::push(std::uint64_t client, Frame::Kind kind,
-                        std::vector<std::uint8_t> payload) {
+SeqNo Bus::push(ClientId client, Frame::Kind kind,
+                std::vector<std::uint8_t> payload) {
   APF_CHECK_MSG(in_round_, "push outside begin_round/finish_round");
   LinkState& link = links_.obtain(client);
   Frame frame;
   frame.client = client;
   frame.round = round_;
   frame.kind = kind;
-  frame.seq = link.next_seq++;
-  const std::uint64_t seq = frame.seq;
+  frame.seq = link.next_seq;
+  link.next_seq = util::next_seq(link.next_seq);
+  const SeqNo seq = frame.seq;
   const std::size_t bytes = payload.size();
   frame.payload = std::move(payload);
-  link.up_bytes += bytes;
+  link.up_bytes += ByteCount(bytes);
   ++link.up_frames;
   link.inbox.push_back(std::move(frame));
   note_queued(bytes);
   return seq;
 }
 
-std::uint64_t Bus::deliver(std::uint64_t client, Frame::Kind kind,
-                           std::vector<std::uint8_t> payload) {
+SeqNo Bus::deliver(ClientId client, Frame::Kind kind,
+                   std::vector<std::uint8_t> payload) {
   APF_CHECK_MSG(in_round_, "deliver outside begin_round/finish_round");
   LinkState& link = links_.obtain(client);
   Frame frame;
   frame.client = client;
   frame.round = round_;
   frame.kind = kind;
-  frame.seq = link.next_seq++;
-  const std::uint64_t seq = frame.seq;
+  frame.seq = link.next_seq;
+  link.next_seq = util::next_seq(link.next_seq);
+  const SeqNo seq = frame.seq;
   const std::size_t bytes = payload.size();
   frame.payload = std::move(payload);
-  link.down_bytes += bytes;
+  link.down_bytes += ByteCount(bytes);
   ++link.down_frames;
   link.mailbox.push_back(std::move(frame));
   note_queued(bytes);
@@ -60,9 +62,9 @@ std::uint64_t Bus::deliver(std::uint64_t client, Frame::Kind kind,
 std::vector<Frame> Bus::take_pushes() {
   APF_CHECK_MSG(in_round_, "take_pushes outside begin_round/finish_round");
   std::vector<Frame> out;
-  links_.for_each_ordered([&](std::uint64_t /*id*/, LinkState& link) {
+  links_.for_each_ordered([&](ClientId /*id*/, LinkState& link) {
     for (Frame& frame : link.inbox) {
-      note_taken(frame.size_bytes());
+      note_taken(frame.payload.size());
       out.push_back(std::move(frame));
     }
     link.inbox.clear();
@@ -70,27 +72,27 @@ std::vector<Frame> Bus::take_pushes() {
   return out;
 }
 
-std::vector<Frame> Bus::take_pulls(std::uint64_t client) {
+std::vector<Frame> Bus::take_pulls(ClientId client) {
   APF_CHECK_MSG(in_round_, "take_pulls outside begin_round/finish_round");
   std::vector<Frame> out;
   LinkState* link = links_.find(client);
   if (link == nullptr) return out;
   for (Frame& frame : link->mailbox) {
-    note_taken(frame.size_bytes());
+    note_taken(frame.payload.size());
     out.push_back(std::move(frame));
   }
   link->mailbox.clear();
   return out;
 }
 
-std::uint64_t Bus::link_up_bytes(std::uint64_t client) const {
+ByteCount Bus::link_up_bytes(ClientId client) const {
   const LinkState* link = links_.find(client);
-  return link == nullptr ? 0 : link->up_bytes;
+  return link == nullptr ? ByteCount(0) : link->up_bytes;
 }
 
-std::uint64_t Bus::link_down_bytes(std::uint64_t client) const {
+ByteCount Bus::link_down_bytes(ClientId client) const {
   const LinkState* link = links_.find(client);
-  return link == nullptr ? 0 : link->down_bytes;
+  return link == nullptr ? ByteCount(0) : link->down_bytes;
 }
 
 RoundStats Bus::finish_round() {
@@ -99,8 +101,10 @@ RoundStats Bus::finish_round() {
   stats.round = round_;
   // Ascending client id: the same order (and therefore the same double
   // addition sequence) the pre-bus runner used, so the totals are
-  // bit-identical to the legacy in-memory accounting.
-  links_.for_each_ordered([&](std::uint64_t id, LinkState& link) {
+  // bit-identical to the legacy in-memory accounting. (The ByteCount sum is
+  // an exact integer; converting it to double once is identical to summing
+  // the exactly-representable per-link doubles.)
+  links_.for_each_ordered([&](ClientId id, LinkState& link) {
     APF_CHECK_MSG(link.inbox.empty(),
                   "round " << round_ << ": client " << id << " pushed "
                            << link.inbox.size()
@@ -109,13 +113,11 @@ RoundStats Bus::finish_round() {
                   "round " << round_ << ": client " << id << " never took "
                            << link.mailbox.size()
                            << " delivered frame(s)");
-    const double up = static_cast<double>(link.up_bytes);
-    const double down = static_cast<double>(link.down_bytes);
-    stats.total_bytes += up + down;
+    stats.total_bytes += link.up_bytes + link.down_bytes;
     stats.frames_up += link.up_frames;
     stats.frames_down += link.down_frames;
-    double comm = network_.client_upload_seconds(up) +
-                  network_.client_download_seconds(down);
+    double comm = network_.client_upload_seconds(link.up_bytes) +
+                  network_.client_download_seconds(link.down_bytes);
     if (network_.frame_latency_seconds > 0.0) {
       comm += network_.frame_latency_seconds *
               static_cast<double>(link.up_frames + link.down_frames);
@@ -130,6 +132,7 @@ RoundStats Bus::finish_round() {
   return stats;
 }
 
+// lint-apf: allow-weak-type(feeds std::atomic counters directly)
 void Bus::note_queued(std::size_t bytes) {
   const std::size_t now =
       queued_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -139,6 +142,7 @@ void Bus::note_queued(std::size_t bytes) {
   }
 }
 
+// lint-apf: allow-weak-type(feeds std::atomic counters directly)
 void Bus::note_taken(std::size_t bytes) {
   queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
 }

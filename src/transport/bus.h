@@ -21,6 +21,10 @@
 // resets the per-round link state, so bus memory is O(links active this
 // round), not O(client universe).
 //
+// All identifiers crossing this interface are strong types (util/ids.h):
+// links are ClientId, rounds RoundId, send order SeqNo, and every byte
+// figure a ByteCount, so transposed arguments fail to compile.
+//
 // Thread safety: push/deliver/take_pulls may run concurrently for DISTINCT
 // clients (per-link state lives in a ShardedClientStore; see its contract);
 // a single link has a single logical owner on each side. begin_round /
@@ -40,11 +44,11 @@ namespace apf::transport {
 
 /// Measured traffic of one round, priced by the NetworkModel.
 struct RoundStats {
-  std::uint32_t round = 0;
+  RoundId round;
   std::size_t active_links = 0;  // links that carried at least one frame
   std::uint64_t frames_up = 0;
   std::uint64_t frames_down = 0;
-  double total_bytes = 0.0;  // up + down across all links, ascending-id sum
+  ByteCount total_bytes;  // up + down across all links
   /// BSP barrier: the slowest link's upload + download time.
   double max_client_comm_seconds = 0.0;
   /// Time for the shared server link to carry total_bytes.
@@ -58,38 +62,38 @@ class Bus {
   const NetworkModel& network() const { return network_; }
 
   /// Arms the bus for round `round` (1-based).
-  void begin_round(std::uint32_t round);
+  void begin_round(RoundId round);
 
   /// Client -> server. The payload must be a real encoded wire buffer; its
   /// size is the charge. Returns the frame's per-link sequence number.
-  std::uint64_t push(std::uint64_t client, Frame::Kind kind,
-                     std::vector<std::uint8_t> payload);
+  SeqNo push(ClientId client, Frame::Kind kind,
+             std::vector<std::uint8_t> payload);
 
   /// Server -> client. Same contract as push(), opposite direction.
-  std::uint64_t deliver(std::uint64_t client, Frame::Kind kind,
-                        std::vector<std::uint8_t> payload);
+  SeqNo deliver(ClientId client, Frame::Kind kind,
+                std::vector<std::uint8_t> payload);
 
   /// Server receive: drains every arrived push, sorted by (client id, send
   /// sequence) — the deterministic fold order for streaming aggregation.
   std::vector<Frame> take_pushes();
 
   /// Client receive: drains `client`'s mailbox in send order.
-  std::vector<Frame> take_pulls(std::uint64_t client);
+  std::vector<Frame> take_pulls(ClientId client);
 
   /// Per-link byte counters for the round in flight (0 for untouched links).
-  std::uint64_t link_up_bytes(std::uint64_t client) const;
-  std::uint64_t link_down_bytes(std::uint64_t client) const;
+  ByteCount link_up_bytes(ClientId client) const;
+  ByteCount link_down_bytes(ClientId client) const;
 
   /// Payload bytes currently queued (pushed or delivered, not yet taken).
-  std::size_t queued_bytes() const {
-    return queued_bytes_.load(std::memory_order_relaxed);
+  ByteCount queued_bytes() const {
+    return ByteCount(queued_bytes_.load(std::memory_order_relaxed));
   }
 
   /// High-water mark of queued_bytes() since construction — the figure the
   /// million-client bench asserts is O(in-flight window), independent of the
   /// client universe.
-  std::size_t peak_queued_bytes() const {
-    return peak_queued_bytes_.load(std::memory_order_relaxed);
+  ByteCount peak_queued_bytes() const {
+    return ByteCount(peak_queued_bytes_.load(std::memory_order_relaxed));
   }
 
   /// Closes the round: every frame must have been taken. Prices each link in
@@ -98,22 +102,25 @@ class Bus {
 
  private:
   struct LinkState {
-    std::uint64_t next_seq = 0;
-    std::uint64_t up_bytes = 0;
-    std::uint64_t down_bytes = 0;
+    SeqNo next_seq;
+    ByteCount up_bytes;
+    ByteCount down_bytes;
     std::uint64_t up_frames = 0;
     std::uint64_t down_frames = 0;
     std::vector<Frame> inbox;    // server-bound, awaiting take_pushes()
     std::vector<Frame> mailbox;  // client-bound, awaiting take_pulls()
   };
 
+  // Private plumbing into the std::atomic counters below; the public
+  // surface exposes ByteCount accessors (queued_bytes/peak_queued_bytes).
+  // lint-apf: allow-weak-type(feeds std::atomic counters directly)
   void note_queued(std::size_t bytes);
-  void note_taken(std::size_t bytes);
+  void note_taken(std::size_t bytes);  // lint-apf: allow-weak-type(as above)
 
   NetworkModel network_;
   // Round lifecycle state; owned by the server coordinator thread (see the
   // header comment), so it needs no lock.
-  std::uint32_t round_ = 0;
+  RoundId round_;
   bool in_round_ = false;
   ShardedClientStore<LinkState> links_;
   std::atomic<std::size_t> queued_bytes_{0};

@@ -2,7 +2,8 @@
 //
 // A million-client round must not allocate per-client state for clients that
 // never participate: entries here are created lazily on first touch and keyed
-// by client id, so memory is O(clients ever touched), not O(client universe).
+// by util::ClientId, so memory is O(clients ever touched), not O(client
+// universe).
 // The id space is hashed over a fixed set of shards, each guarded by its own
 // mutex, so concurrent lanes touching different clients rarely contend.
 //
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "util/annotations.h"
+#include "util/ids.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -43,21 +45,21 @@ class ShardedClientStore {
 
   /// Returns the entry for `client`, default-constructing it if absent.
   /// The reference stays valid until clear().
-  T& obtain(std::uint64_t client) {
+  T& obtain(util::ClientId client) {
     Shard& shard = shard_for(client);
     util::MutexLock lock(shard.mu);
     return shard.entries[client];
   }
 
   /// Returns the entry for `client`, or nullptr if it was never touched.
-  T* find(std::uint64_t client) {
+  T* find(util::ClientId client) {
     Shard& shard = shard_for(client);
     util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(client);
     return it == shard.entries.end() ? nullptr : &it->second;
   }
 
-  const T* find(std::uint64_t client) const {
+  const T* find(util::ClientId client) const {
     const Shard& shard = shard_for(client);
     util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(client);
@@ -75,8 +77,8 @@ class ShardedClientStore {
   }
 
   /// Every touched client id, ascending.
-  std::vector<std::uint64_t> sorted_ids() const {
-    std::vector<std::uint64_t> ids;
+  std::vector<util::ClientId> sorted_ids() const {
+    std::vector<util::ClientId> ids;
     ids.reserve(size());
     for (const auto& shard : shards_) {
       util::MutexLock lock(shard->mu);
@@ -91,7 +93,7 @@ class ShardedClientStore {
   /// interleaved with concurrent obtain()/clear().
   template <typename Fn>
   void for_each_ordered(Fn&& fn) {
-    for (const std::uint64_t id : sorted_ids()) {
+    for (const util::ClientId id : sorted_ids()) {
       T* entry = find(id);
       if (entry != nullptr) fn(id, *entry);
     }
@@ -99,7 +101,7 @@ class ShardedClientStore {
 
   template <typename Fn>
   void for_each_ordered(Fn&& fn) const {
-    for (const std::uint64_t id : sorted_ids()) {
+    for (const util::ClientId id : sorted_ids()) {
       const T* entry = find(id);
       if (entry != nullptr) fn(id, *entry);
     }
@@ -116,15 +118,15 @@ class ShardedClientStore {
  private:
   struct Shard {
     mutable util::Mutex mu;
-    std::map<std::uint64_t, T> entries APF_GUARDED_BY(mu);
+    std::map<util::ClientId, T> entries APF_GUARDED_BY(mu);
   };
 
-  Shard& shard_for(std::uint64_t client) {
-    std::uint64_t state = client;
+  Shard& shard_for(util::ClientId client) {
+    std::uint64_t state = client.value();
     return *shards_[splitmix64(state) % shards_.size()];
   }
-  const Shard& shard_for(std::uint64_t client) const {
-    std::uint64_t state = client;
+  const Shard& shard_for(util::ClientId client) const {
+    std::uint64_t state = client.value();
     return *shards_[splitmix64(state) % shards_.size()];
   }
 

@@ -5,29 +5,43 @@
 // travels on, the round it belongs to, and a per-link send sequence number.
 // The bus never inspects payloads; byte accounting is always the measured
 // payload size, never a modeled estimate.
+//
+// The tags are strong types (src/util/ids.h): a ClientId cannot be passed
+// where a RoundId or SeqNo is expected, and size_bytes() is a ByteCount, so
+// the id/byte mix-ups that bare integers allowed are now compile errors.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "util/ids.h"
+
 namespace apf::transport {
+
+using util::ByteCount;
+using util::ClientId;
+using util::RoundId;
+using util::SeqNo;
 
 struct Frame {
   /// What the payload carries. The bus treats both identically; the tag lets
-  /// the receiver dispatch without sniffing the wire magic.
+  /// the receiver dispatch without sniffing the wire magic. Dispatch over
+  /// Kind must be exhaustive and default-free (apf_ast_lint.py rule
+  /// `exhaustive-dispatch`), so adding an enumerator breaks every switch
+  /// that has not decided what to do with it.
   enum class Kind : std::uint8_t {
     kStrategy = 0,   // a SyncStrategy push/pull payload
     kAuxiliary = 1,  // auxiliary state (e.g. BatchNorm buffer vectors)
   };
 
-  std::uint64_t client = 0;  // the link (client id) this frame travels on
-  std::uint32_t round = 0;   // 1-based communication round
+  ClientId client;  // the link this frame travels on
+  RoundId round;    // 1-based communication round
   Kind kind = Kind::kStrategy;
-  std::uint64_t seq = 0;     // per-link send order, assigned by the bus
+  SeqNo seq;        // per-link send order, assigned by the bus
   std::vector<std::uint8_t> payload;
 
-  std::size_t size_bytes() const { return payload.size(); }
+  ByteCount size_bytes() const { return ByteCount(payload.size()); }
 };
 
 }  // namespace apf::transport

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <string>
 
+#include "util/ids.h"
+
 namespace apf::transport {
 
 struct NetworkModel {
@@ -41,6 +43,20 @@ struct NetworkModel {
 
   /// Seconds for the server to move `total_bytes` across its link.
   double server_seconds(double total_bytes) const;
+
+  // Measured-count overloads: the bus prices links in util::ByteCount; the
+  // conversion to double happens exactly here (exact for every measured
+  // count, see ByteCount::to_double), so pricing arithmetic is bit-identical
+  // to the historical double-in-double-out path.
+  double client_download_seconds(util::ByteCount bytes) const {
+    return client_download_seconds(bytes.to_double());
+  }
+  double client_upload_seconds(util::ByteCount bytes) const {
+    return client_upload_seconds(bytes.to_double());
+  }
+  double server_seconds(util::ByteCount total_bytes) const {
+    return server_seconds(total_bytes.to_double());
+  }
 };
 
 }  // namespace apf::transport

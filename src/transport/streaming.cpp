@@ -12,10 +12,10 @@ StreamingAggregator::StreamingAggregator(std::size_t dim) : acc_(dim, 0.0) {}
 void StreamingAggregator::reset() {
   std::fill(acc_.begin(), acc_.end(), 0.0);
   folded_ = 0;
-  last_client_ = 0;
+  last_client_ = util::ClientId(0);
 }
 
-void StreamingAggregator::fold(std::uint64_t client,
+void StreamingAggregator::fold(util::ClientId client,
                                std::span<const float> values, double weight) {
   APF_CHECK_MSG(values.size() == acc_.size(),
                 "streaming fold payload dim " << values.size()

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "util/ids.h"
+
 namespace apf::transport {
 
 class StreamingAggregator {
@@ -28,7 +30,7 @@ class StreamingAggregator {
   /// `weight` is the client's (already normalized) aggregation weight.
   /// Client ids must be folded in strictly ascending order — that IS the
   /// determinism guarantee, so violations throw.
-  void fold(std::uint64_t client, std::span<const float> values,
+  void fold(util::ClientId client, std::span<const float> values,
             double weight);
 
   std::size_t dim() const { return acc_.size(); }
@@ -50,7 +52,7 @@ class StreamingAggregator {
  private:
   std::vector<double> acc_;
   std::size_t folded_ = 0;
-  std::uint64_t last_client_ = 0;
+  util::ClientId last_client_;
 };
 
 }  // namespace apf::transport

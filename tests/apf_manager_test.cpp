@@ -46,7 +46,7 @@ struct SyntheticDriver {
         }
       }
     }
-    last_ = strategy_.synchronize(k, params_, std::vector<double>(n_, 1.0));
+    last_ = strategy_.synchronize(fl::RoundId(k), params_, std::vector<double>(n_, 1.0));
   }
 
   fl::SyncStrategy& strategy_;
@@ -111,7 +111,7 @@ TEST(ApfManager, BytesScaleWithUnfrozenCount) {
   ApfManager manager(fast_options());
   SyntheticDriver driver(manager, 20);
   driver.round(1);
-  EXPECT_DOUBLE_EQ(driver.last_.bytes_up[0], 8.0 + 4.0 * 20);
+  EXPECT_EQ(driver.last_.bytes_up[0], fl::ByteCount(8 + 4 * 20));
   // Each round's bytes must equal the measured APD1 frame over the packed
   // unfrozen coordinates — 8-byte header + 4 * (dim - frozen) — and
   // freezing must reduce traffic on at least half the rounds.
@@ -119,8 +119,9 @@ TEST(ApfManager, BytesScaleWithUnfrozenCount) {
   for (std::size_t k = 2; k <= 60; ++k) {
     const std::size_t frozen = manager.frozen_mask()->count();
     driver.round(k);
-    EXPECT_DOUBLE_EQ(driver.last_.bytes_up[0], 8.0 + 4.0 * (20 - frozen));
-    EXPECT_DOUBLE_EQ(driver.last_.bytes_down[0], 8.0 + 4.0 * (20 - frozen));
+    EXPECT_EQ(driver.last_.bytes_up[0], fl::ByteCount(8 + 4 * (20 - frozen)));
+    EXPECT_EQ(driver.last_.bytes_down[0],
+              fl::ByteCount(8 + 4 * (20 - frozen)));
     if (frozen > 0) ++cheap_rounds;
   }
   EXPECT_GT(cheap_rounds, 29u);
@@ -150,7 +151,7 @@ TEST(ApfManager, UnfreezesWhenOscillatorStartsDrifting) {
       params[0][j] = global[j] + step;
       if (mask->get(j)) params[0][j] = manager.frozen_anchor()[j];
     }
-    manager.synchronize(k, params, {1.0});
+    manager.synchronize(fl::RoundId(k), params, {1.0});
   };
   // Phase 1: oscillate -> should freeze.
   std::size_t k = 1;
@@ -196,7 +197,7 @@ struct DriftDriver {
         params_[0][j] = strategy_.frozen_anchor()[j];
       }
     }
-    last_ = strategy_.synchronize(k, params_, {1.0});
+    last_ = strategy_.synchronize(fl::RoundId(k), params_, {1.0});
   }
 
   fl::SyncStrategy& strategy_;
@@ -311,7 +312,7 @@ TEST(PartialSyncStrawman, ExcludedScalarsDivergeAcrossClients) {
             base + (strategy.excluded().get(j) ? drift : osc);
       }
     }
-    strategy.synchronize(k, params, {1.0, 1.0});
+    strategy.synchronize(fl::RoundId(k), params, {1.0, 1.0});
   }
   EXPECT_GT(strategy.excluded_fraction(), 0.0);
   // Local copies of excluded scalars disagree (the paper's Fig. 4).
@@ -385,14 +386,14 @@ TEST(ApfManager, StreamHooksMatchBatchSynchronize) {
         stream_params[i][j] = batch_params[i][j];
       }
     }
-    const auto result = batch.synchronize(k, batch_params, weights);
+    const auto result = batch.synchronize(fl::RoundId(k), batch_params, weights);
 
-    stream->begin_fold(k);
+    stream->begin_fold(fl::RoundId(k));
     for (std::size_t i = 0; i < n; ++i) {
-      const auto frame = stream->encode_push(i, stream_params[i]);
-      EXPECT_EQ(static_cast<double>(frame.size()), result.bytes_up[i])
+      const auto frame = stream->encode_push(fl::ClientId(i), stream_params[i]);
+      EXPECT_EQ(fl::ByteCount(frame.size()), result.bytes_up[i])
           << "round " << k << " client " << i;
-      stream->fold_push(i, frame, weights[i] / 3.0);
+      stream->fold_push(fl::ClientId(i), frame, weights[i] / 3.0);
     }
     const auto pull = stream->finish_fold();
     EXPECT_EQ(pull, result.broadcast_frame) << "round " << k;

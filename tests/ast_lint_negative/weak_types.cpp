@@ -1,0 +1,26 @@
+// Negative fixture for tools/apf_ast_lint.py — NOT part of the build.
+// ast-lint-expect: strong-type
+//
+// In src/transport/, src/wire/ and src/fl/, ids and byte counts are the
+// strong newtypes from util/ids.h (ClientId, RoundId, SeqNo, ByteCount).
+// Bare integers reintroduce the transposed-argument and unit-confusion bugs
+// those types exist to prevent — e.g. swapping (client, round) compiles
+// silently with two uint64_t parameters. The self-test copies this file
+// under a governed directory, where each declaration below must fire.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct WeakFrame {
+  std::uint64_t client;   // should be ClientId
+  std::size_t round;      // should be RoundId
+  std::uint32_t seq_no;   // should be SeqNo
+  std::size_t payload_bytes;  // should be ByteCount
+};
+
+void price_link(std::uint64_t client_id, std::size_t bytes);
+
+double cost_model(std::size_t round, double per_byte);
+
+}  // namespace fixture

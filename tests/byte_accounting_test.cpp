@@ -52,14 +52,14 @@ TEST(MeasuredBytes, TopKChargesTheSparseHeaderTheModelIgnored) {
   compress::TopKSync strategy(opt);
   strategy.init(std::vector<float>(100, 0.f), 1);
   auto params = one_client(std::vector<float>(100, 1.f));
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   const std::size_t k = 10;
   // Old model: 8 bytes per (index, value) pair, no header.
-  EXPECT_GE(result.bytes_up[0], 8.0 * static_cast<double>(k));
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0 + 8.0 * static_cast<double>(k));
+  EXPECT_GE(result.bytes_up[0], fl::ByteCount(8 * k));
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(12 + 8 * k));
   // Old model: 4 * dim downlink, no header.
-  EXPECT_GE(result.bytes_down[0], 4.0 * 100);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 4.0 * 100);
+  EXPECT_GE(result.bytes_down[0], fl::ByteCount(4 * 100));
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(8 + 4 * 100));
 }
 
 TEST(MeasuredBytes, RandKChargesTheSeedHeaderTheModelIgnored) {
@@ -68,13 +68,13 @@ TEST(MeasuredBytes, RandKChargesTheSeedHeaderTheModelIgnored) {
   compress::RandKSync strategy(opt);
   strategy.init(std::vector<float>(100, 0.f), 1);
   auto params = one_client(std::vector<float>(100, 1.f));
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   const std::size_t k = 25;
   // Old model: 4 bytes per value + an 8-byte seed, no framing.
-  EXPECT_GE(result.bytes_up[0], 4.0 * static_cast<double>(k) + 8.0);
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 24.0 + 4.0 * static_cast<double>(k));
-  EXPECT_GE(result.bytes_down[0], 4.0 * 100);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 4.0 * 100);
+  EXPECT_GE(result.bytes_up[0], fl::ByteCount(4 * k + 8));
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(24 + 4 * k));
+  EXPECT_GE(result.bytes_down[0], fl::ByteCount(4 * 100));
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(8 + 4 * 100));
 }
 
 TEST(MeasuredBytes, GaiaChargesTheSparseFrameNotValuesPlusBitmap) {
@@ -85,23 +85,23 @@ TEST(MeasuredBytes, GaiaChargesTheSparseFrameNotValuesPlusBitmap) {
   strategy.init(std::vector<float>(16, 1.f), 1);
   // Every component doubles: all 16 are significant.
   auto params = one_client(std::vector<float>(16, 2.f));
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Old model: 4 bytes per value + a dim/8 bitmap.
-  EXPECT_GE(result.bytes_up[0], 4.0 * 16 + 16.0 / 8.0);
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0 + 8.0 * 16);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 4.0 * 16);
+  EXPECT_GE(result.bytes_up[0], fl::ByteCount(4 * 16 + 16 / 8));
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(12 + 8 * 16));
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(8 + 4 * 16));
 }
 
 TEST(MeasuredBytes, QuantizedSyncChargesTheRealHalfFrameNotHalvedFloats) {
   compress::QuantizedSync strategy(std::make_unique<fl::FullSync>());
   strategy.init(std::vector<float>(6, 0.f), 1);
   auto params = one_client(std::vector<float>(6, 0.5f));
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Old model: b *= 0.5 on the inner fp32 charge = 12 bytes for 6 values.
-  EXPECT_GE(result.bytes_up[0], 2.0 * 6);
+  EXPECT_GE(result.bytes_up[0], fl::ByteCount(2 * 6));
   // Measured APH1 frame: 8-byte header + 2 bytes per half.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0 + 2.0 * 6);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 2.0 * 6);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(8 + 2 * 6));
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(8 + 2 * 6));
 }
 
 // ---------------------------------------------------------------------------
@@ -132,20 +132,20 @@ void expect_measured_frames(core::ApfManager& manager, bool server_side_mask,
       }
     }
     const auto result =
-        manager.synchronize(k, params, std::vector<double>(n, 1.0));
+        manager.synchronize(fl::RoundId(k), params, std::vector<double>(n, 1.0));
     const std::vector<float> post_global(manager.global_params().begin(),
                                          manager.global_params().end());
-    const double up_frame = static_cast<double>(
+    const fl::ByteCount up_frame(
         wire::encode_dense(wire::pack_unfrozen(post_global, pre_mask))
             .size());
-    const double down_frame =
+    const fl::ByteCount down_frame =
         server_side_mask
-            ? static_cast<double>(
+            ? fl::ByteCount(
                   wire::encode_masked_update(post_global, pre_mask).size())
             : up_frame;
     for (std::size_t i = 0; i < n; ++i) {
-      EXPECT_DOUBLE_EQ(result.bytes_up[i], up_frame) << "round " << k;
-      EXPECT_DOUBLE_EQ(result.bytes_down[i], down_frame) << "round " << k;
+      EXPECT_EQ(result.bytes_up[i], up_frame) << "round " << k;
+      EXPECT_EQ(result.bytes_down[i], down_frame) << "round " << k;
     }
     if (pre_mask.count() > 0) ++frozen_rounds;
   }
@@ -208,17 +208,17 @@ class RecordingStrategy : public fl::SyncStrategy {
             std::size_t num_clients) override {
     inner_->init(initial_params, num_clients);
   }
-  Result synchronize(std::size_t round,
+  Result synchronize(fl::RoundId round,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override {
     Result result = inner_->synchronize(round, client_params, weights);
-    // Same order and association the runner uses, so the sum of doubles is
-    // bit-identical to its total.
-    double total = 0.0;
+    // Same order and association the runner uses, so the sum (exact integer
+    // ByteCount, converted once) is bit-identical to its total.
+    fl::ByteCount total;
     for (std::size_t i = 0; i < result.bytes_up.size(); ++i) {
       total += result.bytes_up[i] + result.bytes_down[i];
     }
-    round_totals_.push_back(total);
+    round_totals_.push_back(total.to_double());
     return result;
   }
   std::span<const float> global_params() const override {

@@ -90,20 +90,20 @@ TEST(FullSync, AveragesAndBroadcasts) {
   fl::FullSync strategy;
   strategy.init(std::vector<float>{0.f, 0.f}, 2);
   auto params = clients_with({1.f, 3.f}, {3.f, 5.f});
-  const auto result = strategy.synchronize(1, params, {1.0, 1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0, 1.0});
   EXPECT_FLOAT_EQ(params[0][0], 2.f);
   EXPECT_FLOAT_EQ(params[0][1], 4.f);
   EXPECT_EQ(params[0], params[1]);
   // Measured APD1 frame: 8-byte header + 2 fp32 values.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 16.0);
-  EXPECT_DOUBLE_EQ(result.bytes_down[1], 16.0);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(16));
+  EXPECT_EQ(result.bytes_down[1], fl::ByteCount(16));
 }
 
 TEST(FullSync, WeightsRespected) {
   fl::FullSync strategy;
   strategy.init(std::vector<float>{0.f}, 2);
   auto params = clients_with({1.f}, {4.f});
-  strategy.synchronize(1, params, {3.0, 1.0});
+  strategy.synchronize(fl::RoundId(1), params, {3.0, 1.0});
   EXPECT_FLOAT_EQ(params[0][0], (3.f * 1.f + 1.f * 4.f) / 4.f);
 }
 
@@ -111,7 +111,7 @@ TEST(FullSync, ZeroWeightClientIgnored) {
   fl::FullSync strategy;
   strategy.init(std::vector<float>{0.f}, 2);
   auto params = clients_with({1.f}, {100.f});
-  strategy.synchronize(1, params, {1.0, 0.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0, 0.0});
   EXPECT_FLOAT_EQ(params[0][0], 1.f);
   EXPECT_FLOAT_EQ(params[1][0], 1.f);  // dropped client still pulls
 }
@@ -124,17 +124,17 @@ TEST(Gaia, InsignificantUpdatesAccumulateLocally) {
   strategy.init(std::vector<float>{10.f}, 1);
   // Update of 1 on a value of 10 = 10% change: not significant.
   auto params = std::vector<std::vector<float>>{{11.f}};
-  auto result = strategy.synchronize(1, params, {1.0});
+  auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 10.f);  // not applied
   // Nothing significant: the push is a header-only APS1 frame, the pull a
   // one-value APD1 frame.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 12.0);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(12));
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(12));
   // Five more rounds of +1 each accumulate in the residual until the
   // cumulative update crosses 50% of the magnitude, then it is applied.
   for (int r = 2; r <= 5; ++r) {
     params[0][0] = strategy.global_params()[0] + 1.f;
-    strategy.synchronize(r, params, {1.0});
+    strategy.synchronize(fl::RoundId(r), params, {1.0});
   }
   EXPECT_GT(strategy.global_params()[0], 10.f);
 }
@@ -146,7 +146,7 @@ TEST(Gaia, SignificantUpdateAppliedImmediately) {
   compress::GaiaSync strategy(opt);
   strategy.init(std::vector<float>{1.f}, 1);
   auto params = std::vector<std::vector<float>>{{2.f}};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 2.f);
   EXPECT_FLOAT_EQ(params[0][0], 2.f);
 }
@@ -162,11 +162,11 @@ TEST(Gaia, PushBytesScaleWithSignificance) {
   for (std::size_t j = 0; j < 50; ++j) local[j] = 3.f;
   for (std::size_t j = 50; j < 100; ++j) local[j] = 1.001f;
   auto params = std::vector<std::vector<float>>{local};
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Measured APS1 frame: 12-byte header + 50 (index, value) pairs at 8 B.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0 + 8.0 * 50);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(12 + 8 * 50));
   // Measured APD1 frame: 8-byte header + 100 fp32 values.
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 408.0);
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(408));
 }
 
 TEST(Cmfl, IrrelevantUpdateIsDiscarded) {
@@ -177,7 +177,7 @@ TEST(Cmfl, IrrelevantUpdateIsDiscarded) {
   // Round 1 establishes the global update direction (+1 everywhere).
   auto params = clients_with(std::vector<float>(10, 1.f),
                              std::vector<float>(10, 1.f));
-  strategy.synchronize(1, params, {1.0, 1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0, 1.0});
   // Round 2: client 0 agrees with the previous direction, client 1 opposes.
   std::vector<float> agree(10), oppose(10);
   const float g = strategy.global_params()[0];
@@ -186,9 +186,9 @@ TEST(Cmfl, IrrelevantUpdateIsDiscarded) {
     oppose[j] = g - 0.5f;
   }
   params = clients_with(agree, oppose);
-  const auto result = strategy.synchronize(2, params, {1.0, 1.0});
-  EXPECT_GT(result.bytes_up[0], 0.0);
-  EXPECT_EQ(result.bytes_up[1], 0.0);
+  const auto result = strategy.synchronize(fl::RoundId(2), params, {1.0, 1.0});
+  EXPECT_GT(result.bytes_up[0], fl::ByteCount(0));
+  EXPECT_EQ(result.bytes_up[1], fl::ByteCount(0));
   // Aggregation used only the relevant client.
   EXPECT_FLOAT_EQ(strategy.global_params()[0], g + 0.5f);
 }
@@ -197,12 +197,12 @@ TEST(Cmfl, FallsBackWhenAllFiltered) {
   compress::CmflSync strategy;
   strategy.init(std::vector<float>(4, 0.f), 1);
   auto params = std::vector<std::vector<float>>{{1.f, 1.f, 1.f, 1.f}};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Round 2 moves opposite to round 1 everywhere -> irrelevant, but the
   // fallback still makes progress.
   const float g = strategy.global_params()[0];
   params[0] = std::vector<float>(4, g - 1.f);
-  strategy.synchronize(2, params, {1.0});
+  strategy.synchronize(fl::RoundId(2), params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], g - 1.f);
 }
 
@@ -212,12 +212,12 @@ TEST(TopK, KeepsLargestComponents) {
   compress::TopKSync strategy(opt);
   strategy.init(std::vector<float>(4, 0.f), 1);
   auto params = std::vector<std::vector<float>>{{0.1f, 5.f, 0.2f, 0.1f}};
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Only the large component was applied; others sit in the residual.
   EXPECT_FLOAT_EQ(strategy.global_params()[1], 5.f);
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 0.f);
   // Measured APS1 frame: 12-byte header + one (index, value) pair.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 20.0);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(20));
 }
 
 TEST(TopK, ResidualEventuallyFlushes) {
@@ -228,14 +228,14 @@ TEST(TopK, ResidualEventuallyFlushes) {
   // Component 0 gets a big update once; component 1 drips small updates
   // that accumulate until they dominate.
   auto params = std::vector<std::vector<float>>{{1.0f, 0.1f}};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 1.f);
   float g1 = strategy.global_params()[1];
   EXPECT_EQ(g1, 0.f);
   for (int r = 2; r < 6; ++r) {
     params[0] = {strategy.global_params()[0],
                  strategy.global_params()[1] + 0.1f};
-    strategy.synchronize(r, params, {1.0});
+    strategy.synchronize(fl::RoundId(r), params, {1.0});
   }
   EXPECT_GT(strategy.global_params()[1], 0.3f);
 }
@@ -245,9 +245,9 @@ TEST(QuantizedSync, HalvesBytesAndRoundsValues) {
   compress::QuantizedSync strategy(std::move(inner));
   strategy.init(std::vector<float>{0.f, 0.f}, 1);
   auto params = std::vector<std::vector<float>>{{0.1f, 0.30000001f}};
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Measured APH1 frame: 8-byte header + 2 halves at 2 B.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 12.0);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(12));
   // Values went through fp16.
   EXPECT_EQ(params[0][0], half_to_float(float_to_half(0.1f)));
 }

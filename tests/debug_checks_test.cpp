@@ -129,7 +129,7 @@ TEST(ApfInitValidationTest, SynchronizeBeforeInitThrows) {
   ApfManager manager{ApfOptions{}};
   std::vector<std::vector<float>> params(2, std::vector<float>(4, 0.f));
   const std::vector<double> weights(2, 1.0);
-  EXPECT_THROW(manager.synchronize(1, params, weights), Error);
+  EXPECT_THROW(manager.synchronize(fl::RoundId(1), params, weights), Error);
 }
 
 TEST(ApfInitValidationTest, RejectsEmptySegmentList) {

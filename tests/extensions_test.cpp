@@ -240,7 +240,7 @@ TEST(QsgdCodec, OutputsOnQuantizationGrid) {
 TEST(QsgdCodec, WireBytesFormula) {
   compress::QsgdCodec codec(4);
   // 4+1 bits per element over 8 elements = 5 bytes + 4 B norm.
-  EXPECT_DOUBLE_EQ(codec.wire_bytes(8), 9.0);
+  EXPECT_EQ(codec.wire_bytes(8), 9.0);
   EXPECT_EQ(codec.name(), "QSGD4b");
 }
 
@@ -281,7 +281,7 @@ TEST(TernGradCodec, IsUnbiased) {
 
 TEST(TernGradCodec, WireBytes) {
   compress::TernGradCodec codec;
-  EXPECT_DOUBLE_EQ(codec.wire_bytes(16), 8.0);  // 2 bits/elem + 4 B scale
+  EXPECT_EQ(codec.wire_bytes(16), 8.0);  // 2 bits/elem + 4 B scale
 }
 
 // ---------------------------------------------------------------------------
@@ -294,11 +294,11 @@ TEST(UpdateQuantizedSync, ChargesCodecBytes) {
       std::make_unique<compress::QsgdCodec>(3));
   strategy.init(std::vector<float>(16, 0.f), 1);
   auto params = std::vector<std::vector<float>>{std::vector<float>(16, 1.f)};
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Measured APQ1 frame: 13-byte header + 16 elements at (3+1) bits packed.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 13.0 + 8.0);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(13 + 8));
   // Pull unchanged (full-precision APD1 frame from the inner FullSync).
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 72.0);
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(72));
 }
 
 TEST(UpdateQuantizedSync, PreservesUniformUpdateExactly) {
@@ -308,7 +308,7 @@ TEST(UpdateQuantizedSync, PreservesUniformUpdateExactly) {
       std::make_unique<compress::TernGradCodec>());
   strategy.init(std::vector<float>(4, 0.f), 1);
   auto params = std::vector<std::vector<float>>{std::vector<float>(4, 0.5f)};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   for (float v : params[0]) EXPECT_FLOAT_EQ(v, 0.5f);
 }
 
@@ -325,7 +325,7 @@ TEST(DpNoiseSync, AddsNoiseToUpdates) {
   strategy.init(std::vector<float>(1000, 0.f), 1);
   auto params =
       std::vector<std::vector<float>>{std::vector<float>(1000, 0.f)};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   // The aggregated global should now be noise with stddev ~0.1.
   RunningStat stat;
   for (float v : strategy.global_params()) stat.add(v);
@@ -338,7 +338,7 @@ TEST(DpNoiseSync, ZeroSigmaIsTransparent) {
                                         0.0, 42);
   strategy.init(std::vector<float>{1.f, 2.f}, 1);
   auto params = std::vector<std::vector<float>>{{3.f, 4.f}};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 3.f);
   EXPECT_FLOAT_EQ(strategy.global_params()[1], 4.f);
 }
@@ -364,7 +364,7 @@ TEST(DpNoiseSync, FrozenScalarsCarryNoNoise) {
       params[0][j] = global[j] + (k % 2 == 0 ? 0.05f : -0.05f);
       if (mask->get(j)) params[0][j] = strategy.frozen_anchor()[j];
     }
-    strategy.synchronize(k, params, {1.0});
+    strategy.synchronize(fl::RoundId(k), params, {1.0});
   }
   const Bitmap* mask = strategy.frozen_mask();
   ASSERT_GT(mask->count(), 0u);
@@ -377,7 +377,7 @@ TEST(DpNoiseSync, FrozenScalarsCarryNoNoise) {
         mask->get(j) ? strategy.frozen_anchor()[j] : global[j] + 0.05f;
   }
   const Bitmap mask_copy = *mask;
-  strategy.synchronize(31, params, {1.0});
+  strategy.synchronize(fl::RoundId(31), params, {1.0});
   for (std::size_t j = 0; j < dim; ++j) {
     if (mask_copy.get(j) && strategy.frozen_mask()->get(j)) {
       EXPECT_EQ(strategy.global_params()[j], before[j]);
@@ -428,7 +428,7 @@ TEST(ApfTensorGranularity, FreezesWholeTensorsOnly) {
       params[0][j] = global[j] + step;
       if (mask->get(j)) params[0][j] = manager.frozen_anchor()[j];
     }
-    manager.synchronize(k, params, {1.0});
+    manager.synchronize(fl::RoundId(k), params, {1.0});
     // The mask must be uniform within each segment.
     for (std::size_t j = 1; j < 4; ++j) {
       EXPECT_EQ(manager.frozen_mask()->get(j), manager.frozen_mask()->get(0));
@@ -451,11 +451,11 @@ TEST(ApfServerSideMask, ChargesBitmapOnDownlink) {
   std::vector<float> init(dim, 0.f);
   manager.init(init, 2);
   std::vector<std::vector<float>> params(2, init);
-  const auto result = manager.synchronize(1, params, {1.0, 1.0});
+  const auto result = manager.synchronize(fl::RoundId(1), params, {1.0, 1.0});
   // Up: measured APD1 frame (8-byte header + dim values). Down: measured
   // APM1 frame (8-byte header + ceil(100/8) mask bytes + dim values).
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 8.0 + 4.0 * dim);
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 8.0 + 13.0 + 4.0 * dim);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(8 + 4 * dim));
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(8 + 13 + 4 * dim));
 }
 
 }  // namespace

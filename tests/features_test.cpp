@@ -114,8 +114,8 @@ TEST(RandK, SelectsDeterministicCoordinatesPerRound) {
   auto a = make(), b = make();
   auto pa = std::vector<std::vector<float>>{std::vector<float>(8, 1.f)};
   auto pb = pa;
-  a->synchronize(1, pa, {1.0});
-  b->synchronize(1, pb, {1.0});
+  a->synchronize(fl::RoundId(1), pa, {1.0});
+  b->synchronize(fl::RoundId(1), pb, {1.0});
   for (std::size_t j = 0; j < 8; ++j) {
     EXPECT_EQ(a->global_params()[j], b->global_params()[j]);
   }
@@ -127,11 +127,11 @@ TEST(RandK, BytesReflectFraction) {
   compress::RandKSync strategy(opt);
   strategy.init(std::vector<float>(100, 0.f), 1);
   auto params = std::vector<std::vector<float>>{std::vector<float>(100, 1.f)};
-  const auto result = strategy.synchronize(1, params, {1.0});
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Measured APR1 frame: 24-byte header + 25 fp32 values.
-  EXPECT_DOUBLE_EQ(result.bytes_up[0], 24.0 + 4.0 * 25);
+  EXPECT_EQ(result.bytes_up[0], fl::ByteCount(24 + 4 * 25));
   // Measured APD1 frame: 8-byte header + 100 fp32 values.
-  EXPECT_DOUBLE_EQ(result.bytes_down[0], 408.0);
+  EXPECT_EQ(result.bytes_down[0], fl::ByteCount(408));
 }
 
 TEST(RandK, ResidualPreservesUnselectedMass) {
@@ -141,7 +141,7 @@ TEST(RandK, ResidualPreservesUnselectedMass) {
   compress::RandKSync strategy(opt);
   strategy.init(std::vector<float>(4, 0.f), 1);
   auto params = std::vector<std::vector<float>>{{1.f, 1.f, 1.f, 1.f}};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Exactly half of the mass was applied; the rest waits in the residual.
   double applied = 0;
   for (float v : strategy.global_params()) applied += v;
@@ -150,7 +150,7 @@ TEST(RandK, ResidualPreservesUnselectedMass) {
   for (std::size_t r = 2; r <= 12; ++r) {
     params[0].assign(strategy.global_params().begin(),
                      strategy.global_params().end());
-    strategy.synchronize(r, params, {1.0});
+    strategy.synchronize(fl::RoundId(r), params, {1.0});
   }
   applied = 0;
   for (float v : strategy.global_params()) applied += v;
@@ -168,17 +168,17 @@ TEST(RandK, ZeroWeightClientLeavesNoResidualTrace) {
   // Round 1: client 0 pushes +1; client 1 is absent (weight 0) with stale
   // garbage in its local params.
   auto params = std::vector<std::vector<float>>{{1.f, 1.f}, {-50.f, -50.f}};
-  strategy.synchronize(1, params, {1.0, 0.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0, 0.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 1.f);
   // Round 2: both participate, neither has local change. The global must
   // stay put — no ghost of client 1's stale -50 may appear.
   params[0].assign(strategy.global_params().begin(),
                    strategy.global_params().end());
   params[1] = params[0];
-  const auto result = strategy.synchronize(2, params, {1.0, 1.0});
+  const auto result = strategy.synchronize(fl::RoundId(2), params, {1.0, 1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 1.f);
   EXPECT_FLOAT_EQ(strategy.global_params()[1], 1.f);
-  EXPECT_GT(result.bytes_up[1], 0.0);
+  EXPECT_GT(result.bytes_up[1], fl::ByteCount(0));
 }
 
 TEST(TopK, ZeroWeightClientChargedNothing) {
@@ -186,10 +186,10 @@ TEST(TopK, ZeroWeightClientChargedNothing) {
   strategy.init(std::vector<float>(4, 0.f), 2);
   auto params = std::vector<std::vector<float>>{{1.f, 0.f, 0.f, 0.f},
                                                 {9.f, 9.f, 9.f, 9.f}};
-  const auto result = strategy.synchronize(1, params, {1.0, 0.0});
-  EXPECT_EQ(result.bytes_up[1], 0.0);
-  EXPECT_EQ(result.bytes_down[1], 0.0);
-  EXPECT_GT(result.bytes_up[0], 0.0);
+  const auto result = strategy.synchronize(fl::RoundId(1), params, {1.0, 0.0});
+  EXPECT_EQ(result.bytes_up[1], fl::ByteCount(0));
+  EXPECT_EQ(result.bytes_down[1], fl::ByteCount(0));
+  EXPECT_GT(result.bytes_up[0], fl::ByteCount(0));
 }
 
 TEST(Gaia, ZeroWeightClientResidualUntouched) {
@@ -199,12 +199,12 @@ TEST(Gaia, ZeroWeightClientResidualUntouched) {
   compress::GaiaSync strategy(opt);
   strategy.init(std::vector<float>{1.f}, 2);
   auto params = std::vector<std::vector<float>>{{2.f}, {-100.f}};
-  strategy.synchronize(1, params, {1.0, 0.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0, 0.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 2.f);
   // Client 1 rejoins with no local change: nothing stale may flush.
   params[0] = {2.f};
   params[1] = {2.f};
-  strategy.synchronize(2, params, {1.0, 1.0});
+  strategy.synchronize(fl::RoundId(2), params, {1.0, 1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 2.f);
 }
 
@@ -215,7 +215,7 @@ TEST(RandK, UnbiasedScalingAmplifiesSelection) {
   compress::RandKSync strategy(opt);
   strategy.init(std::vector<float>(4, 0.f), 1);
   auto params = std::vector<std::vector<float>>{{1.f, 1.f, 1.f, 1.f}};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   // Selected coordinates moved by 1 * (dim/k) = 2.
   for (float v : strategy.global_params()) {
     EXPECT_TRUE(v == 0.f || std::fabs(v - 2.f) < 1e-6f);

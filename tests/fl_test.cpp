@@ -295,18 +295,18 @@ TEST(FullSync, StreamHooksMatchBatchSynchronize) {
   fl::FullSync batch;
   batch.init(init, 3);
   auto batch_params = params;
-  const auto result = batch.synchronize(1, batch_params, weights);
+  const auto result = batch.synchronize(fl::RoundId(1), batch_params, weights);
 
   fl::FullSync streamed;
   streamed.init(init, 3);
   fl::StreamSync* stream = streamed.stream_sync();
   ASSERT_NE(stream, nullptr);
   const double weight_total = 1.0 + 0.0 + 3.0;
-  stream->begin_fold(1);
+  stream->begin_fold(fl::RoundId(1));
   for (std::size_t i = 0; i < params.size(); ++i) {
-    const auto frame = stream->encode_push(i, params[i]);
-    EXPECT_EQ(static_cast<double>(frame.size()), result.bytes_up[i]);
-    if (weights[i] > 0.0) stream->fold_push(i, frame, weights[i] / weight_total);
+    const auto frame = stream->encode_push(fl::ClientId(i), params[i]);
+    EXPECT_EQ(fl::ByteCount(frame.size()), result.bytes_up[i]);
+    if (weights[i] > 0.0) stream->fold_push(fl::ClientId(i), frame, weights[i] / weight_total);
   }
   const auto pull = stream->finish_fold();
   EXPECT_EQ(pull, result.broadcast_frame);
@@ -397,15 +397,15 @@ TEST(Runner, RejectsNonPositiveBandwidthAtConstruction) {
 // must synthesize placeholder frames so the bus totals match the declaration.
 class BytesOnlyStrategy : public fl::SyncStrategyBase {
  public:
-  Result synchronize(std::size_t /*round*/,
+  Result synchronize(fl::RoundId /*round*/,
                      std::vector<std::vector<float>>& client_params,
                      const std::vector<double>& weights) override {
     require_round_inputs(client_params, weights);
     weighted_average(client_params, weights, global_);
     for (auto& p : client_params) p = global_;
     Result result;
-    result.bytes_up.assign(client_params.size(), 123.0);
-    result.bytes_down.assign(client_params.size(), 45.0);
+    result.bytes_up.assign(client_params.size(), fl::ByteCount(123));
+    result.bytes_down.assign(client_params.size(), fl::ByteCount(45));
     return result;  // frames_up left empty on purpose
   }
   std::string name() const override { return "BytesOnly"; }
@@ -433,7 +433,7 @@ TEST(Runner, PlaceholderFramesCarryDeclaredSizesForBytesOnlyStrategies) {
       strategy);
   const auto result = runner.run();
   for (const auto& r : result.rounds) {
-    EXPECT_DOUBLE_EQ(r.bytes_per_client, 123.0 + 45.0);
+    EXPECT_EQ(r.bytes_per_client, 123.0 + 45.0);
   }
 }
 

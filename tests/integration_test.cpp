@@ -168,7 +168,7 @@ struct QuadraticFederation {
         }
       }
     }
-    strategy_.synchronize(k, params_, std::vector<double>(n_, 1.0));
+    strategy_.synchronize(fl::RoundId(k), params_, std::vector<double>(n_, 1.0));
   }
 
   double distance_to_optimum() const {

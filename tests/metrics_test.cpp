@@ -12,7 +12,7 @@ namespace {
 fl::SimulationResult sample_result() {
   fl::SimulationResult result;
   fl::RoundRecord r1;
-  r1.round = 1;
+  r1.round = fl::RoundId(1);
   r1.test_accuracy = 0.5;
   r1.train_loss = 1.2;
   r1.bytes_per_client = 100;
@@ -21,7 +21,7 @@ fl::SimulationResult sample_result() {
   r1.round_seconds = 2.0;
   r1.cumulative_seconds = 2.0;
   fl::RoundRecord r2 = r1;
-  r2.round = 2;
+  r2.round = fl::RoundId(2);
   r2.test_accuracy = -1.0;  // not evaluated
   r2.cumulative_bytes_per_client = 200;
   r2.frozen_fraction = 0.25;

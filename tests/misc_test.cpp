@@ -95,7 +95,7 @@ TEST(Gaia, FixedThresholdIgnoresRound) {
   strategy.init(std::vector<float>{10.f}, 1);
   // 30% relative change: insignificant under 0.4 at ANY round index.
   auto params = std::vector<std::vector<float>>{{13.f}};
-  strategy.synchronize(100, params, {1.0});
+  strategy.synchronize(fl::RoundId(100), params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 10.f);
 }
 
@@ -107,7 +107,7 @@ TEST(Gaia, DecayingThresholdAdmitsLater) {
   strategy.init(std::vector<float>{10.f}, 1);
   // Same 30% change is significant once 0.4/sqrt(round) < 0.3 (round >= 2).
   auto params = std::vector<std::vector<float>>{{13.f}};
-  strategy.synchronize(4, params, {1.0});
+  strategy.synchronize(fl::RoundId(4), params, {1.0});
   EXPECT_FLOAT_EQ(strategy.global_params()[0], 13.f);
 }
 
@@ -115,7 +115,7 @@ TEST(Cmfl, AcceptanceRateTracksFiltering) {
   compress::CmflSync strategy;
   strategy.init(std::vector<float>(4, 0.f), 1);
   auto params = std::vector<std::vector<float>>{std::vector<float>(4, 1.f)};
-  strategy.synchronize(1, params, {1.0});
+  strategy.synchronize(fl::RoundId(1), params, {1.0});
   EXPECT_DOUBLE_EQ(strategy.acceptance_rate(), 1.0);
 }
 
@@ -200,7 +200,8 @@ TEST(Runner, EvalCadenceMarksSkippedRounds) {
   const auto result = runner.run();
   ASSERT_EQ(result.rounds.size(), 7u);
   for (const auto& r : result.rounds) {
-    const bool should_eval = r.round % 3 == 0 || r.round == 7;
+    const bool should_eval =
+        r.round.value() % 3 == 0 || r.round == fl::RoundId(7);
     EXPECT_EQ(r.test_accuracy >= 0.0, should_eval) << "round " << r.round;
   }
 }

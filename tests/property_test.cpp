@@ -204,7 +204,7 @@ TEST_P(CadenceSweep, ClientsAlwaysAgree) {
         }
       }
     }
-    manager.synchronize(k, params, {1.0, 1.0, 1.0});
+    manager.synchronize(fl::RoundId(k), params, {1.0, 1.0, 1.0});
     ASSERT_EQ(params[0], params[1]);
     ASSERT_EQ(params[1], params[2]);
     // Global equals what clients hold.

@@ -49,7 +49,7 @@ TEST(RoundFuzzSnapshot, DetectsCorruptedApfManagerState) {
   apf::core::ApfManager manager(options);
   manager.init(std::vector<float>(8, 0.5f), 2);
   auto props = honest_round(8, 2, 0.01f);
-  manager.synchronize(1, props, {1.0, 2.0});
+  manager.synchronize(apf::fl::RoundId(1), props, {1.0, 2.0});
 
   const auto before = apf::fuzz::snapshot_strategy(manager);
 
@@ -74,7 +74,7 @@ TEST(RoundFuzzSnapshot, DetectsCorruptedStrawmanState) {
   apf::core::PartialSync strawman(options);
   strawman.init(std::vector<float>(6, 1.0f), 2);
   auto props = honest_round(6, 2, 0.02f);
-  strawman.synchronize(1, props, {1.0, 1.0});
+  strawman.synchronize(apf::fl::RoundId(1), props, {1.0, 1.0});
 
   const auto before = apf::fuzz::snapshot_strategy(strawman);
 

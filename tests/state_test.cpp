@@ -109,7 +109,7 @@ void drive_rounds(core::ApfManager& manager, std::size_t dim,
       params[0][j] = global[j] + step;
       if (mask->get(j)) params[0][j] = manager.frozen_anchor()[j];
     }
-    manager.synchronize(k, params, {1.0});
+    manager.synchronize(fl::RoundId(k), params, {1.0});
   }
 }
 

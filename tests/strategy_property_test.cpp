@@ -151,14 +151,13 @@ std::vector<float> drive(fl::SyncStrategy& strategy, std::size_t dim,
         }
       }
     }
-    const auto result = strategy.synchronize(
-        k, params, std::vector<double>(clients, 1.0));
+    const auto result = strategy.synchronize(fl::RoundId(k), params, std::vector<double>(clients, 1.0));
     // Invariants checked every round:
     EXPECT_EQ(result.bytes_up.size(), clients);
     EXPECT_EQ(result.bytes_down.size(), clients);
     for (std::size_t i = 0; i < clients; ++i) {
-      EXPECT_GE(result.bytes_up[i], 0.0);
-      EXPECT_GE(result.bytes_down[i], 0.0);
+      EXPECT_GE(result.bytes_up[i], fl::ByteCount(0));
+      EXPECT_GE(result.bytes_down[i], fl::ByteCount(0));
     }
     EXPECT_GE(result.frozen_fraction, 0.0);
     EXPECT_LE(result.frozen_fraction, 1.0);

@@ -74,12 +74,12 @@ TEST(TransportNetwork, ValidateMessageCarriesContextAndField) {
 TEST(ShardedClientStore, ObtainIsLazyAndFindSeesOnlyTouched) {
   ShardedClientStore<int> store(4);
   EXPECT_EQ(store.size(), 0u);
-  EXPECT_EQ(store.find(7), nullptr);
-  store.obtain(7) = 42;
+  EXPECT_EQ(store.find(transport::ClientId(7)), nullptr);
+  store.obtain(transport::ClientId(7)) = 42;
   EXPECT_EQ(store.size(), 1u);
-  ASSERT_NE(store.find(7), nullptr);
-  EXPECT_EQ(*store.find(7), 42);
-  EXPECT_EQ(store.find(8), nullptr);
+  ASSERT_NE(store.find(transport::ClientId(7)), nullptr);
+  EXPECT_EQ(*store.find(transport::ClientId(7)), 42);
+  EXPECT_EQ(store.find(transport::ClientId(8)), nullptr);
 }
 
 TEST(ShardedClientStore, ForEachOrderedVisitsAscendingAcrossShards) {
@@ -87,13 +87,19 @@ TEST(ShardedClientStore, ForEachOrderedVisitsAscendingAcrossShards) {
   // ascending order — that order is the determinism guarantee.
   ShardedClientStore<int> store(3);
   const std::vector<std::uint64_t> ids = {901, 5, 44, 1000000, 17, 2};
-  for (std::uint64_t id : ids) store.obtain(id) = static_cast<int>(id % 97);
-  std::vector<std::uint64_t> seen;
-  store.for_each_ordered([&](std::uint64_t id, const int& v) {
-    EXPECT_EQ(v, static_cast<int>(id % 97));
+  for (std::uint64_t id : ids) {
+    store.obtain(transport::ClientId(id)) = static_cast<int>(id % 97);
+  }
+  std::vector<transport::ClientId> seen;
+  store.for_each_ordered([&](transport::ClientId id, const int& v) {
+    EXPECT_EQ(v, static_cast<int>(id.value() % 97));
     seen.push_back(id);
   });
-  EXPECT_EQ(seen, (std::vector<std::uint64_t>{2, 5, 17, 44, 901, 1000000}));
+  using transport::ClientId;
+  EXPECT_EQ(seen,
+            (std::vector<ClientId>{ClientId(2), ClientId(5), ClientId(17),
+                                   ClientId(44), ClientId(901),
+                                   ClientId(1000000)}));
   EXPECT_EQ(store.sorted_ids(), seen);
 }
 
@@ -105,26 +111,26 @@ TEST(ShardedClientStore, ConcurrentObtainOnDistinctClients) {
     workers.emplace_back([&, t] {
       for (std::uint64_t id = static_cast<std::uint64_t>(t); id < kClients;
            id += 4) {
-        store.obtain(id) = id * 3;
+        store.obtain(transport::ClientId(id)) = id * 3;
       }
     });
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(store.size(), kClients);
   std::uint64_t expect = 0;
-  store.for_each_ordered([&](std::uint64_t id, const std::uint64_t& v) {
-    EXPECT_EQ(id, expect++);
-    EXPECT_EQ(v, id * 3);
+  store.for_each_ordered([&](transport::ClientId id, const std::uint64_t& v) {
+    EXPECT_EQ(id.value(), expect++);
+    EXPECT_EQ(v, id.value() * 3);
   });
 }
 
 TEST(ShardedClientStore, ClearForgetsEverything) {
   ShardedClientStore<int> store(2);
-  store.obtain(1) = 1;
-  store.obtain(2) = 2;
+  store.obtain(transport::ClientId(1)) = 1;
+  store.obtain(transport::ClientId(2)) = 2;
   store.clear();
   EXPECT_EQ(store.size(), 0u);
-  EXPECT_EQ(store.find(1), nullptr);
+  EXPECT_EQ(store.find(transport::ClientId(1)), nullptr);
 }
 
 // ------------------------------------------------------------- aggregator --
@@ -133,8 +139,8 @@ TEST(StreamingAggregator, WeightedFoldMatchesHandComputedSum) {
   StreamingAggregator agg(2);
   const std::vector<float> a = {1.f, 2.f};
   const std::vector<float> b = {3.f, 4.f};
-  agg.fold(0, a, 0.25);
-  agg.fold(5, b, 0.75);
+  agg.fold(transport::ClientId(0), a, 0.25);
+  agg.fold(transport::ClientId(5), b, 0.75);
   std::vector<float> out(2);
   agg.finish_weighted(out);
   EXPECT_FLOAT_EQ(out[0], static_cast<float>(0.25 * 1.0 + 0.75 * 3.0));
@@ -144,9 +150,9 @@ TEST(StreamingAggregator, WeightedFoldMatchesHandComputedSum) {
 
 TEST(StreamingAggregator, MeanFoldMatchesPlainAverage) {
   StreamingAggregator agg(1);
-  agg.fold(1, std::vector<float>{1.f}, 1.0);
-  agg.fold(2, std::vector<float>{2.f}, 1.0);
-  agg.fold(3, std::vector<float>{4.f}, 1.0);
+  agg.fold(transport::ClientId(1), std::vector<float>{1.f}, 1.0);
+  agg.fold(transport::ClientId(2), std::vector<float>{2.f}, 1.0);
+  agg.fold(transport::ClientId(3), std::vector<float>{4.f}, 1.0);
   std::vector<float> out(1);
   agg.finish_mean(out);
   EXPECT_FLOAT_EQ(out[0], static_cast<float>((1.0 + 2.0 + 4.0) / 3.0));
@@ -155,20 +161,24 @@ TEST(StreamingAggregator, MeanFoldMatchesPlainAverage) {
 TEST(StreamingAggregator, EnforcesStrictlyAscendingClientIds) {
   StreamingAggregator agg(1);
   const std::vector<float> v = {1.f};
-  agg.fold(3, v, 0.5);
-  EXPECT_THROW(agg.fold(3, v, 0.5), Error);  // duplicate
-  EXPECT_THROW(agg.fold(1, v, 0.5), Error);  // descending
-  agg.fold(4, v, 0.5);                       // ascending is fine
+  agg.fold(transport::ClientId(3), v, 0.5);
+  // duplicate
+  EXPECT_THROW(agg.fold(transport::ClientId(3), v, 0.5), Error);
+  // descending
+  EXPECT_THROW(agg.fold(transport::ClientId(1), v, 0.5), Error);
+  agg.fold(transport::ClientId(4), v, 0.5);  // ascending is fine
   agg.reset();
-  agg.fold(0, v, 1.0);  // reset re-admits any id
+  agg.fold(transport::ClientId(0), v, 1.0);  // reset re-admits any id
   EXPECT_EQ(agg.folded(), 1u);
 }
 
 TEST(StreamingAggregator, RejectsDimMismatchAndBadWeight) {
   StreamingAggregator agg(2);
-  EXPECT_THROW(agg.fold(0, std::vector<float>{1.f}, 1.0), Error);
+  EXPECT_THROW(agg.fold(transport::ClientId(0), std::vector<float>{1.f}, 1.0),
+               Error);
   EXPECT_THROW(
-      agg.fold(0, std::vector<float>{1.f, 2.f}, -0.1), Error);
+      agg.fold(transport::ClientId(0), std::vector<float>{1.f, 2.f}, -0.1),
+      Error);
   std::vector<float> out(2);
   EXPECT_THROW(agg.finish_mean(out), Error);  // nothing folded
 }
@@ -177,7 +187,9 @@ TEST(StreamingAggregator, MemoryIsProportionalToDimNotFanIn) {
   StreamingAggregator agg(64);
   const std::size_t before = agg.memory_bytes();
   std::vector<float> v(64, 1.f);
-  for (std::uint64_t c = 0; c < 10000; ++c) agg.fold(c, v, 1e-4);
+  for (std::uint64_t c = 0; c < 10000; ++c) {
+    agg.fold(transport::ClientId(c), v, 1e-4);
+  }
   EXPECT_EQ(agg.memory_bytes(), before);  // O(model), not O(clients)
 }
 
@@ -195,49 +207,51 @@ TEST(TransportBus, ConstructorValidatesNetwork) {
 
 TEST(TransportBus, RoundTripDeliversFramesInClientSeqOrder) {
   Bus bus(NetworkModel{});
-  bus.begin_round(1);
+  bus.begin_round(transport::RoundId(1));
   // Push out of client order; the server must still see (client, seq) order.
-  bus.push(9, Frame::Kind::kStrategy, payload_of(4, 9));
-  bus.push(2, Frame::Kind::kStrategy, payload_of(3, 2));
-  bus.push(2, Frame::Kind::kAuxiliary, payload_of(5, 2));
-  bus.push(4, Frame::Kind::kStrategy, payload_of(2, 4));
+  bus.push(transport::ClientId(9), Frame::Kind::kStrategy, payload_of(4, 9));
+  bus.push(transport::ClientId(2), Frame::Kind::kStrategy, payload_of(3, 2));
+  bus.push(transport::ClientId(2), Frame::Kind::kAuxiliary, payload_of(5, 2));
+  bus.push(transport::ClientId(4), Frame::Kind::kStrategy, payload_of(2, 4));
   const std::vector<Frame> pushes = bus.take_pushes();
   ASSERT_EQ(pushes.size(), 4u);
-  EXPECT_EQ(pushes[0].client, 2u);
+  EXPECT_EQ(pushes[0].client, transport::ClientId(2));
   EXPECT_EQ(pushes[0].kind, Frame::Kind::kStrategy);
-  EXPECT_EQ(pushes[1].client, 2u);
+  EXPECT_EQ(pushes[1].client, transport::ClientId(2));
   EXPECT_EQ(pushes[1].kind, Frame::Kind::kAuxiliary);
   EXPECT_LT(pushes[0].seq, pushes[1].seq);
-  EXPECT_EQ(pushes[2].client, 4u);
-  EXPECT_EQ(pushes[3].client, 9u);
-  for (const Frame& f : pushes) EXPECT_EQ(f.round, 1u);
+  EXPECT_EQ(pushes[2].client, transport::ClientId(4));
+  EXPECT_EQ(pushes[3].client, transport::ClientId(9));
+  for (const Frame& f : pushes) {
+    EXPECT_EQ(f.round, transport::RoundId(1));
+  }
 
-  bus.deliver(2, Frame::Kind::kStrategy, payload_of(7, 0));
-  bus.deliver(2, Frame::Kind::kAuxiliary, payload_of(1, 0));
-  const std::vector<Frame> pulls = bus.take_pulls(2);
+  bus.deliver(transport::ClientId(2), Frame::Kind::kStrategy, payload_of(7, 0));
+  bus.deliver(transport::ClientId(2), Frame::Kind::kAuxiliary, payload_of(1, 0));
+  const std::vector<Frame> pulls = bus.take_pulls(transport::ClientId(2));
   ASSERT_EQ(pulls.size(), 2u);
   EXPECT_EQ(pulls[0].kind, Frame::Kind::kStrategy);
   EXPECT_EQ(pulls[1].kind, Frame::Kind::kAuxiliary);
-  EXPECT_TRUE(bus.take_pulls(9).empty());
+  EXPECT_TRUE(bus.take_pulls(transport::ClientId(9)).empty());
 
   const RoundStats stats = bus.finish_round();
-  EXPECT_EQ(stats.round, 1u);
+  EXPECT_EQ(stats.round, transport::RoundId(1));
   EXPECT_EQ(stats.active_links, 3u);
   EXPECT_EQ(stats.frames_up, 4u);
   EXPECT_EQ(stats.frames_down, 2u);
-  EXPECT_DOUBLE_EQ(stats.total_bytes, 4 + 3 + 5 + 2 + 7 + 1);
+  EXPECT_EQ(stats.total_bytes, transport::ByteCount(4 + 3 + 5 + 2 + 7 + 1));
 }
 
 TEST(TransportBus, PricesLinkTotalsWithLegacyArithmetic) {
   NetworkModel net;  // 3 up / 9 down Mbps, 10 Gbps server
   Bus bus(net);
-  bus.begin_round(1);
-  bus.push(0, Frame::Kind::kStrategy, payload_of(1000, 0));
-  bus.push(0, Frame::Kind::kAuxiliary, payload_of(500, 0));
-  bus.deliver(0, Frame::Kind::kStrategy, payload_of(2000, 0));
-  bus.push(1, Frame::Kind::kStrategy, payload_of(100, 0));
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(0), Frame::Kind::kStrategy, payload_of(1000, 0));
+  bus.push(transport::ClientId(0), Frame::Kind::kAuxiliary, payload_of(500, 0));
+  bus.deliver(transport::ClientId(0), Frame::Kind::kStrategy, payload_of(2000, 0));
+  bus.push(transport::ClientId(1), Frame::Kind::kStrategy, payload_of(100, 0));
   (void)bus.take_pushes();
-  (void)bus.take_pulls(0);
+  (void)bus.take_pulls(transport::ClientId(0));
   const RoundStats stats = bus.finish_round();
   // Per-link totals priced once per direction — exactly the pre-bus formula.
   const double link0 =
@@ -251,12 +265,12 @@ TEST(TransportBus, FrameLatencyChargesPerFrameWhenConfigured) {
   NetworkModel net;
   net.frame_latency_seconds = 0.25;
   Bus bus(net);
-  bus.begin_round(1);
-  bus.push(3, Frame::Kind::kStrategy, payload_of(8, 0));
-  bus.deliver(3, Frame::Kind::kStrategy, payload_of(8, 0));
-  bus.deliver(3, Frame::Kind::kAuxiliary, payload_of(8, 0));
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(3), Frame::Kind::kStrategy, payload_of(8, 0));
+  bus.deliver(transport::ClientId(3), Frame::Kind::kStrategy, payload_of(8, 0));
+  bus.deliver(transport::ClientId(3), Frame::Kind::kAuxiliary, payload_of(8, 0));
   (void)bus.take_pushes();
-  (void)bus.take_pulls(3);
+  (void)bus.take_pulls(transport::ClientId(3));
   const RoundStats stats = bus.finish_round();
   const double wire =
       net.client_upload_seconds(8) + net.client_download_seconds(16);
@@ -265,76 +279,82 @@ TEST(TransportBus, FrameLatencyChargesPerFrameWhenConfigured) {
 
 TEST(TransportBus, UntakenFrameIsARoutingBug) {
   Bus bus(NetworkModel{});
-  bus.begin_round(1);
-  bus.push(0, Frame::Kind::kStrategy, payload_of(4, 0));
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(0), Frame::Kind::kStrategy, payload_of(4, 0));
   EXPECT_THROW(bus.finish_round(), Error);  // server never took the push
 
   Bus bus2(NetworkModel{});
-  bus2.begin_round(1);
-  bus2.deliver(1, Frame::Kind::kStrategy, payload_of(4, 0));
+  bus2.begin_round(transport::RoundId(1));
+  bus2.deliver(transport::ClientId(1), Frame::Kind::kStrategy,
+               payload_of(4, 0));
   (void)bus2.take_pushes();
   EXPECT_THROW(bus2.finish_round(), Error);  // client 1 never pulled
 }
 
 TEST(TransportBus, RoundLifecycleIsEnforced) {
   Bus bus(NetworkModel{});
-  EXPECT_THROW(bus.push(0, Frame::Kind::kStrategy, payload_of(1, 0)), Error);
-  EXPECT_THROW(bus.begin_round(0), Error);  // rounds are 1-based
-  bus.begin_round(1);
-  EXPECT_THROW(bus.begin_round(2), Error);  // previous round still open
+  EXPECT_THROW(bus.push(transport::ClientId(0), Frame::Kind::kStrategy, payload_of(1, 0)), Error);
+  EXPECT_THROW(bus.begin_round(transport::RoundId(0)), Error);  // rounds are 1-based
+  bus.begin_round(transport::RoundId(1));
+  EXPECT_THROW(bus.begin_round(transport::RoundId(2)), Error);  // previous round still open
   (void)bus.take_pushes();
   (void)bus.finish_round();
-  bus.begin_round(2);  // fresh round after finish
+  bus.begin_round(transport::RoundId(2));  // fresh round after finish
   (void)bus.take_pushes();
   const RoundStats stats = bus.finish_round();
-  EXPECT_EQ(stats.round, 2u);
+  EXPECT_EQ(stats.round, transport::RoundId(2));
   EXPECT_EQ(stats.active_links, 0u);
 }
 
 TEST(TransportBus, LinkStateResetsBetweenRounds) {
   Bus bus(NetworkModel{});
-  bus.begin_round(1);
-  bus.push(5, Frame::Kind::kStrategy, payload_of(10, 0));
-  EXPECT_EQ(bus.link_up_bytes(5), 10u);
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(5), Frame::Kind::kStrategy, payload_of(10, 0));
+  EXPECT_EQ(bus.link_up_bytes(transport::ClientId(5)),
+            transport::ByteCount(10));
   (void)bus.take_pushes();
   (void)bus.finish_round();
-  EXPECT_EQ(bus.link_up_bytes(5), 0u);  // per-round state, not cumulative
-  bus.begin_round(2);
-  bus.deliver(5, Frame::Kind::kStrategy, payload_of(6, 0));
-  EXPECT_EQ(bus.link_down_bytes(5), 6u);
-  (void)bus.take_pulls(5);
+  // Per-round state, not cumulative.
+  EXPECT_EQ(bus.link_up_bytes(transport::ClientId(5)),
+            transport::ByteCount(0));
+  bus.begin_round(transport::RoundId(2));
+  bus.deliver(transport::ClientId(5), Frame::Kind::kStrategy, payload_of(6, 0));
+  EXPECT_EQ(bus.link_down_bytes(transport::ClientId(5)),
+            transport::ByteCount(6));
+  (void)bus.take_pulls(transport::ClientId(5));
   const RoundStats stats = bus.finish_round();
-  EXPECT_DOUBLE_EQ(stats.total_bytes, 6.0);
+  EXPECT_EQ(stats.total_bytes, transport::ByteCount(6));
 }
 
 TEST(TransportBus, QueuedBytesTracksInFlightWindowAndPeak) {
   Bus bus(NetworkModel{});
-  bus.begin_round(1);
-  EXPECT_EQ(bus.queued_bytes(), 0u);
-  bus.push(0, Frame::Kind::kStrategy, payload_of(100, 0));
-  bus.push(1, Frame::Kind::kStrategy, payload_of(50, 0));
-  EXPECT_EQ(bus.queued_bytes(), 150u);
-  EXPECT_EQ(bus.peak_queued_bytes(), 150u);
+  bus.begin_round(transport::RoundId(1));
+  EXPECT_EQ(bus.queued_bytes(), transport::ByteCount(0));
+  bus.push(transport::ClientId(0), Frame::Kind::kStrategy, payload_of(100, 0));
+  bus.push(transport::ClientId(1), Frame::Kind::kStrategy, payload_of(50, 0));
+  EXPECT_EQ(bus.queued_bytes(), transport::ByteCount(150));
+  EXPECT_EQ(bus.peak_queued_bytes(), transport::ByteCount(150));
   (void)bus.take_pushes();
-  EXPECT_EQ(bus.queued_bytes(), 0u);
-  EXPECT_EQ(bus.peak_queued_bytes(), 150u);  // high-water mark persists
-  bus.deliver(0, Frame::Kind::kStrategy, payload_of(20, 0));
-  EXPECT_EQ(bus.queued_bytes(), 20u);
-  (void)bus.take_pulls(0);
+  EXPECT_EQ(bus.queued_bytes(), transport::ByteCount(0));
+  // High-water mark persists.
+  EXPECT_EQ(bus.peak_queued_bytes(), transport::ByteCount(150));
+  bus.deliver(transport::ClientId(0), Frame::Kind::kStrategy, payload_of(20, 0));
+  EXPECT_EQ(bus.queued_bytes(), transport::ByteCount(20));
+  (void)bus.take_pulls(transport::ClientId(0));
   (void)bus.finish_round();
-  EXPECT_EQ(bus.peak_queued_bytes(), 150u);
+  EXPECT_EQ(bus.peak_queued_bytes(), transport::ByteCount(150));
 }
 
 TEST(TransportBus, ConcurrentPushesOnDistinctLinksAreSafe) {
   Bus bus(NetworkModel{});
-  bus.begin_round(1);
+  bus.begin_round(transport::RoundId(1));
   constexpr std::uint64_t kClients = 256;
   std::vector<std::thread> workers;
   for (int t = 0; t < 4; ++t) {
     workers.emplace_back([&, t] {
       for (std::uint64_t c = static_cast<std::uint64_t>(t); c < kClients;
            c += 4) {
-        bus.push(c, Frame::Kind::kStrategy,
+        bus.push(transport::ClientId(c), Frame::Kind::kStrategy,
                  payload_of(static_cast<std::size_t>(c % 7 + 1), 0));
       }
     });
@@ -343,7 +363,7 @@ TEST(TransportBus, ConcurrentPushesOnDistinctLinksAreSafe) {
   const std::vector<Frame> pushes = bus.take_pushes();
   ASSERT_EQ(pushes.size(), kClients);
   for (std::uint64_t c = 0; c < kClients; ++c) {
-    EXPECT_EQ(pushes[c].client, c);
+    EXPECT_EQ(pushes[c].client, transport::ClientId(c));
     EXPECT_EQ(pushes[c].payload.size(), c % 7 + 1);
   }
   const RoundStats stats = bus.finish_round();

@@ -15,6 +15,11 @@
 #   --if-available   exit 0 instead of 3 when clang++ is not on PATH
 #                    (GCC-only machines rely on tools/lint_apf.py instead)
 #   --negative-only  run just the negative-compile assertions
+#
+# When build/compile_commands.json exists (the top-level CMakeLists.txt
+# exports it), the positive pass takes its TU list from that database — the
+# same file set the build compiles and tools/apf_ast_lint.py scans — and
+# falls back to `find` otherwise.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -49,14 +54,35 @@ FLAGS=(-std=c++20 -fsyntax-only -Isrc -I. -Itests
 
 fail=0
 
+list_tus() {
+  if [ -f "build/compile_commands.json" ] && command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json, os
+root = os.getcwd()
+seen = set()
+for e in json.load(open("build/compile_commands.json")):
+    p = e["file"]
+    if not os.path.isabs(p):
+        p = os.path.normpath(os.path.join(e["directory"], p))
+    rel = os.path.relpath(p, root)
+    if rel.split(os.sep)[0] in ("src", "fuzz", "tests") and rel not in seen:
+        seen.add(rel)
+for rel in sorted(seen):
+    print(rel)
+EOF
+  else
+    find src fuzz tests -name '*.cpp' \
+      ! -path 'tests/thread_safety_negative/*' | sort
+  fi
+}
+
 if [ "$NEGATIVE_ONLY" = 0 ]; then
   while IFS= read -r tu; do
     if ! "$CLANGXX" "${FLAGS[@]}" "$tu"; then
       echo "check_thread_safety: FAIL $tu" >&2
       fail=1
     fi
-  done < <(find src fuzz tests -name '*.cpp' \
-             ! -path 'tests/thread_safety_negative/*' | sort)
+  done < <(list_tus)
 fi
 
 for tu in tests/thread_safety_negative/*.cpp; do

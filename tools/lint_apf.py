@@ -78,6 +78,19 @@ on, so this tool does. Rules:
                      include a tool tree, and tool trees must not include
                      each other (they stay independently buildable).
 
+Relationship to tools/apf_ast_lint.py (the semantic AST lint over the
+compilation database): that tool owns every rule that needs structure a
+single-line regex cannot see — write-before-validate ORDERING inside entry
+points (atomic-rejection: this tool's entry-check only proves a validation
+token exists somewhere in the body), float accumulation scoped to unordered
+range-fors and thread-pool lambdas (deterministic-fold: sharper than the
+blanket float-accumulator/unordered-iteration rules here, which stay because
+they also cover contexts the AST rules do not), exhaustive default-free
+switches over wire/transport enums (exhaustive-dispatch: no counterpart
+here), and bare-integer id/byte declarations in transport//wire//fl/
+(strong-type: no counterpart here). When both tools flag the same line,
+fix it once — the AST finding is the authoritative diagnosis.
+
 Waivers (use sparingly, always with a reason):
   // lint-apf: no-input-checks(<reason>)       on or directly above a
                                                definition, for entry-check
@@ -971,6 +984,26 @@ def self_test():
                 failures.append(
                     f"self-test: expected {rel} to be clean, got "
                     f"{sorted(fired)}")
+
+    # Cross-tool hygiene vs tools/apf_ast_lint.py (see the docstring's
+    # division-of-labor block): the two tools share the `lint-apf:` waiver
+    # convention, so their waiver tokens must stay DISJOINT — a shared token
+    # would let one comment silently suppress the other tool's rule, the
+    # exact double-reporting hazard the cross-reference exists to avoid.
+    ast_lint = pathlib.Path(__file__).with_name("apf_ast_lint.py")
+    if ast_lint.exists():
+        ast_tokens = set(re.findall(r'"(lint-apf: [\w-]+)"',
+                                    ast_lint.read_text()))
+        own_tokens = {WAIVER_NO_INPUT, WAIVER_FLOAT, WAIVER_RAW_THREAD,
+                      WAIVER_UNORDERED, WAIVER_LAYERING}
+        if not ast_tokens:
+            failures.append(
+                "self-test: no waiver tokens parsed from apf_ast_lint.py "
+                "(token scrape broke?)")
+        for token in ast_tokens & own_tokens:
+            failures.append(
+                f"self-test: waiver token '{token}' is claimed by both "
+                "lint_apf.py and apf_ast_lint.py; tokens must be disjoint")
 
     for failure in failures:
         print(failure, file=sys.stderr)

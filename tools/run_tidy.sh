@@ -6,8 +6,10 @@
 # Usage:
 #   tools/run_tidy.sh [--if-available] [build-dir]
 #
-# With no build-dir argument, configures a dedicated build tree at
-# build-tidy/ with CMAKE_EXPORT_COMPILE_COMMANDS=ON.
+# With no build-dir argument, reuses the main build/ tree's database when it
+# exists (the top-level CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS ON,
+# so any configured tree has one — the same database tools/apf_ast_lint.py
+# consumes); otherwise configures a dedicated tree at build-tidy/.
 #
 # When clang-tidy is not installed, the default is a hard failure (exit 3
 # with a clear message) so CI cannot silently skip the check. Pass
@@ -38,11 +40,16 @@ if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
   exit 3
 fi
 
-build_dir="${args[0]:-build-tidy}"
+if [[ ${#args[@]} -gt 0 ]]; then
+  build_dir="${args[0]}"
+elif [[ -f "build/compile_commands.json" ]]; then
+  build_dir="build"
+else
+  build_dir="build-tidy"
+fi
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   echo "run_tidy.sh: configuring ${build_dir} for compile_commands.json" >&2
-  cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-        -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
 
 mapfile -t sources < <(find src fuzz -name '*.cpp' | sort)
