@@ -50,7 +50,6 @@
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
-#include "wire/wire.h"
 
 using namespace apf;
 

@@ -6,6 +6,7 @@
 
 #include "compress/wire.h"
 #include "util/debug.h"
+#include "util/rng.h"
 #include "util/error.h"
 
 namespace apf::compress {

@@ -11,7 +11,6 @@
 
 #include "fl/sync_strategy.h"
 #include "transport/client_store.h"
-#include "util/rng.h"
 
 namespace apf::compress {
 

@@ -106,18 +106,30 @@ void DpNoiseSync::init(std::span<const float> initial_params,
 
 fl::SyncStrategy::Result DpNoiseSync::synchronize(fl::RoundId round, std::vector<std::vector<float>>& client_params,
     const std::vector<double>& weights) {
-  if (noise_stddev_ > 0.0) {
-    // Frozen scalars are not transmitted, so they carry no noise; pinning
-    // keeps them exact on every client.
-    const Bitmap* mask = inner_->frozen_mask();
-    for (auto& params : client_params) {
-      for (std::size_t j = 0; j < params.size(); ++j) {
-        if (mask != nullptr && mask->get(j)) continue;
-        params[j] += static_cast<float>(rng_.normal(0.0, noise_stddev_));
-      }
+  if (noise_stddev_ <= 0.0) {
+    return inner_->synchronize(round, client_params, weights);
+  }
+  // Noise is applied to STAGED copies of the proposals and the rng: the
+  // inner strategy can still reject the round (bad shapes, non-finite
+  // weights, zero total), and rejection must be atomic — the caller's
+  // proposals stay exactly as submitted and the noise stream is not
+  // consumed, as if the round never happened.
+  const Bitmap* mask = inner_->frozen_mask();
+  Rng staged_rng = rng_;
+  std::vector<std::vector<float>> staged = client_params;
+  // Frozen scalars are not transmitted, so they carry no noise; pinning
+  // keeps them exact on every client.
+  for (auto& params : staged) {
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      if (mask != nullptr && mask->get(j)) continue;
+      params[j] += static_cast<float>(staged_rng.normal(0.0, noise_stddev_));
     }
   }
-  return inner_->synchronize(round, client_params, weights);
+  Result result = inner_->synchronize(round, staged, weights);
+  // Commit only after the inner strategy accepted the round.
+  client_params = std::move(staged);
+  rng_ = staged_rng;
+  return result;
 }
 
 std::span<const float> DpNoiseSync::global_params() const {

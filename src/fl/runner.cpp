@@ -15,6 +15,7 @@
 #include "transport/streaming.h"
 #include "util/annotations.h"
 #include "util/error.h"
+#include "util/rng.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"

@@ -19,7 +19,6 @@
 #include "nn/module.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
-#include "util/rng.h"
 
 namespace apf::fl {
 

@@ -132,8 +132,11 @@ std::vector<std::uint8_t> FullSync::finish_fold() {
 
 void FullSync::apply_pull(std::span<const std::uint8_t> frame,
                           std::vector<float>& params) const {
-  params = wire::decode_dense(frame);
-  APF_CHECK(params.size() == global_.size());
+  // Decode to a local first: a wrong-dimension frame must throw without
+  // clobbering the caller's parameters (rejection is atomic).
+  std::vector<float> decoded = wire::decode_dense(frame);
+  APF_CHECK(decoded.size() == global_.size());
+  params = std::move(decoded);
 }
 
 }  // namespace apf::fl

@@ -1,0 +1,33 @@
+// Negative fixture for tools/apf_flow.py — NOT part of the build.
+// flow-lint-expect: flow-fold-determinism
+//
+// A fold hook whose nondeterminism hides one call deep: fold_push() looks
+// innocent, but the weighting helper it calls iterates an unordered_map —
+// bucket order depends on the hash seed and insertion history, so the fold
+// result is not bit-identical across runs. The effect propagation must
+// carry the hash-order effect from the helper into the fold root.
+#include <cstddef>
+#include <unordered_map>
+
+namespace fixture {
+
+struct LateBoundAggregator {
+  double stake_weight(double value) {
+    double total = 0.0;
+    for (const auto& entry : stakes_) {  // hash-order iteration
+      total += entry.second * value;
+    }
+    return total;
+  }
+
+  void fold_push(int client, double value) {
+    APF_CHECK(value >= 0.0);
+    (void)client;
+    accumulated_ += stake_weight(value);  // reaches hash order
+  }
+
+  std::unordered_map<int, double> stakes_;
+  double accumulated_ = 0.0;
+};
+
+}  // namespace fixture

@@ -458,5 +458,31 @@ TEST(ApfServerSideMask, ChargesBitmapOnDownlink) {
   EXPECT_EQ(result.bytes_down[0], fl::ByteCount(8 + 13 + 4 * dim));
 }
 
+TEST(DpNoiseSync, RejectionIsAtomic) {
+  // A round the inner strategy rejects (zero weight total) must leave the
+  // caller's proposals untouched AND must not consume the noise stream:
+  // a strategy that saw a rejected round and one that never did produce
+  // bit-identical globals on the next valid round.
+  auto run = [](bool inject_rejected_round) {
+    compress::DpNoiseSync strategy(std::make_unique<fl::FullSync>(),
+                                   /*noise_stddev=*/0.1, 42);
+    strategy.init(std::vector<float>(16, 0.f), 1);
+    if (inject_rejected_round) {
+      auto params = std::vector<std::vector<float>>{
+          std::vector<float>(16, 1.f)};
+      const auto before = params;
+      EXPECT_THROW(strategy.synchronize(fl::RoundId(1), params, {0.0}),
+                   Error);
+      EXPECT_EQ(params, before);  // proposals untouched
+    }
+    auto params = std::vector<std::vector<float>>{
+        std::vector<float>(16, 2.f)};
+    strategy.synchronize(fl::RoundId(1), params, {1.0});
+    return std::vector<float>(strategy.global_params().begin(),
+                              strategy.global_params().end());
+  };
+  EXPECT_EQ(run(false), run(true));  // rng stream not consumed
+}
+
 }  // namespace
 }  // namespace apf

@@ -455,5 +455,24 @@ TEST(Runner, PartitionSizeMismatchThrows) {
       Error);
 }
 
+TEST(FullSyncStream, ApplyPullRejectsWrongDimAtomically) {
+  fl::FullSync sync;
+  sync.init(std::vector<float>{1.f, 2.f, 3.f, 4.f}, 1);
+  fl::StreamSync* stream = sync.stream_sync();
+  ASSERT_NE(stream, nullptr);
+
+  // A well-formed dense frame of the wrong dimension (encoded by a dim-2
+  // sibling) must be rejected without clobbering the caller's buffer.
+  fl::FullSync small;
+  small.init(std::vector<float>{0.f, 0.f}, 1);
+  const std::vector<float> small_params{5.f, 6.f};
+  const auto bad_frame =
+      small.stream_sync()->encode_push(fl::ClientId(0), small_params);
+
+  std::vector<float> params{7.f, 8.f};
+  EXPECT_THROW(stream->apply_pull(bad_frame, params), Error);
+  EXPECT_EQ(params, (std::vector<float>{7.f, 8.f}));
+}
+
 }  // namespace
 }  // namespace apf

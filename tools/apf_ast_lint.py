@@ -73,6 +73,9 @@ import re
 import sys
 import tempfile
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_cache  # noqa: E402  (shared strip/compdb cache, see lint_cache.py)
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories whose TUs are in scope (relative to the repo root). Headers in
@@ -675,7 +678,10 @@ def run_checks(files, root):
         except OSError as e:
             sys.stderr.write(f"apf_ast_lint: cannot read {path}: {e}\n")
             sys.exit(2)
-    stripped_map = {p: strip_comments_and_strings(t) for p, t in texts.items()}
+    stripped_map = {
+        p: lint_cache.stripped(p, t, strip_comments_and_strings, "apf")
+        for p, t in texts.items()
+    }
     # Dispatch enums are governed only if DECLARED under src/transport/ or
     # src/wire/ — a fuzz- or test-local enum is free to dispatch however it
     # likes. (Fixtures qualify because the self-test copies them under a
@@ -694,7 +700,8 @@ def run_checks(files, root):
                 p = os.path.join(base, fn)
                 if p not in enum_source:
                     with open(p, encoding="utf-8") as fh:
-                        enum_source[p] = strip_comments_and_strings(fh.read())
+                        enum_source[p] = lint_cache.stripped(
+                            p, fh.read(), strip_comments_and_strings, "apf")
     enums = collect_enums(enum_source)
 
     findings = []
@@ -894,8 +901,11 @@ def main(argv):
         return self_test()
 
     if not files:
-        entries = load_compile_db(build_dir)
-        files = scanned_files_from_db(entries, REPO_ROOT)
+        db_path = os.path.join(build_dir, "compile_commands.json")
+        files = lint_cache.compdb_files(
+            db_path,
+            lambda: scanned_files_from_db(load_compile_db(build_dir),
+                                          REPO_ROOT))
         if not files:
             sys.stderr.write(
                 "apf_ast_lint: compile_commands.json lists no scanned TUs\n")
@@ -904,6 +914,7 @@ def main(argv):
     findings = run_checks(files, REPO_ROOT)
     for f in findings:
         print(f)
+    lint_cache.flush()
     if findings:
         print(f"apf_ast_lint: {len(findings)} finding(s)")
         return 1

@@ -1,0 +1,1166 @@
+#!/usr/bin/env python3
+"""Interprocedural effect analysis over the compilation database.
+
+tools/apf_ast_lint.py (PR 8) checks ordering and scope INSIDE one function.
+This tool builds a project-wide call graph on top of the same tokenizer,
+infers per-function effects (mutates-member, mutates-param, throws,
+takes-lock, draws-rng, hash-order-iteration), propagates them to a fixed
+point, and enforces three rule families the intraprocedural pass cannot see
+— plus the static wire-size prover in tools/apf_flow_wire.py.
+
+Engine note: same constraint as apf_ast_lint.py — the CI image is GCC-only,
+so the call graph is name-resolved over a structural parse, not a clang AST.
+Overloads are merged (effects union over every function with the simple
+name), receivers are classified lexically (trailing-underscore = member,
+parameter name = caller state, anything else = local), and unresolved
+callees are assumed pure. docs/STATIC_ANALYSIS.md ("Interprocedural effect
+analysis") records the lattice and each approximation.
+
+Rule families (waiver comment on the offending line or the line above;
+tokens are disjoint from every other lint's — lint_apf.py's self-test
+asserts it):
+
+  flow-atomic-reject     In a SyncStrategy/StreamSync entry point under
+                         src/, member state or a caller proposal is mutated
+                         BEFORE the first validation call *through a helper
+                         call, a range-for alias, or a reference parameter*
+                         — the PR 6 bug class when the write hides one call
+                         deep, where apf_ast_lint.py's intraprocedural rule
+                         cannot follow it.
+                         Waive: // lint-apf: allow-flow-atomic-reject(<why>)
+
+  flow-fold-determinism  A fold root (begin_fold / fold_push / finish_fold /
+                         ordered_reduce / any StreamingAggregator method)
+                         transitively reaches a stateful rng draw (member
+                         rng or caller-owned Rng&) or a hash-order iteration
+                         over an unordered container. Fold results must be
+                         bit-identical across runs and worker counts; a
+                         locally constructed, deterministically seeded Rng
+                         is allowed.
+                         Waive: // lint-apf: allow-flow-fold-determinism(<why>)
+
+  flow-frozen-write      Code in src/fl, src/compress, src/transport, fuzz
+                         or bench writes frozen/masked state (a member or
+                         parameter whose name says frozen/mask/excluded)
+                         directly or by passing it to a mutating callee,
+                         instead of going through the blessed mask-managing
+                         APIs in src/core. Locals are exempt: staging a copy
+                         is the correct pattern. A const_cast around
+                         frozen_mask()/frozen_anchor() is always flagged.
+                         Waive: // lint-apf: allow-flow-frozen-write(<why>)
+
+  flow-wire-size         See tools/apf_flow_wire.py: every src/wire encoder's
+                         derived closed-form size must equal the documented
+                         formula in docs/WIRE.md and be bounds-checked by its
+                         decoder.
+                         Waive: // lint-apf: allow-flow-wire-size(<why>)
+
+Usage:
+  tools/apf_flow.py [--build-dir DIR] [--self-test] [--include-hygiene]
+                    [files...]
+
+  --build-dir DIR     where to find compile_commands.json (default: build)
+  --self-test         seed one violation per rule family in a tempdir,
+                      assert each is caught and its waiver suppresses it;
+                      replay tests/ast_lint_negative/flow/ fixtures; re-prove
+                      the real wire tree and both PR 5 bug shapes on mutated
+                      copies
+  --include-hygiene   advisory dead-include report over the scanned files
+                      (exit 0 either way)
+  files...            analyze just these files (bypasses the compile db)
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import apf_ast_lint as ast           # noqa: E402
+import apf_flow_wire as wire         # noqa: E402
+import lint_cache                    # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+WAIVER_ATOMIC = "lint-apf: allow-flow-atomic-reject"
+WAIVER_FOLD = "lint-apf: allow-flow-fold-determinism"
+WAIVER_FROZEN = "lint-apf: allow-flow-frozen-write"
+WAIVER_WIRE = wire.WAIVER_WIRE  # "lint-apf: allow-flow-wire-size"
+
+ENTRY_DIRS = ("src",)
+FROZEN_SCOPE = ("src/fl", "src/compress", "src/transport", "fuzz", "bench")
+FOLD_ROOTS = ("begin_fold", "fold_push", "finish_fold", "ordered_reduce")
+
+KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_cast", "dynamic_cast", "reinterpret_cast",
+    "const_cast", "new", "delete", "throw", "assert", "defined",
+))
+
+VALIDATION = re.compile(
+    r"\brequire_round_inputs\s*\(|\bAPF_CHECK(?:_MSG)?\s*\("
+    r"|->\s*(?:synchronize|fold_push|begin_fold|finish_fold|apply_pull"
+    r"|encode_push)\s*\(")
+
+RNG_DRAW = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(?:normal|bernoulli|uniform|uniform_int|next|next_u32|next_u64"
+    r"|next_double|shuffle|gaussian)\s*\(")
+
+MUTATOR_CALL = re.compile(
+    r"\b([A-Za-z_][\w.]*(?:->[\w.]*)?)\s*(?:\.|->)\s*"
+    r"(?:push_back|emplace_back|assign|clear|resize|insert|erase|reset"
+    r"|set|fill|flip|or_with|and_with|pop_back|store)\s*\(")
+
+ASSIGN_OPS = r"(?:=(?!=)|\+=|-=|\*=|/=|\|=|&=|\^=)"
+
+FROZEN_NAME = re.compile(r"(?:^|_)(frozen|mask|masked|excluded)(?:_|\d|$)",
+                         re.IGNORECASE)
+
+CALL = re.compile(
+    r"(?:\b([A-Za-z_]\w*)\s*(?:\.|->)\s*)?\b([A-Za-z_]\w*)\s*\(")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        if rel.startswith(".."):
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Function index
+# --------------------------------------------------------------------------
+
+
+class Func:
+    def __init__(self, qname, name, cls, path, head_off, body_start,
+                 body_end, params):
+        self.qname = qname
+        self.name = name
+        self.cls = cls
+        self.path = path
+        self.head_off = head_off
+        self.body_start = body_start
+        self.body_end = body_end
+        self.params = params          # [(name, is_mut_ref, is_rng_ref)]
+        self.body = ""
+        self.head_line = 0
+        self.calls = []               # (off, recv, name, [arg texts])
+        self.aliases = {}             # alias -> ('param', idx) | ('member', n)
+        self.local_rngs = set()
+        # Direct effects:
+        self.mutates_members = set()
+        self.mutated_params = set()   # indices (includes drawn Rng& params)
+        self.rng_member = False
+        self.hash_order = False
+        self.hash_why = ""
+        self.takes_lock = False
+        self.throws = False
+        # Transitive effects (fixed point), each with a provenance chain:
+        self.t_member = False
+        self.t_member_why = ""
+        self.t_mut_params = {}        # idx -> why
+        self.t_rng = False
+        self.t_rng_why = ""
+        self.t_hash = False
+        self.t_hash_why = ""
+
+    def mut_param_names(self):
+        return {p[0]: i for i, p in enumerate(self.params) if p[1]}
+
+
+def parse_params(params_text):
+    """[(name, is_mutable_ref, is_rng_ref)] by splitting top-level commas —
+    the per-param parse apf_ast_lint.py's single regex gets wrong when a
+    preceding parameter's type bleeds into the match."""
+    out = []
+    for piece in wire.split_top(params_text, ","):
+        piece = wire.split_top(piece, "=")[0].strip()
+        if not piece or piece == "void":
+            continue
+        m = re.search(r"([A-Za-z_]\w*)\s*$", piece)
+        if not m:
+            out.append(("", False, False))
+            continue
+        name = m.group(1)
+        decl = piece[:m.start(1)]
+        is_const = bool(re.search(r"\bconst\b", decl))
+        mutable_ref = (("&" in decl or "*" in decl) and not is_const)
+        if re.search(r"\bspan\s*<\s*(?!const\b)", decl):
+            mutable_ref = True  # std::span<T> is a mutable view even by value
+        is_rng = bool(re.search(r"\bRng\s*[&*]", decl)) and not is_const
+        out.append((name, mutable_ref, is_rng))
+    return out
+
+
+def class_name_regions(stripped):
+    """[(class_name, start, end)] for class/struct bodies."""
+    regions = []
+    for m in re.finditer(r"\b(?:class|struct)\s+([A-Za-z_]\w*)[^;{}()]*\{",
+                         stripped):
+        open_idx = m.end() - 1
+        close_idx = ast.match_brace(stripped, open_idx)
+        if close_idx != -1:
+            regions.append((m.group(1), open_idx + 1, close_idx))
+    return regions
+
+
+def index_file(path, stripped):
+    """All function definitions in one stripped file, with qualified names
+    resolved from `Cls::name` heads or the enclosing class body."""
+    funcs = []
+    classes = class_name_regions(stripped)
+    for m in ast.FUNC_HEAD.finditer(stripped):
+        name = m.group(1)
+        if name in KEYWORDS:
+            continue
+        open_paren = m.end() - 1
+        close_paren = ast.match_brace(stripped, open_paren)
+        if close_paren == -1:
+            continue
+        tail = stripped[close_paren + 1:]
+        qual = re.match(
+            r"\s*(?:const|noexcept|override|final|mutable"
+            r"|APF_\w+\s*\([^()]*\)|APF_\w+|->\s*[\w:<>&*\s]+)*\s*\{",
+            tail)
+        if not qual:
+            continue
+        body_open = close_paren + 1 + qual.end() - 1
+        body_close = ast.match_brace(stripped, body_open)
+        if body_close == -1:
+            continue
+        cls = None
+        prefix = stripped[:m.start(1)]
+        qm = re.search(r"([A-Za-z_]\w*)\s*::\s*$", prefix)
+        if qm:
+            cls = qm.group(1)
+        else:
+            enclosing = [c for c, s, e in classes if s <= m.start() < e]
+            if enclosing:
+                cls = enclosing[-1]
+        qname = f"{cls}::{name}" if cls else name
+        params = parse_params(stripped[open_paren + 1:close_paren])
+        f = Func(qname, name, cls, path, m.start(), body_open + 1, body_close,
+                 params)
+        f.body = stripped[body_open + 1:body_close]
+        f.head_line = ast.line_of(stripped, m.start())
+        funcs.append(f)
+    # Inner definitions (lambdas/local classes) can nest: keep outermost
+    # bodies and any non-overlapping ones; nested heads still index (their
+    # effects then attribute to both, a safe over-approximation).
+    return funcs
+
+
+def base_ident(arg_text):
+    """The first meaningful identifier of a call argument (the object whose
+    state a mutating callee would touch)."""
+    t = re.sub(r"\bstd::move\s*\(", "(", arg_text)
+    t = wire.CAST.sub("(", t)
+    t = t.lstrip(" \t\n(&*")
+    m = re.match(r"[A-Za-z_]\w*", t)
+    return m.group(0) if m else ""
+
+
+def infer_direct_effects(f, unordered_names):
+    body = f.body
+    f.local_rngs = set(re.findall(r"\bRng\s+([A-Za-z_]\w*)", body))
+    mut_params = f.mut_param_names()
+    rng_params = {p[0]: i for i, p in enumerate(f.params) if p[2]}
+
+    # Aliases: range-for references and reference locals over caller state.
+    for m in re.finditer(r"\bfor\s*\(([^;()]*?)\s*:", body):
+        decl = m.group(1)
+        open_p = body.rfind("(", 0, m.end())
+        close_p = ast.match_brace(body, open_p) if open_p != -1 else -1
+        if close_p == -1:
+            continue
+        header = body[open_p + 1:close_p]
+        parts = re.split(r"(?<!:):(?!:)", header, maxsplit=1)
+        if len(parts) != 2:
+            continue
+        dm = re.search(r"([A-Za-z_]\w*)\s*$", parts[0].strip())
+        if not dm or "&" not in parts[0] or re.search(r"\bconst\b", parts[0]):
+            continue
+        alias = dm.group(1)
+        base = base_ident(parts[1])
+        if base in mut_params:
+            f.aliases[alias] = ("param", mut_params[base])
+        elif base.endswith("_"):
+            f.aliases[alias] = ("member", base)
+    for m in re.finditer(r"\bauto\s*&\s*([A-Za-z_]\w*)\s*=\s*([^;]+);", body):
+        base = base_ident(m.group(2))
+        if base in mut_params:
+            f.aliases[m.group(1)] = ("param", mut_params[base])
+        elif base.endswith("_"):
+            f.aliases[m.group(1)] = ("member", base)
+
+    # Member writes (assignment or std-container mutator on a `name_`).
+    for m in ast.MEMBER_WRITE.finditer(body):
+        f.mutates_members.add(m.group(1) or m.group(2))
+    # Parameter / alias writes.
+    write_targets = dict(mut_params)
+    for alias, ref in f.aliases.items():
+        if ref[0] == "param":
+            write_targets[alias] = ref[1]
+    if write_targets:
+        pat = re.compile(
+            r"\b(" + "|".join(map(re.escape, sorted(write_targets))) + r")"
+            r"\s*(?:\[[^\]]*\])?\s*" + ASSIGN_OPS)
+        for m in pat.finditer(body):
+            f.mutated_params.add(write_targets[m.group(1)])
+    for m in MUTATOR_CALL.finditer(body):
+        base = base_ident(m.group(1))
+        if base in write_targets:
+            f.mutated_params.add(write_targets[base])
+        elif base.endswith("_"):
+            f.mutates_members.add(base)
+        elif base in f.aliases and f.aliases[base][0] == "member":
+            f.mutates_members.add(f.aliases[base][1])
+
+    # Rng draws: a member stream or a caller-owned Rng& is an effect; a
+    # locally constructed (deterministically seeded) Rng is not.
+    for m in RNG_DRAW.finditer(body):
+        name = m.group(1)
+        if name in f.local_rngs:
+            continue
+        if name.endswith("_"):
+            f.rng_member = True
+            f.mutates_members.add(name)
+        elif name in rng_params:
+            f.mutated_params.add(rng_params[name])
+            # Drawing a caller's Rng& both mutates the caller's stream and
+            # makes this function's output depend on external rng state.
+
+    # Hash-order iteration.
+    for m in re.finditer(r"\bfor\s*\(", body):
+        close_p = ast.match_brace(body, m.end() - 1)
+        if close_p == -1:
+            continue
+        header = body[m.end():close_p]
+        parts = re.split(r"(?<!:):(?!:)", header, maxsplit=1)
+        if len(parts) != 2 or ";" in header:
+            continue
+        range_expr = parts[1]
+        base = base_ident(range_expr)
+        if "unordered_" in range_expr or base in unordered_names:
+            f.hash_order = True
+            f.hash_why = (f"range-for over unordered container "
+                          f"'{base or range_expr.strip()[:30]}'")
+            break
+
+    f.takes_lock = bool(re.search(
+        r"\bMutexLock\b|\block_guard\b|\bunique_lock\b", body))
+    f.throws = bool(re.search(
+        r"\bthrow\b|\bAPF_CHECK|\brequire_round_inputs\s*\(", body))
+
+    # Call sites.
+    for m in CALL.finditer(body):
+        name = m.group(2)
+        if name in KEYWORDS:
+            continue
+        open_p = m.end() - 1
+        close_p = ast.match_brace(body, open_p)
+        if close_p == -1:
+            continue
+        args = wire.split_top(body[open_p + 1:close_p], ",")
+        args = [a for a in (x.strip() for x in args) if a]
+        f.calls.append((m.start(), m.group(1), name, args))
+
+
+def rng_arg_is_stateful(f, arg_text, rng_param_names):
+    base = base_ident(arg_text)
+    if base in f.local_rngs:
+        return False
+    return base.endswith("_") or base in rng_param_names
+
+
+def propagate(funcs_by_name, all_funcs, root):
+    """Fixed-point effect propagation over the name-resolved call graph."""
+    def rel(path):
+        r = os.path.relpath(path, root)
+        return r.replace(os.sep, "/")
+
+    changed = True
+    while changed:
+        changed = False
+        for f in all_funcs:
+            rng_param_names = {p[0] for p in f.params if p[2]}
+            for off, recv, name, args in f.calls:
+                callees = funcs_by_name.get(name)
+                if not callees:
+                    continue
+                line = f.head_line  # refined below with body offset
+                site = f"{rel(f.path)}"
+                for g in callees:
+                    if g.cls == g.name:
+                        continue  # constructing a fresh object
+                    g_member = bool(g.mutates_members) or g.t_member
+                    g_why = g.t_member_why or (
+                        f"writes member '{sorted(g.mutates_members)[0]}'"
+                        if g.mutates_members else "")
+                    recv_member = recv is not None and (
+                        recv == "this" or recv.endswith("_") or
+                        (recv in f.aliases and
+                         f.aliases[recv][0] == "member"))
+                    implicit_this = (recv is None and g.cls is not None and
+                                     g.cls == f.cls)
+                    if g_member and (recv_member or implicit_this) \
+                            and not f.t_member:
+                        f.t_member = True
+                        f.t_member_why = f"calls {g.qname} [{site}] → {g_why}"
+                        changed = True
+                    # Arg-mediated mutation: the callee writes parameter j
+                    # and we passed caller-visible state in that slot.
+                    for j in set(g.mutated_params) | set(g.t_mut_params):
+                        if j >= len(args):
+                            continue
+                        base = base_ident(args[j])
+                        why_g = g.t_mut_params.get(
+                            j, f"writes its parameter #{j}")
+                        ref = f.aliases.get(base)
+                        if base.endswith("_") or (
+                                ref is not None and ref[0] == "member"):
+                            if not f.t_member:
+                                f.t_member = True
+                                f.t_member_why = (
+                                    f"passes member '{base}' to {g.qname} "
+                                    f"[{site}] → {why_g}")
+                                changed = True
+                        else:
+                            idx = f.mut_param_names().get(base)
+                            if idx is None and ref is not None \
+                                    and ref[0] == "param":
+                                idx = ref[1]
+                            if idx is not None and idx not in f.t_mut_params:
+                                f.t_mut_params[idx] = (
+                                    f"passes it to {g.qname} [{site}] "
+                                    f"→ {why_g}")
+                                changed = True
+                    # Stateful rng reachability (rule B).
+                    if (g.rng_member or g.t_rng) and not f.t_rng:
+                        f.t_rng = True
+                        f.t_rng_why = (f"calls {g.qname} [{site}] → " +
+                                       (g.t_rng_why or
+                                        "draws from its member rng"))
+                        changed = True
+                    if not f.t_rng:
+                        for i, p in enumerate(g.params):
+                            if p[2] and i < len(args) and rng_arg_is_stateful(
+                                    f, args[i], rng_param_names):
+                                f.t_rng = True
+                                f.t_rng_why = (
+                                    f"passes stateful rng "
+                                    f"'{base_ident(args[i])}' to {g.qname} "
+                                    f"[{site}]")
+                                changed = True
+                                break
+                    # Hash-order reachability (rule B).
+                    if (g.hash_order or g.t_hash) and not f.t_hash:
+                        f.t_hash = True
+                        f.t_hash_why = (f"calls {g.qname} [{site}] → " +
+                                        (g.t_hash_why or g.hash_why))
+                        changed = True
+            # Direct effects seed the transitive bits.
+            if f.mutates_members and not f.t_member:
+                f.t_member = True
+                f.t_member_why = (
+                    f"writes member '{sorted(f.mutates_members)[0]}'")
+                changed = True
+            for j in f.mutated_params:
+                if j not in f.t_mut_params:
+                    f.t_mut_params[j] = f"writes its parameter #{j}"
+                    changed = True
+            if f.rng_member and not f.t_rng:
+                f.t_rng = True
+                f.t_rng_why = "draws from its member rng"
+                changed = True
+            if f.hash_order and not f.t_hash:
+                f.t_hash = True
+                f.t_hash_why = f.hash_why
+                changed = True
+
+
+# --------------------------------------------------------------------------
+# Rule A: flow-atomic-reject
+# --------------------------------------------------------------------------
+
+
+def in_dirs(path, root, dirs):
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+def check_atomic_interproc(f, funcs_by_name, raw_lines, stripped, root,
+                           findings):
+    if f.name not in ast.ENTRY_POINTS:
+        return
+    if not in_dirs(f.path, root, ENTRY_DIRS):
+        return
+    first_validation = VALIDATION.search(f.body)
+    if not first_validation:
+        return
+    limit = first_validation.start()
+
+    def emit(off, message):
+        line = ast.line_of(stripped, f.body_start + off)
+        if not ast.has_waiver(raw_lines, line, WAIVER_ATOMIC):
+            findings.append(Finding(f.path, line, "flow-atomic-reject",
+                                    message))
+
+    # (a) helper calls whose effect chain reaches caller-visible state.
+    for off, recv, name, args in f.calls:
+        if off >= limit:
+            continue
+        # Delegating the round to another sync hook (inner_->synchronize(...)
+        # in a wrapper's well-formedness bail-out) IS a validation point —
+        # the callee owns atomic rejection from there on.
+        if recv is not None and name in ast.ENTRY_POINTS:
+            continue
+        cands = [g for g in funcs_by_name.get(name, ())
+                 if g.cls != g.name]
+        member_hit = False
+        for g in cands:
+            recv_member = recv is not None and (
+                recv == "this" or recv.endswith("_") or
+                (recv in f.aliases and f.aliases[recv][0] == "member"))
+            implicit_this = (recv is None and g.cls is not None and
+                             g.cls == f.cls)
+            g_member = bool(g.mutates_members) or g.t_member
+            if g_member and (recv_member or implicit_this):
+                why = g.t_member_why or (
+                    f"writes member '{sorted(g.mutates_members)[0]}'")
+                emit(off, f"{f.qname}() calls {g.qname}() before the first "
+                          f"validation call, and that call mutates member "
+                          f"state ({why}); a rejection after this point "
+                          "leaves the round half-committed — stage locally, "
+                          "validate, then commit")
+                member_hit = True
+                break
+        if member_hit or not cands:
+            continue
+        # Overloads are resolved by name only, so a mutated-param report
+        # requires consensus: every candidate overload must mutate that
+        # parameter (rng_.normal(mean, sd) must not inherit Tensor::normal's
+        # Rng& slot).
+        mutated = set(cands[0].mutated_params) | set(cands[0].t_mut_params)
+        for g in cands[1:]:
+            mutated &= set(g.mutated_params) | set(g.t_mut_params)
+        for j in sorted(mutated):
+            if j >= len(args):
+                continue
+            g = cands[0]
+            base = base_ident(args[j])
+            ref = f.aliases.get(base)
+            why = g.t_mut_params.get(j, f"writes its parameter #{j}")
+            if base.endswith("_") or (ref and ref[0] == "member"):
+                emit(off, f"{f.qname}() passes member '{base}' to "
+                          f"{g.qname}() before the first validation "
+                          f"call, which mutates it ({why}); stage "
+                          "locally, validate, then commit")
+                break
+            if base in f.mut_param_names() or (ref and ref[0] == "param"):
+                emit(off, f"{f.qname}() passes caller proposal '{base}' "
+                          f"to {g.qname}() before the first validation "
+                          f"call, which mutates it ({why}); a rejected "
+                          "round must leave the submitted parameters "
+                          "untouched")
+                break
+
+    # (b) direct writes through a range-for alias or reference parameter —
+    # the shapes apf_ast_lint.py's single-regex parameter parse misses.
+    targets = {}
+    for alias, ref in f.aliases.items():
+        targets[alias] = ref
+    for pname, idx in f.mut_param_names().items():
+        targets.setdefault(pname, ("param", idx))
+    if targets:
+        pat = re.compile(
+            r"\b(" + "|".join(map(re.escape, sorted(targets))) + r")"
+            r"\s*(?:\[[^\]]*\])?\s*" + ASSIGN_OPS)
+        for m in pat.finditer(f.body, 0, limit):
+            kind = ("member state" if targets[m.group(1)][0] == "member"
+                    else "caller proposal")
+            emit(m.start(),
+                 f"{f.qname}() writes {kind} '{m.group(1)}' before the "
+                 "first validation call; a rejected round must leave "
+                 "caller-visible state untouched")
+
+    # (c) a member rng draw is member state too (the stream advances).
+    for m in RNG_DRAW.finditer(f.body, 0, limit):
+        if m.group(1).endswith("_"):
+            emit(m.start(),
+                 f"{f.qname}() advances member rng '{m.group(1)}' before "
+                 "the first validation call; a rejected round must not "
+                 "consume randomness (stage a local copy, commit on "
+                 "success)")
+
+
+# --------------------------------------------------------------------------
+# Rule B: flow-fold-determinism
+# --------------------------------------------------------------------------
+
+
+def check_fold_determinism(f, raw_lines, root, findings):
+    if not in_dirs(f.path, root, ("src",)):
+        return
+    if f.name not in FOLD_ROOTS and f.cls != "StreamingAggregator":
+        return
+    if f.t_rng:
+        if not ast.has_waiver(raw_lines, f.head_line, WAIVER_FOLD):
+            findings.append(Finding(
+                f.path, f.head_line, "flow-fold-determinism",
+                f"fold path {f.qname}() reaches a stateful rng draw "
+                f"({f.t_rng_why}); fold results must be bit-identical "
+                "across runs — derive any randomness from a locally "
+                "seeded Rng"))
+    if f.t_hash:
+        if not ast.has_waiver(raw_lines, f.head_line, WAIVER_FOLD):
+            findings.append(Finding(
+                f.path, f.head_line, "flow-fold-determinism",
+                f"fold path {f.qname}() reaches a hash-order iteration "
+                f"({f.t_hash_why}); fold in a deterministic order "
+                "(ordered_reduce / ascending client order) instead"))
+
+
+# --------------------------------------------------------------------------
+# Rule C: flow-frozen-write
+# --------------------------------------------------------------------------
+
+
+def frozen_component(path_text):
+    return any(FROZEN_NAME.search(part)
+               for part in re.split(r"\.|->", path_text))
+
+
+def check_frozen_write(f, funcs_by_name, raw_lines, stripped, root,
+                       findings):
+    if not in_dirs(f.path, root, FROZEN_SCOPE):
+        return
+
+    def emit(off, message):
+        line = ast.line_of(stripped, f.body_start + off)
+        if not ast.has_waiver(raw_lines, line, WAIVER_FROZEN):
+            findings.append(Finding(f.path, line, "flow-frozen-write",
+                                    message))
+
+    param_names = {p[0] for p in f.params}
+
+    def caller_visible(base):
+        if base.endswith("_"):
+            return True
+        if base in param_names:
+            return True
+        ref = f.aliases.get(base)
+        return ref is not None
+
+    # Direct mutating method calls / assignments on frozen-named state.
+    for m in MUTATOR_CALL.finditer(f.body):
+        path_text = m.group(1)
+        base = base_ident(path_text)
+        if frozen_component(path_text) and caller_visible(base):
+            emit(m.start(),
+                 f"{f.qname}() mutates frozen/masked state "
+                 f"'{path_text}' outside src/core; frozen coordinates "
+                 "must be bit-stable between syncs — go through the "
+                 "mask-managing APIs in core (ApfManager) instead")
+    assign = re.compile(
+        r"\b([A-Za-z_][\w.]*(?:->[\w.]*)?)\s*(?:\[[^\]]*\])?\s*" + ASSIGN_OPS)
+    for m in assign.finditer(f.body):
+        path_text = m.group(1)
+        base = base_ident(path_text)
+        if frozen_component(path_text) and caller_visible(base):
+            emit(m.start(),
+                 f"{f.qname}() assigns to frozen/masked state "
+                 f"'{path_text}' outside src/core; frozen coordinates "
+                 "must be bit-stable between syncs")
+    # const_cast escape hatches around the frozen accessors.
+    for m in re.finditer(
+            r"\bconst_cast\s*<[^>]*>\s*\([^()]*"
+            r"(?:frozen_mask|frozen_anchor)\s*\(", f.body):
+        emit(m.start(),
+             f"{f.qname}() const_casts a frozen-state accessor; the "
+             "frozen mask/anchor is read-only outside src/core")
+    # Interprocedural: passing frozen state to a mutating callee.
+    for off, _recv, name, args in f.calls:
+        for g in funcs_by_name.get(name, ()):
+            if g.cls == g.name:
+                continue
+            for j in set(g.mutated_params) | set(g.t_mut_params):
+                if j >= len(args):
+                    continue
+                if frozen_component(args[j]) and \
+                        caller_visible(base_ident(args[j])):
+                    why = g.t_mut_params.get(j, f"writes its parameter #{j}")
+                    emit(off,
+                         f"{f.qname}() passes frozen/masked state "
+                         f"'{args[j]}' to {g.qname}() which mutates it "
+                         f"({why}); frozen coordinates must be bit-stable "
+                         "between syncs")
+
+
+# --------------------------------------------------------------------------
+# Analysis driver
+# --------------------------------------------------------------------------
+
+
+def load_sources(files):
+    texts = {}
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                texts[path] = fh.read()
+        except OSError as e:
+            sys.stderr.write(f"apf_flow: cannot read {path}: {e}\n")
+            sys.exit(2)
+    stripped_map = {
+        p: lint_cache.stripped(p, t, ast.strip_comments_and_strings, "apf")
+        for p, t in texts.items()
+    }
+    return texts, stripped_map
+
+
+def build_index(files, stripped_map):
+    all_funcs = []
+    unordered_names = set()
+    for path in files:
+        stripped = stripped_map[path]
+        for m in re.finditer(
+                r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*&?"
+                r"\s*([A-Za-z_]\w*)", stripped):
+            unordered_names.add(m.group(1))
+    funcs_by_name = {}
+    for path in files:
+        for f in index_file(path, stripped_map[path]):
+            all_funcs.append(f)
+            funcs_by_name.setdefault(f.name, []).append(f)
+    for f in all_funcs:
+        infer_direct_effects(f, unordered_names)
+    return all_funcs, funcs_by_name
+
+
+def run_flow(files, root, doc_text=None):
+    texts, stripped_map = load_sources(files)
+    all_funcs, funcs_by_name = build_index(files, stripped_map)
+    propagate(funcs_by_name, all_funcs, root)
+
+    findings = []
+    raw_lines_map = {p: t.split("\n") for p, t in texts.items()}
+    for f in all_funcs:
+        raw_lines = raw_lines_map[f.path]
+        stripped = stripped_map[f.path]
+        check_atomic_interproc(f, funcs_by_name, raw_lines, stripped, root,
+                               findings)
+        check_fold_determinism(f, raw_lines, root, findings)
+        check_frozen_write(f, funcs_by_name, raw_lines, stripped, root,
+                           findings)
+
+    # Static wire-size prover over the src/wire TUs in the file set.
+    wire_files = [p for p in files
+                  if in_dirs(p, root, ("src/wire",)) and p.endswith(".cpp")]
+    if wire_files:
+        def waived(path, line, token):
+            return ast.has_waiver(raw_lines_map[path], line, token)
+        wire_findings = []
+        wire.check_wire(root, wire_files, texts, stripped_map, waived,
+                        wire_findings, doc_text=doc_text)
+        for path, line, rule, message in wire_findings:
+            findings.append(Finding(path, line, rule, message))
+
+    seen = set()
+    deduped = []
+    for f in sorted(findings, key=lambda x: (x.path, x.line, x.rule)):
+        key = (f.path, f.line, f.rule, f.message)
+        if key not in seen:
+            seen.add(key)
+            deduped.append(f)
+    return deduped
+
+
+# --------------------------------------------------------------------------
+# Dead-include sweep (advisory)
+# --------------------------------------------------------------------------
+
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def header_provided_names(stripped, raw):
+    """Identifiers a header makes available to its includers: macro names,
+    type/class/enum names, function names, using-aliases/declarations,
+    constants. Over-approximate on purpose — an include is reported only
+    when NONE of these appear in the includer."""
+    names = set()
+    for m in re.finditer(r"#\s*define\s+(\w+)", raw):
+        names.add(m.group(1))
+    for m in re.finditer(
+            r"\b(?:class|struct|enum(?:\s+class)?|union)\s+([A-Za-z_]\w*)",
+            stripped):
+        names.add(m.group(1))
+    for m in re.finditer(r"\busing\s+([A-Za-z_]\w*)\s*=", stripped):
+        names.add(m.group(1))
+    for m in re.finditer(r"\busing\s+[\w:]*::([A-Za-z_]\w*)\s*;", stripped):
+        names.add(m.group(1))
+    for m in re.finditer(r"\btypedef\b[^;]*\b([A-Za-z_]\w*)\s*;", stripped):
+        names.add(m.group(1))
+    for m in ast.FUNC_HEAD.finditer(stripped):
+        if m.group(1) not in KEYWORDS:
+            names.add(m.group(1))
+    for m in re.finditer(
+            r"\b(?:constexpr|const|inline|extern)\b[^;(){}=]*"
+            r"\b([A-Za-z_]\w*)\s*[={]", stripped):
+        names.add(m.group(1))
+    names.discard("")
+    return names
+
+
+def include_hygiene(files, root):
+    """Report project includes whose provided names the includer never
+    references. Advisory: exit status is unaffected."""
+    texts, stripped_map = load_sources(files)
+    name_cache = {}
+    reports = []
+    for path in sorted(files):
+        text = texts[path]
+        stripped = stripped_map[path]
+        base_no_ext = os.path.splitext(os.path.basename(path))[0]
+        body = INCLUDE.sub("", stripped)
+        # Umbrella headers (src/core/apf.h) exist to re-export: once the
+        # include lines are gone there is no code left, and every include
+        # would be "unused" by construction. Skip them.
+        if not re.search(r"[A-Za-z_]", re.sub(r"#\s*pragma[^\n]*", "", body)):
+            continue
+        for m in INCLUDE.finditer(text):
+            inc = m.group(1)
+            resolved = None
+            for cand in (os.path.join(root, "src", inc),
+                         os.path.join(os.path.dirname(path), inc),
+                         os.path.join(root, inc)):
+                if os.path.exists(cand):
+                    resolved = os.path.normpath(cand)
+                    break
+            if resolved is None:
+                continue
+            if os.path.splitext(os.path.basename(resolved))[0] == base_no_ext:
+                continue  # x.cpp including its own interface x.h
+            if resolved not in name_cache:
+                try:
+                    with open(resolved, encoding="utf-8",
+                              errors="replace") as fh:
+                        hraw = fh.read()
+                except OSError:
+                    name_cache[resolved] = None
+                    continue
+                hstripped = lint_cache.stripped(
+                    resolved, hraw, ast.strip_comments_and_strings, "apf")
+                name_cache[resolved] = header_provided_names(hstripped, hraw)
+            provided = name_cache[resolved]
+            if not provided:
+                continue
+            if not any(re.search(r"\b" + re.escape(n) + r"\b", body)
+                       for n in provided):
+                line = ast.line_of(text, m.start())
+                rel = os.path.relpath(path, root)
+                reports.append(
+                    f"{rel}:{line}: include \"{inc}\" appears unused "
+                    f"(none of its {len(provided)} provided names are "
+                    "referenced)")
+    return reports
+
+
+# --------------------------------------------------------------------------
+# Self-test
+# --------------------------------------------------------------------------
+
+SEED_ATOMIC = """
+#include <vector>
+struct QuantWrap {
+  void apply_noise(std::vector<float>& out) {
+    out[0] += 1.0f;
+    scale_ = 2.0f;
+  }
+  void synchronize(std::vector<float>& client_params, double weight) {
+    apply_noise(client_params);
+    require_round_inputs(client_params, weight);
+  }
+  float scale_ = 1.0f;
+};
+"""
+
+SEED_FOLD = """
+#include <unordered_map>
+struct BadAgg {
+  double pick(double x) {
+    double t = 0.0;
+    for (const auto& kv : weights_) {
+      t += kv.second * x;
+    }
+    return t;
+  }
+  void fold_push(int c, double v) {
+    APF_CHECK(v >= 0.0);
+    sum_ += pick(v);
+  }
+  std::unordered_map<int, double> weights_;
+  double sum_ = 0.0;
+};
+"""
+
+SEED_FROZEN = """
+struct Masker {
+  void tweak() {
+    frozen_mask_.set(3, true);
+  }
+  Bitmap frozen_mask_;
+};
+"""
+
+SEED_WIRE = """
+#include "util/bytes.h"
+namespace {
+constexpr std::uint32_t kTagMini = 0x314D4941;  // "AIM1"
+}
+std::vector<std::uint8_t> encode_mini(const MiniPayload& payload) {
+  ByteWriter writer;
+  writer.u32(kTagMini);
+  writer.u32(payload.count);
+  for (std::size_t j = 0; j < payload.count; ++j) {
+    writer.u16(payload.vals[j]);
+  }
+  return writer.take();
+}
+"""
+
+SEED_WIRE_DOC = ("| `AIM1` | mini payload | count u32, vals u16[count] "
+                 "| 8 + 4·count |\n")
+
+# (relpath, code, expected rule, waiver token, line substring to waive)
+SEEDS = (
+    ("src/fl/bad_sync.cpp", SEED_ATOMIC, "flow-atomic-reject",
+     WAIVER_ATOMIC, "apply_noise(client_params);"),
+    ("src/transport/bad_fold.cpp", SEED_FOLD, "flow-fold-determinism",
+     WAIVER_FOLD, "void fold_push(int c, double v) {"),
+    ("src/fl/bad_frozen.cpp", SEED_FROZEN, "flow-frozen-write",
+     WAIVER_FROZEN, "frozen_mask_.set(3, true);"),
+    ("src/wire/bad_wire.cpp", SEED_WIRE, "flow-wire-size",
+     WAIVER_WIRE, "std::vector<std::uint8_t> encode_mini"),
+)
+
+
+def _write(path, content):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+
+
+def _insert_waiver(code, needle, token):
+    out = []
+    done = False
+    for line in code.split("\n"):
+        if not done and needle in line:
+            indent = line[:len(line) - len(line.lstrip())]
+            out.append(f"{indent}// {token}(test)")
+            done = True
+        out.append(line)
+    assert done, needle
+    return "\n".join(out)
+
+
+def self_test():
+    failures = []
+
+    # 1. One seeded violation per rule family; waivers suppress each.
+    with tempfile.TemporaryDirectory(prefix="apf-flow-") as tmp:
+        _write(os.path.join(tmp, "docs", "WIRE.md"), SEED_WIRE_DOC)
+        paths = {}
+        for rel, code, rule, _token, _needle in SEEDS:
+            p = os.path.join(tmp, rel)
+            _write(p, code)
+            paths[rule] = p
+        findings = run_flow(sorted(paths.values()), tmp)
+        for rel, _code, rule, _token, _needle in SEEDS:
+            if not any(f.rule == rule and f.path == paths[rule]
+                       for f in findings):
+                failures.append(f"seeded {rule} violation not detected")
+        expected_pairs = {(paths[r], r) for _, _, r, _, _ in SEEDS}
+        for f in findings:
+            if (f.path, f.rule) not in expected_pairs:
+                failures.append(f"unexpected finding: {f}")
+        for rel, code, rule, token, needle in SEEDS:
+            _write(paths[rule], _insert_waiver(code, needle, token))
+        findings = run_flow(sorted(paths.values()), tmp)
+        for f in findings:
+            failures.append(f"waiver did not suppress: {f}")
+
+    # 2. Checked-in fixtures (tests/ast_lint_negative/flow/) each trip the
+    # rule named by their flow-lint-expect marker. Wire fixtures carry their
+    # documented row inline via flow-wire-doc markers.
+    fixture_dir = os.path.join(REPO_ROOT, "tests", "ast_lint_negative",
+                               "flow")
+    if os.path.isdir(fixture_dir):
+        with tempfile.TemporaryDirectory(prefix="apf-flow-fix-") as tmp:
+            expected = {}
+            doc_rows = []
+            for fn in sorted(os.listdir(fixture_dir)):
+                if not fn.endswith(".cpp"):
+                    continue
+                with open(os.path.join(fixture_dir, fn),
+                          encoding="utf-8") as fh:
+                    code = fh.read()
+                m = re.search(r"flow-lint-expect:\s*([\w-]+)", code)
+                if not m:
+                    failures.append(
+                        f"fixture {fn} lacks a 'flow-lint-expect: <rule>' "
+                        "marker")
+                    continue
+                rule = m.group(1)
+                for dm in re.finditer(r"flow-wire-doc:\s*(\|.*\|)", code):
+                    doc_rows.append(dm.group(1) + "\n")
+                sub = {"flow-wire-size": "src/wire",
+                       "flow-fold-determinism": "src/transport"}.get(
+                           rule, "src/fl")
+                p = os.path.join(tmp, sub, fn)
+                _write(p, code)
+                expected[p] = rule
+            _write(os.path.join(tmp, "docs", "WIRE.md"), "".join(doc_rows))
+            findings = run_flow(sorted(expected), tmp)
+            for p, rule in expected.items():
+                if not any(f.path == p and f.rule == rule for f in findings):
+                    failures.append(
+                        f"fixture {os.path.basename(p)} did not trip {rule}")
+
+    # 3. The real wire tree must prove clean, and mutated copies must
+    # reproduce both PR 5 bug shapes as failures.
+    real_wire_dir = os.path.join(REPO_ROOT, "src", "wire")
+    real_doc = os.path.join(REPO_ROOT, "docs", "WIRE.md")
+    if os.path.isdir(real_wire_dir) and os.path.exists(real_doc):
+        sources = {}
+        for fn in sorted(os.listdir(real_wire_dir)):
+            if fn.endswith(".cpp"):
+                with open(os.path.join(real_wire_dir, fn),
+                          encoding="utf-8") as fh:
+                    sources[fn] = fh.read()
+        mutations = []
+        if "wire.cpp" in sources:
+            if "writer.u16(float_to_half(v));" in sources["wire.cpp"]:
+                mutations.append(
+                    ("scale-factor (fp16 element width)", "wire.cpp",
+                     "writer.u16(float_to_half(v));",
+                     "writer.u32(float_to_half(v));", "encode_fp16"))
+            if "  writer.u32(kTagDense);\n" in sources["wire.cpp"]:
+                mutations.append(
+                    ("dropped header (dense tag)", "wire.cpp",
+                     "  writer.u32(kTagDense);\n", "", "encode_dense"))
+        with tempfile.TemporaryDirectory(prefix="apf-flow-wire-") as tmp:
+            with open(real_doc, encoding="utf-8") as fh:
+                _write(os.path.join(tmp, "docs", "WIRE.md"), fh.read())
+            for fn, code in sources.items():
+                _write(os.path.join(tmp, "src", "wire", fn), code)
+            files = [os.path.join(tmp, "src", "wire", fn) for fn in sources]
+            findings = run_flow(sorted(files), tmp)
+            for f in findings:
+                failures.append(f"real wire tree not clean: {f}")
+            if len(mutations) < 2:
+                failures.append(
+                    "could not seed both PR 5 mutation shapes (wire.cpp "
+                    "drifted from the expected encoder text)")
+            for label, fn, old, new, expect_fn in mutations:
+                _write(os.path.join(tmp, "src", "wire", fn),
+                       sources[fn].replace(old, new))
+                findings = run_flow(sorted(files), tmp)
+                hits = [f for f in findings if f.rule == "flow-wire-size"
+                        and expect_fn in f.message]
+                if not hits:
+                    failures.append(
+                        f"PR 5 mutation '{label}' not detected")
+                _write(os.path.join(tmp, "src", "wire", fn), sources[fn])
+
+    if failures:
+        for msg in failures:
+            print(f"apf_flow self-test FAIL: {msg}")
+        return 1
+    print("apf_flow self-test: all rules fire, all waivers suppress, all "
+          "fixtures detected, wire formulas re-proven (PR 5 shapes "
+          "reproduced on mutated copies)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+
+def main(argv):
+    build_dir = os.path.join(REPO_ROOT, "build")
+    files = []
+    mode_self_test = False
+    mode_hygiene = False
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--self-test":
+            mode_self_test = True
+        elif arg == "--include-hygiene":
+            mode_hygiene = True
+        elif arg == "--build-dir":
+            i += 1
+            if i >= len(argv):
+                sys.stderr.write("apf_flow: --build-dir needs a value\n")
+                return 2
+            build_dir = argv[i]
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("-"):
+            sys.stderr.write(f"apf_flow: unknown flag {arg}\n")
+            return 2
+        else:
+            files.append(os.path.abspath(arg))
+        i += 1
+
+    if mode_self_test:
+        return self_test()
+
+    if not files:
+        db_path = os.path.join(build_dir, "compile_commands.json")
+        files = lint_cache.compdb_files(
+            db_path,
+            lambda: ast.scanned_files_from_db(
+                ast.load_compile_db(build_dir), REPO_ROOT))
+        if not files:
+            sys.stderr.write(
+                "apf_flow: compile_commands.json lists no scanned TUs\n")
+            return 2
+
+    if mode_hygiene:
+        reports = include_hygiene(files, REPO_ROOT)
+        for r in reports:
+            print(r)
+        print(f"apf_flow --include-hygiene: {len(reports)} candidate "
+              f"unused include(s) across {len(files)} files (advisory)")
+        lint_cache.flush()
+        return 0
+
+    findings = run_flow(files, REPO_ROOT)
+    for f in findings:
+        print(f)
+    lint_cache.flush()
+    if findings:
+        print(f"apf_flow: {len(findings)} finding(s)")
+        return 1
+    print(f"apf_flow: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
+
+

@@ -1,0 +1,992 @@
+#!/usr/bin/env python3
+"""Static wire-size prover — the `flow-wire-size` rule of tools/apf_flow.py.
+
+For every `encode_*` function in src/wire/ this module symbolically walks the
+ByteWriter call sequence (including braceless loops, BitWriter bit
+accumulation and same-file helper inlining) to derive a closed-form size
+expression, then cross-checks it against
+
+  1. the documented formula in docs/WIRE.md's format table (the size column),
+  2. the paired decoder's bounds checks (`require`, `raw`,
+     `remaining() == ...`) — every variable-length term the encoder emits must
+     be guarded before the decoder reads it.
+
+Sizes are linear expressions over symbols plus ceil-division terms
+(normalized by gcd, so 2·dim bits → ⌈dim/4⌉ bytes matches the doc's form).
+Symbols are unified with the documented field names through two channels:
+header writes/reads bind positionally to the layout column's scalar fields,
+and `APF_CHECK(a == b)` equalities (e.g. indices.size() == values.size())
+merge atoms via union-find. `pack_unfrozen(...)` is the opaque `unfrozen`
+quantity; `dim − mask.count()` on the decoder side canonicalizes to it.
+
+This is PR 5's bug class as a lint: a dropped tag header or a mis-scaled
+element width changes the derived expression and fails the table check.
+
+Waive per encoder: // lint-apf: allow-flow-wire-size(<reason>)
+"""
+
+import math
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import apf_ast_lint as ast  # noqa: E402  (tokenizer reuse)
+
+WAIVER_WIRE = "lint-apf: allow-flow-wire-size"
+
+WIDTHS = {"u8": 1, "u16": 2, "u32": 4, "u64": 8, "f32": 4}
+
+# --------------------------------------------------------------------------
+# Linear size expressions: {term_key: int_coeff}. A term key is a tuple of
+# symbol names (the empty tuple is the constant term) or
+# ('ceil', canon_numerator, divisor).
+# --------------------------------------------------------------------------
+
+CONST = ()
+
+
+def e_const(c):
+    return {CONST: c} if c else {}
+
+
+def e_sym(name):
+    return {(name,): 1}
+
+
+def e_add(a, b):
+    out = dict(a)
+    for k, v in b.items():
+        out[k] = out.get(k, 0) + v
+        if out[k] == 0:
+            del out[k]
+    return out
+
+
+def e_scale(a, k):
+    if k == 0:
+        return {}
+    return {t: c * k for t, c in a.items()}
+
+
+def e_mul(a, b):
+    """Product of two polynomials; None if a ceil term meets a non-constant."""
+    for x, y in ((a, b), (b, a)):
+        if any(t and t[0] == "ceil" for t in x):
+            if set(y) - {CONST}:
+                return None
+            return e_scale(x, y.get(CONST, 0)) if y else {}
+    out = {}
+    for t1, c1 in a.items():
+        for t2, c2 in b.items():
+            key = tuple(sorted(t1 + t2))
+            out[key] = out.get(key, 0) + c1 * c2
+            if out[key] == 0:
+                del out[key]
+    return out
+
+
+def canon_key(e):
+    return tuple(sorted(e.items(), key=repr))
+
+
+def e_ceil(num, div):
+    """⌈num/div⌉ normalized by gcd so equivalent packings compare equal."""
+    if not num:
+        return {}
+    if div == 1:
+        return dict(num)
+    g = div
+    for c in num.values():
+        g = math.gcd(g, abs(c))
+    num = {t: c // g for t, c in num.items()}
+    div //= g
+    if div == 1:
+        return num
+    if set(num) <= {CONST}:
+        return e_const(-((-num.get(CONST, 0)) // div))  # exact ceil
+    return {("ceil", canon_key(num), div): 1}
+
+
+def e_div(num, div):
+    """C++ integer division by a constant: (A + div-1)/div is a ceil, an
+    exactly divisible expression divides through, anything else is
+    unprovable (None)."""
+    c = num.get(CONST, 0)
+    if c == div - 1:
+        rest = {t: v for t, v in num.items() if t != CONST}
+        return e_ceil(rest, div)
+    if all(v % div == 0 for v in num.values()):
+        return {t: v // div for t, v in num.items()}
+    if c == 0:
+        return None
+    return None
+
+
+def format_expr(e):
+    if not e:
+        return "0"
+    parts = []
+    for t, c in sorted(e.items(), key=repr):
+        if t == CONST:
+            parts.insert(0, str(c))
+        elif t[0] == "ceil":
+            inner = format_expr(dict(t[1]))
+            s = f"⌈({inner})/{t[2]}⌉"
+            parts.append(s if c == 1 else f"{c}·{s}")
+        else:
+            s = "·".join(t)
+            parts.append(s if c == 1 else f"{c}·{s}")
+    return " + ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Symbol unification (union-find; documented field names win as reps)
+# --------------------------------------------------------------------------
+
+
+class Unifier:
+    def __init__(self):
+        self.parent = {}
+
+    def find(self, a):
+        self.parent.setdefault(a, a)
+        while self.parent[a] != a:
+            self.parent[a] = self.parent[self.parent[a]]
+            a = self.parent[a]
+        return a
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        # Prefer the documented name as representative.
+        if ra.startswith("doc:"):
+            self.parent[rb] = ra
+        else:
+            self.parent[ra] = rb
+
+    def canon_atom(self, a):
+        r = self.find(a)
+        return r[4:] if r.startswith("doc:") else r
+
+    def canon_expr(self, e):
+        out = {}
+        for t, c in e.items():
+            if t != CONST and t[0] == "ceil":
+                num = self.canon_expr(dict(t[1]))
+                key = ("ceil", canon_key(num), t[2])
+            else:
+                key = tuple(sorted(self.canon_atom(s) for s in t))
+            out[key] = out.get(key, 0) + c
+            if out[key] == 0:
+                del out[key]
+        return out
+
+
+def rewrite_unfrozen(e):
+    """dim·c − count-of-mask·c  →  unfrozen·c (the decoder's arithmetic for
+    the quantity pack_unfrozen defines on the encoder side)."""
+    terms = dict(e)
+    for t, c in [(t, c) for t, c in terms.items()
+                 if len(t) == 1 and t[0].startswith("cnt:") and c < 0]:
+        mate = next((u for u, d in terms.items()
+                     if len(u) == 1 and u != t and d == -c
+                     and not u[0].startswith(("cnt:", "len:"))
+                     and u[0] != "unfrozen"), None)
+        if mate is None:
+            continue
+        del terms[t]
+        del terms[mate]
+        terms[("unfrozen",)] = terms.get(("unfrozen",), 0) - c
+    return terms
+
+
+# --------------------------------------------------------------------------
+# C++ expression parser → size expression over raw atoms
+# --------------------------------------------------------------------------
+
+CAST = re.compile(r"\b(?:static_cast|std::size_t)\s*(?:<[^<>]*(?:<[^<>]*>)?[^<>]*>)?\s*\(")
+TOKEN = re.compile(
+    r"\s*(\d+|[A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*|\(|\)|\+|-|\*|/|,)")
+
+
+class ExprCtx:
+    """Per-walk context: textual param substitutions (inlined helpers),
+    parsed local aliases, known BitWriter bit totals, and the unifier."""
+
+    def __init__(self, subst=None, aliases=None, bitwriters=None):
+        self.subst = subst or {}
+        self.aliases = aliases or {}
+        self.bitwriters = bitwriters or {}
+
+
+def _resolve_path(path, ctx):
+    path = path.replace("->", ".")
+    base, sep, rest = path.partition(".")
+    if base in ctx.subst:
+        base = ctx.subst[base].replace("->", ".")
+    return base + sep + rest
+
+
+def parse_cpp_expr(text, ctx):
+    """Parses a C++ size/length expression; None when unprovable."""
+    text = CAST.sub("(", text)
+    toks = []
+    i = 0
+    while i < len(text):
+        m = TOKEN.match(text, i)
+        if not m:
+            if text[i:].strip():
+                return None
+            break
+        toks.append(m.group(1))
+        i = m.end()
+    pos = [0]
+
+    def peek():
+        return toks[pos[0]] if pos[0] < len(toks) else None
+
+    def take():
+        t = peek()
+        pos[0] += 1
+        return t
+
+    def parse_sum():
+        e = parse_prod()
+        if e is None:
+            return None
+        while peek() in ("+", "-"):
+            op = take()
+            r = parse_prod()
+            if r is None:
+                return None
+            e = e_add(e, r if op == "+" else e_scale(r, -1))
+        return e
+
+    def parse_prod():
+        e = parse_factor()
+        if e is None:
+            return None
+        while peek() in ("*", "/"):
+            op = take()
+            r = parse_factor()
+            if r is None:
+                return None
+            if op == "*":
+                e = e_mul(e, r)
+            else:
+                if set(r) != {CONST}:
+                    return None
+                e = e_div(e, r[CONST])
+            if e is None:
+                return None
+        return e
+
+    def parse_factor():
+        t = take()
+        if t is None:
+            return None
+        if t == "(":
+            e = parse_sum()
+            if e is None or take() != ")":
+                return None
+            return e
+        if t.isdigit():
+            return e_const(int(t))
+        if re.match(r"[A-Za-z_]", t):
+            if peek() == "(":  # call
+                take()
+                args, depth, cur = [], 1, []
+                while depth > 0:
+                    nt = take()
+                    if nt is None:
+                        return None
+                    if nt == "(":
+                        depth += 1
+                    elif nt == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif nt == "," and depth == 1:
+                        args.append(" ".join(cur))
+                        cur = []
+                        continue
+                    cur.append(nt)
+                if cur:
+                    args.append(" ".join(cur))
+                return call_expr(t, args, ctx)
+            path = _resolve_path(t, ctx)
+            if "." not in path and path in ctx.aliases:
+                return dict(ctx.aliases[path])
+            return e_sym(path)
+        return None
+
+    e = parse_sum()
+    if e is None or pos[0] != len(toks):
+        return None
+    return e
+
+
+def call_expr(path, args, ctx):
+    path = path.replace("->", ".")
+    obj, _sep, method = path.rpartition(".")
+    if method in ("size", "length") and obj:
+        return e_sym("len:" + _resolve_path(obj, ctx))
+    if method in ("count", "popcount") and obj:
+        return e_sym("cnt:" + _resolve_path(obj, ctx))
+    if method == "to_bytes" and obj:
+        return e_ceil(e_sym("len:" + _resolve_path(obj, ctx)), 8)
+    if method == "take" and obj in ctx.bitwriters:
+        return e_ceil(ctx.bitwriters[obj], 8)
+    if path == "pack_unfrozen":
+        return e_sym("unfrozen")
+    if path == "packed_bytes" and len(args) == 2:
+        a = parse_cpp_expr(args[0], ctx)
+        b = parse_cpp_expr(args[1], ctx)
+        if a is None or b is None:
+            return None
+        prod = e_mul(a, b)
+        return None if prod is None else e_ceil(prod, 8)
+    return None
+
+
+def length_expr(range_text, ctx):
+    """Trip count of a range-for: the length of the ranged expression."""
+    range_text = range_text.strip()
+    m = re.fullmatch(r"pack_unfrozen\s*\(.*\)", range_text, re.S)
+    if m:
+        return e_sym("unfrozen")
+    m = re.fullmatch(r"[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*", range_text)
+    if m:
+        return e_sym("len:" + _resolve_path(range_text, ctx))
+    return None
+
+
+# --------------------------------------------------------------------------
+# docs/WIRE.md format table
+# --------------------------------------------------------------------------
+
+DOC_ROW = re.compile(r"^\|\s*`(\w{4})`\s*\|([^|]*)\|([^|]*)\|([^|]*)\|")
+
+
+def parse_doc_formula(text):
+    """The size column: ints, symbols, + · * / and ⌈…⌉. The division inside
+    a ceil bracket binds to the bracket (⌈a·b/8⌉ is ceil(a·b, 8)), so it is
+    rewritten to an explicit two-argument form before tokenizing."""
+    text = text.strip().replace("·", "*")
+    text = re.sub(r"⌈(.*)/\s*(\d+)\s*⌉", r" CEILDIV( \1 , \2 ) ", text)
+    text = re.sub(r"⌈(.*)⌉", r" CEILDIV( \1 , 1 ) ", text)
+    toks = re.findall(r"CEILDIV\(|\d+|[A-Za-z_]\w*|[()+*/,-]", text)
+    pos = [0]
+
+    def peek():
+        return toks[pos[0]] if pos[0] < len(toks) else None
+
+    def parse_sum():
+        e = parse_prod()
+        if e is None:
+            return None
+        while peek() in ("+", "-"):
+            op = toks[pos[0]]
+            pos[0] += 1
+            r = parse_prod()
+            if r is None:
+                return None
+            e = e_add(e, r if op == "+" else e_scale(r, -1))
+        return e
+
+    def parse_prod():
+        e = parse_factor()
+        if e is None:
+            return None
+        while peek() in ("*", "/"):
+            op = toks[pos[0]]
+            pos[0] += 1
+            r = parse_factor()
+            if r is None:
+                return None
+            if op == "*":
+                e = e_mul(e, r)
+            else:
+                if r is None or set(r) != {CONST}:
+                    return None
+                e = e_div(e, r[CONST])
+            if e is None:
+                return None
+        return e
+
+    def parse_factor():
+        t = peek()
+        if t is None:
+            return None
+        pos[0] += 1
+        if t == "CEILDIV(":
+            num = parse_sum()
+            if num is None or peek() != ",":
+                return None
+            pos[0] += 1
+            d = parse_factor()
+            if d is None or set(d) != {CONST} or peek() != ")":
+                return None
+            pos[0] += 1
+            return e_ceil(num, d[CONST])
+        if t == "(":
+            e = parse_sum()
+            if e is None or peek() != ")":
+                return None
+            pos[0] += 1
+            return e
+        if t.isdigit():
+            return e_const(int(t))
+        if re.match(r"[A-Za-z_]", t):
+            return e_sym(t)
+        return None
+
+    e = parse_sum()
+    if e is None or pos[0] != len(toks):
+        return None
+    return e
+
+
+def parse_doc_table(doc_text):
+    """tag -> (layout_scalars [(name, width_name)...], formula_expr,
+    formula_text, uses_unfrozen)."""
+    rows = {}
+    for line in doc_text.split("\n"):
+        m = DOC_ROW.match(line.strip())
+        if not m:
+            continue
+        tag, _payload, layout, size = m.groups()
+        scalars = []
+        for part in layout.split(","):
+            pm = re.fullmatch(r"(\w+)\s+(u8|u16|u32|u64|f32)", part.strip())
+            if pm:
+                scalars.append((pm.group(1), pm.group(2)))
+        formula = parse_doc_formula(size)
+        if formula is not None:
+            rows[tag] = (scalars, formula, size.strip(), "unfrozen" in size)
+    return rows
+
+
+def tag_constants(stripped):
+    """constant name -> 4-char ASCII tag (little-endian u32)."""
+    out = {}
+    for m in re.finditer(
+            r"\b(k\w*Tag\w*|kTag\w+)\s*=\s*0[xX]([0-9A-Fa-f]{8})", stripped):
+        v = int(m.group(2), 16)
+        chars = bytes((v >> (8 * i)) & 0xFF for i in range(4))
+        try:
+            out[m.group(1)] = chars.decode("ascii")
+        except UnicodeDecodeError:
+            pass
+    return out
+
+
+# --------------------------------------------------------------------------
+# Encoder walker
+# --------------------------------------------------------------------------
+
+
+class WalkState:
+    def __init__(self, unifier, helpers, tags):
+        self.unifier = unifier
+        self.helpers = helpers      # simple name -> (params, body_text)
+        self.tags = tags            # const name -> tag string
+        self.size = {}
+        self.header = []            # ordered (width_name, arg_text) at mult 1
+        self.tag = None
+        self.errors = []            # reasons the size is unprovable
+        self.guards = []            # decoder mode: guarded byte expressions
+        self.reads = []             # decoder mode: ordered (width, lvalue)
+
+
+EVENT = re.compile(
+    r"\bfor\s*\(|\bif\s*\(|\bwhile\s*\(|\bswitch\s*\("
+    r"|\bBitWriter\s+([A-Za-z_]\w*)"
+    r"|\b([A-Za-z_]\w*)\s*\.\s*(u8|u16|u32|u64|f32|raw|put|require)\s*\("
+    r"|\b(?:const\s+)?(?:auto|std::[\w:<>]+|[A-Za-z_]\w*(?:<[^;<>]*>)?)\s+"
+    r"([A-Za-z_]\w*)\s*=\s*"
+    r"|\b([A-Za-z_]\w*)\s*\(")
+
+
+def harvest_equalities(body, ctx, unifier):
+    """APF_CHECK(a == b): unify single-atom sides."""
+    for m in re.finditer(r"\bAPF_CHECK(?:_MSG)?\s*\(", body):
+        close = ast.match_brace(body, m.end() - 1)
+        if close == -1:
+            continue
+        group = body[m.end():close]
+        cond = split_top(group, ",")[0]
+        sides = split_top(cond, "==")
+        if len(sides) != 2:
+            continue
+        exprs = [parse_cpp_expr(s, ctx) for s in sides]
+        atoms = []
+        for e in exprs:
+            if e is not None and len(e) == 1:
+                (t, c), = e.items()
+                if c == 1 and t != CONST and t[0] != "ceil" and len(t) == 1:
+                    atoms.append(t[0])
+        if len(atoms) == 2:
+            unifier.union(atoms[0], atoms[1])
+
+
+def split_top(text, sep):
+    """Split at top-level occurrences of sep (not inside (), [], <> pairs
+    are ignored for simplicity — fine for the shapes in scope)."""
+    parts, depth, cur, i = [], 0, [], 0
+    n = len(text)
+    sl = len(sep)
+    while i < n:
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if depth == 0 and text[i:i + sl] == sep and (
+                sep != "==" or (text[i - 1:i] not in "<>!=" and
+                                text[i + sl:i + sl + 1] != "=")):
+            parts.append("".join(cur))
+            cur = []
+            i += sl
+            continue
+        cur.append(c)
+        i += 1
+    parts.append("".join(cur))
+    return parts
+
+
+def statement_extent(body, start):
+    """End offset of the statement/region starting at `start`: a braced
+    block runs to its close brace, otherwise to the first top-level ';'."""
+    i = start
+    while i < len(body) and body[i] in " \t\n":
+        i += 1
+    if i < len(body) and body[i] == "{":
+        close = ast.match_brace(body, i)
+        return (i + 1, close if close != -1 else len(body))
+    depth = 0
+    j = i
+    while j < len(body):
+        c = body[j]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == ";" and depth == 0:
+            return (i, j + 1)
+        j += 1
+    return (i, len(body))
+
+
+def walk_encoder(body, writer, ctx, state, mult, depth=0):
+    """Accumulates byte counts from the writer call sequence in `body`."""
+    if depth > 6:
+        state.errors.append("helper inlining too deep")
+        return
+    is_unit = canon_key(mult) == canon_key(e_const(1))
+    i = 0
+    while i < len(body):
+        m = EVENT.search(body, i)
+        if not m:
+            break
+        text = m.group(0)
+        if text.startswith("for"):
+            open_p = m.end() - 1
+            close_p = ast.match_brace(body, open_p)
+            if close_p == -1:
+                break
+            header = body[open_p + 1:close_p]
+            bstart, bend = statement_extent(body, close_p + 1)
+            inner = body[bstart:bend]
+            trip = None
+            if ";" in header:
+                parts = header.split(";")
+                init_ok = re.search(r"=\s*0\s*$", parts[0].strip())
+                cm = re.match(r"\s*\w+\s*<\s*(.+)", parts[1]) if len(parts) > 2 else None
+                if init_ok and cm:
+                    trip = parse_cpp_expr(cm.group(1), ctx)
+            else:
+                # A range-for: split on the range colon, not the `::` of a
+                # qualified type in the declaration.
+                parts = re.split(r"(?<!:):(?!:)", header, maxsplit=1)
+                trip = length_expr(parts[1], ctx) if len(parts) == 2 else None
+            if trip is None:
+                if _writes_in(inner, writer, state):
+                    state.errors.append(
+                        f"cannot derive the trip count of the loop at "
+                        f"'for ({header.strip()[:40]}…)'")
+            else:
+                inner_mult = e_mul(mult, trip)
+                if inner_mult is None:
+                    state.errors.append("nested variable-trip loops")
+                else:
+                    walk_encoder(inner, writer, ctx, state, inner_mult,
+                                 depth + 1)
+            i = bend
+            continue
+        if text.startswith(("if", "while", "switch")):
+            open_p = m.end() - 1
+            close_p = ast.match_brace(body, open_p)
+            if close_p == -1:
+                break
+            bstart, bend = statement_extent(body, close_p + 1)
+            if _writes_in(body[bstart:bend], writer, state):
+                state.errors.append(
+                    "conditional writer call — size is data-dependent")
+            i = bend
+            continue
+        if m.group(1):  # BitWriter decl
+            ctx.bitwriters[m.group(1)] = {}
+            i = m.end()
+            continue
+        if m.group(2):  # obj.method( for writer/bitwriter/reader
+            obj, method = m.group(2), m.group(3)
+            open_p = m.end() - 1
+            close_p = ast.match_brace(body, open_p)
+            if close_p == -1:
+                break
+            args = split_top(body[open_p + 1:close_p], ",")
+            i = close_p + 1
+            obj_r = ctx.subst.get(obj, obj)
+            if obj_r == writer and method in WIDTHS:
+                state.size = e_add(
+                    state.size, e_scale(mult, WIDTHS[method]))
+                if is_unit:
+                    state.header.append((method, args[0] if args else ""))
+            elif obj_r == writer and method == "raw":
+                arg = args[0].strip() if args else ""
+                e = raw_bytes_expr(arg, ctx)
+                if e is None:
+                    state.errors.append(
+                        f"raw({arg[:40]}) has no derivable length")
+                else:
+                    prod = e_mul(mult, e)
+                    if prod is None:
+                        state.errors.append("raw() inside a variable loop")
+                    else:
+                        state.size = e_add(state.size, prod)
+            elif method == "put" and obj in ctx.bitwriters:
+                w = parse_cpp_expr(args[1], ctx) if len(args) > 1 else None
+                if w is None:
+                    state.errors.append(
+                        f"{obj}.put() width is not derivable")
+                else:
+                    bits = e_mul(mult, w)
+                    if bits is None:
+                        state.errors.append("bit width times variable trip")
+                    else:
+                        ctx.bitwriters[obj] = e_add(ctx.bitwriters[obj], bits)
+            continue
+        if m.group(4):  # local declaration with initializer
+            name = m.group(4)
+            semi_s, semi_e = statement_extent(body, m.end())
+            rhs = body[m.end():semi_e].rstrip(";")
+            e = parse_cpp_expr(rhs, ctx)
+            if e is not None:
+                ctx.aliases[name] = e
+            i = semi_e
+            continue
+        if m.group(5):  # plain call — maybe a writer-taking helper
+            name = m.group(5)
+            open_p = m.end() - 1
+            close_p = ast.match_brace(body, open_p)
+            if close_p == -1:
+                i = m.end()
+                continue
+            i = close_p + 1
+            if name not in state.helpers:
+                continue
+            args = split_top(body[open_p + 1:close_p], ",")
+            params, hbody = state.helpers[name]
+            subst2 = {}
+            writer2 = None
+            for idx, p in enumerate(params):
+                if idx >= len(args):
+                    break
+                atext = args[idx].strip()
+                atext = ctx.subst.get(atext, atext)
+                subst2[p] = atext
+                if atext == writer:
+                    writer2 = p
+            if writer2 is not None:
+                ctx2 = ExprCtx(subst2, {}, ctx.bitwriters)
+                harvest_equalities(hbody, ctx2, state.unifier)
+                walk_encoder(hbody, writer2, ctx2, state, mult, depth + 1)
+            continue
+        i = m.end()
+
+
+def _writes_in(region, writer, state):
+    if re.search(r"\b" + re.escape(writer) + r"\s*\.", region):
+        return True
+    return bool(re.search(r"\b\w+\s*\.\s*put\s*\(", region))
+
+
+def raw_bytes_expr(arg, ctx):
+    e = parse_cpp_expr(arg, ctx)
+    if e is not None:
+        # take()/to_bytes()/packed_bytes/alias resolve to byte counts;
+        # a plain span resolves to its symbolic length instead.
+        m = re.fullmatch(r"[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*", arg.strip())
+        if m and "." not in arg and arg.strip() not in ctx.aliases:
+            return e_sym("len:" + _resolve_path(arg.strip(), ctx))
+        return e
+    m = re.fullmatch(r"[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*", arg.strip())
+    if m:
+        return e_sym("len:" + _resolve_path(arg.strip(), ctx))
+    return None
+
+
+# --------------------------------------------------------------------------
+# Decoder walker: ordered scalar reads (field binding) + byte-count guards
+# --------------------------------------------------------------------------
+
+SCALAR_READ = re.compile(
+    r"([A-Za-z_][\w.]*(?:->[\w.]*)?)\s*=\s*([A-Za-z_]\w*)\s*\.\s*"
+    r"(u8|u16|u32|u64|f32)\s*\(\s*\)")
+GUARD_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*(require|raw)\s*\(")
+LOCAL_DECL = re.compile(
+    r"\b(?:const\s+)?(?:auto|std::[\w:<>]+|[A-Za-z_]\w*)\s+"
+    r"([A-Za-z_]\w*)\s*=\s*([^;]+);")
+
+
+def walk_decoder(body, reader, ctx, state, tags, depth=0):
+    """Collects the decoder's ordered scalar reads and its guard
+    expressions (require/raw/remaining()==) in source order."""
+    if depth > 4:
+        return
+    # Aliases first pass is unnecessary: LOCAL_DECL hits in source order and
+    # guards referencing an alias appear after its declaration.
+    events = []
+    for m in SCALAR_READ.finditer(body):
+        if ctx.subst.get(m.group(2), m.group(2)) == reader:
+            events.append((m.start(), "read", m))
+    for m in GUARD_CALL.finditer(body):
+        if ctx.subst.get(m.group(1), m.group(1)) == reader:
+            events.append((m.start(), "guard", m))
+    for m in LOCAL_DECL.finditer(body):
+        events.append((m.start(), "alias", m))
+    for m in re.finditer(r"\bcheck_tag\s*\(\s*(\w+)\s*,\s*(\w+)", body):
+        events.append((m.start(), "tag", m))
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", body):
+        if m.group(1) in state.helpers:
+            events.append((m.start(), "call", m))
+    for m in re.finditer(
+            r"remaining\s*\(\s*\)\s*==\s*([A-Za-z_][\w.]*)"
+            r"|([A-Za-z_][\w.]*)\s*==\s*[A-Za-z_]\w*\s*\.\s*remaining\s*\(",
+            body):
+        events.append((m.start(), "remaining", m))
+    events.sort(key=lambda t: t[0])
+    for _off, kind, m in events:
+        if kind == "read":
+            lval = m.group(1).replace("->", ".")
+            state.reads.append((m.group(3), lval))
+        elif kind == "tag":
+            if ctx.subst.get(m.group(1), m.group(1)) == reader:
+                state.tag = tags.get(m.group(2), state.tag)
+                state.reads.append(("u32", "tag"))
+        elif kind == "alias":
+            e = parse_cpp_expr(m.group(2), ctx)
+            if e is not None:
+                ctx.aliases[m.group(1)] = e
+        elif kind == "guard":
+            open_p = m.end() - 1
+            close_p = ast.match_brace(body, open_p)
+            if close_p == -1:
+                continue
+            e = parse_cpp_expr(body[open_p + 1:close_p], ctx)
+            if e is not None:
+                state.guards.append(e)
+        elif kind == "remaining":
+            sym = m.group(1) or m.group(2)
+            e = parse_cpp_expr(sym, ctx)
+            if e is not None:
+                state.guards.append(e)
+        elif kind == "call":
+            open_p = m.end() - 1
+            close_p = ast.match_brace(body, open_p)
+            if close_p == -1:
+                continue
+            args = split_top(body[open_p + 1:close_p], ",")
+            params, hbody = state.helpers[m.group(1)]
+            subst2, reader2 = {}, None
+            for idx, p in enumerate(params):
+                if idx >= len(args):
+                    break
+                atext = args[idx].strip()
+                atext = ctx.subst.get(atext, atext)
+                subst2[p] = atext
+                if atext == reader:
+                    reader2 = p
+            if reader2 is not None:
+                walk_decoder(hbody, reader2, ExprCtx(subst2), state, tags,
+                             depth + 1)
+
+
+# --------------------------------------------------------------------------
+# Top-level check
+# --------------------------------------------------------------------------
+
+
+def iter_named_functions(stripped):
+    """(name, [param names], body_text, head_offset) for each definition."""
+    for m in ast.FUNC_HEAD.finditer(stripped):
+        name = m.group(1)
+        if name in ("if", "for", "while", "switch", "catch", "return",
+                    "sizeof", "alignof", "decltype", "static_cast",
+                    "dynamic_cast", "reinterpret_cast", "const_cast"):
+            continue
+        open_paren = m.end() - 1
+        close_paren = ast.match_brace(stripped, open_paren)
+        if close_paren == -1:
+            continue
+        tail = stripped[close_paren + 1:]
+        qual = re.match(r"\s*(?:const|noexcept|override|final)*\s*\{", tail)
+        if not qual:
+            continue
+        body_open = close_paren + 1 + qual.end() - 1
+        body_close = ast.match_brace(stripped, body_open)
+        if body_close == -1:
+            continue
+        params = []
+        for piece in split_top(stripped[open_paren + 1:close_paren], ","):
+            pm = re.search(r"([A-Za-z_]\w*)\s*$", piece.strip())
+            if pm:
+                params.append(pm.group(1))
+        yield (name, params, stripped[body_open + 1:body_close], m.start())
+
+
+def check_wire(root, wire_files, texts, stripped_map, waiver_check,
+               findings_out, doc_text=None):
+    """Runs the prover over the given src/wire/ TUs.
+
+    waiver_check(path, line, token) -> bool; findings are appended as
+    (path, line, rule, message) tuples with rule 'flow-wire-size'."""
+    if doc_text is None:
+        doc_path = os.path.join(root, "docs", "WIRE.md")
+        if not os.path.exists(doc_path):
+            return
+        with open(doc_path, encoding="utf-8") as fh:
+            doc_text = fh.read()
+    rows = parse_doc_table(doc_text)
+    covered_tags = set()
+
+    for path in wire_files:
+        stripped = stripped_map[path]
+        tags = tag_constants(stripped)
+        funcs = {}
+        helpers = {}
+        for name, params, body, head in iter_named_functions(stripped):
+            funcs[name] = (params, body, head)
+            helpers[name] = (params, body)
+
+        for name, (params, body, head) in sorted(funcs.items()):
+            if not name.startswith("encode_"):
+                continue
+            line = ast.line_of(stripped, head)
+            unifier = Unifier()
+            state = WalkState(unifier, helpers, tags)
+            ctx = ExprCtx()
+            harvest_equalities(body, ctx, unifier)
+
+            writer = None
+            wm = re.search(r"\bByteWriter\s+(\w+)\s*;", body)
+            if wm:
+                writer = wm.group(1)
+            if writer is None:
+                continue  # not a frame encoder (no local ByteWriter)
+            walk_encoder(body, writer, ctx, state, e_const(1))
+
+            # Resolve the tag: the encoder's own first header write, else the
+            # paired decoder's check — a dropped tag header must still find
+            # its documented row so the mismatch is reported (PR 5 shape).
+            tag = None
+            if state.header:
+                w0, a0 = state.header[0]
+                if w0 == "u32" and a0.strip() in tags:
+                    tag = tags[a0.strip()]
+                    state.header = state.header[1:]
+            dstate = WalkState(unifier, helpers, tags)
+            dstate.tag = None
+            dec_name = "decode_" + name[len("encode_"):]
+            dec = funcs.get(dec_name)
+            if dec is not None:
+                dparams, dbody, _dhead = dec
+                dctx = ExprCtx()
+                rm = re.search(r"\bByteReader\s+(\w+)\s*\(", dbody)
+                drd = rm.group(1) if rm else (dparams[0] if dparams else None)
+                if drd:
+                    harvest_equalities(dbody, dctx, unifier)
+                    walk_decoder(dbody, drd, dctx, dstate, tags)
+                if tag is None:
+                    tag = dstate.tag
+                if tag is None:
+                    tm = re.search(r"\btag\s*==\s*(\w+)", dbody)
+                    if tm and tm.group(1) in tags:
+                        tag = tags[tm.group(1)]
+
+            def emit(msg, ln=line):
+                if not waiver_check(path, ln, WAIVER_WIRE):
+                    findings_out.append((path, ln, "flow-wire-size", msg))
+
+            if tag is None or tag not in rows:
+                emit(f"{name}() encodes an undocumented format "
+                     f"(tag {tag!r} has no row in docs/WIRE.md's table); "
+                     "document the layout and size formula")
+                continue
+            covered_tags.add(tag)
+            scalars, doc_expr, doc_text_raw, uses_unfrozen = rows[tag]
+
+            if state.errors:
+                emit(f"{name}() size is not statically derivable: "
+                     + "; ".join(sorted(set(state.errors))))
+                continue
+
+            # Bind header writes and decoder reads to the documented layout.
+            for (wname, argtext), (fname, ftype) in zip(state.header, scalars):
+                if wname != ftype:
+                    emit(f"{name}() writes header field '{fname}' as {wname} "
+                         f"but docs/WIRE.md documents it as {ftype} "
+                         "(element-width/scale-factor mismatch)")
+                e = parse_cpp_expr(argtext, ctx)
+                if e is not None and len(e) == 1:
+                    (t, c), = e.items()
+                    if c == 1 and t != CONST and len(t) == 1:
+                        unifier.union(t[0], "doc:" + fname)
+            dec_reads = [r for r in dstate.reads if r[1] != "tag"]
+            for (rwidth, lval), (fname, ftype) in zip(dec_reads, scalars):
+                if rwidth == ftype:
+                    unifier.union(lval, "doc:" + fname)
+
+            derived = rewrite_unfrozen(unifier.canon_expr(state.size))
+            documented = rewrite_unfrozen(unifier.canon_expr(doc_expr))
+            if canon_key(derived) != canon_key(documented):
+                emit(f"{name}() encodes {format_expr(derived)} byte(s) but "
+                     f"docs/WIRE.md documents {tag} as {doc_text_raw} "
+                     f"(= {format_expr(documented)}); the PR 5 byte-"
+                     "accounting bugs were exactly this divergence")
+                continue
+
+            # Every variable-length term must be guarded by the decoder
+            # before it is read (require / raw / remaining()==).
+            guard_keys = set()
+            for g in dstate.guards:
+                guard_keys.add(canon_key(
+                    rewrite_unfrozen(unifier.canon_expr(g))))
+            var_part = {t: c for t, c in derived.items() if t != CONST}
+            missing = []
+            for t, c in var_part.items():
+                if canon_key({t: c}) in guard_keys:
+                    continue
+                if canon_key(var_part) in guard_keys:
+                    continue
+                missing.append(format_expr({t: c}))
+            if dec is not None and missing:
+                emit(f"{dec_name}() never bounds-checks "
+                     f"{', '.join(sorted(missing))} before reading it "
+                     "(no matching require()/raw()/remaining() guard)")
+
+    return covered_tags
+

@@ -11,10 +11,21 @@
 # diagnostic, proving the analysis is actually armed rather than silently
 # off. CI runs both passes as the blocking `thread-safety` job.
 #
+# Triage pass: when the installed clang understands -Wthread-safety-verbose
+# (probed, never assumed — the flag is still maturing), a third ADVISORY
+# pass re-runs the positive TU list with it and prints the analysis notes
+# (which capability the analysis assumed, which expression it could not
+# resolve). Verbose notes never fail the job: they exist so a developer
+# staring at a confusing positive-pass diagnostic can see the analysis'
+# reasoning, and so new annotation gaps surface before they bite.
+#
 # Usage: tools/check_thread_safety.sh [--if-available] [--negative-only]
+#                                     [--verbose-triage]
 #   --if-available   exit 0 instead of 3 when clang++ is not on PATH
 #                    (GCC-only machines rely on tools/lint_apf.py instead)
 #   --negative-only  run just the negative-compile assertions
+#   --verbose-triage run the advisory -Wthread-safety-verbose pass too
+#                    (skipped with a note when clang lacks the flag)
 #
 # When build/compile_commands.json exists (the top-level CMakeLists.txt
 # exports it), the positive pass takes its TU list from that database — the
@@ -25,11 +36,14 @@ cd "$(dirname "$0")/.."
 
 IF_AVAILABLE=0
 NEGATIVE_ONLY=0
+VERBOSE_TRIAGE=0
 for arg in "$@"; do
   case "$arg" in
     --if-available) IF_AVAILABLE=1 ;;
     --negative-only) NEGATIVE_ONLY=1 ;;
-    *) echo "usage: $0 [--if-available] [--negative-only]" >&2; exit 2 ;;
+    --verbose-triage) VERBOSE_TRIAGE=1 ;;
+    *) echo "usage: $0 [--if-available] [--negative-only]" \
+            "[--verbose-triage]" >&2; exit 2 ;;
   esac
 done
 
@@ -98,6 +112,32 @@ for tu in tests/thread_safety_negative/*.cpp; do
     fail=1
   fi
 done
+
+# Advisory verbose triage: gated on the installed clang actually knowing the
+# flag. The probe compiles an empty TU with the flag promoted to an error if
+# unknown, so "supported" means supported — not "silently ignored".
+if [ "$VERBOSE_TRIAGE" = 1 ]; then
+  if printf 'int main(){}\n' | "$CLANGXX" -x c++ -std=c++20 -fsyntax-only \
+       -Wthread-safety-verbose -Werror=unknown-warning-option - \
+       >/dev/null 2>&1; then
+    notes=0
+    while IFS= read -r tu; do
+      out=$("$CLANGXX" "${FLAGS[@]}" -Wthread-safety-verbose "$tu" 2>&1) \
+        || true
+      verbose_lines=$(printf '%s\n' "$out" | grep "thread-safety" || true)
+      if [ -n "$verbose_lines" ]; then
+        echo "check_thread_safety: verbose-triage notes for $tu:"
+        printf '%s\n' "$verbose_lines"
+        notes=$((notes + 1))
+      fi
+    done < <(list_tus)
+    echo "check_thread_safety: verbose triage done (advisory," \
+         "$notes TU(s) with notes)"
+  else
+    echo "check_thread_safety: $CLANGXX does not support" \
+         "-Wthread-safety-verbose; skipping triage pass (advisory)"
+  fi
+fi
 
 if [ "$fail" -ne 0 ]; then
   exit 1

@@ -985,25 +985,44 @@ def self_test():
                     f"self-test: expected {rel} to be clean, got "
                     f"{sorted(fired)}")
 
-    # Cross-tool hygiene vs tools/apf_ast_lint.py (see the docstring's
-    # division-of-labor block): the two tools share the `lint-apf:` waiver
-    # convention, so their waiver tokens must stay DISJOINT — a shared token
-    # would let one comment silently suppress the other tool's rule, the
-    # exact double-reporting hazard the cross-reference exists to avoid.
-    ast_lint = pathlib.Path(__file__).with_name("apf_ast_lint.py")
-    if ast_lint.exists():
-        ast_tokens = set(re.findall(r'"(lint-apf: [\w-]+)"',
-                                    ast_lint.read_text()))
-        own_tokens = {WAIVER_NO_INPUT, WAIVER_FLOAT, WAIVER_RAW_THREAD,
-                      WAIVER_UNORDERED, WAIVER_LAYERING}
-        if not ast_tokens:
+    # Cross-tool hygiene (see the docstring's division-of-labor block): all
+    # three Python analyzers share the `lint-apf:` waiver convention, so
+    # their waiver tokens must stay PAIRWISE DISJOINT — a shared token would
+    # let one comment silently suppress another tool's rule, the exact
+    # double-reporting hazard the cross-reference exists to avoid.
+    own_tokens = {WAIVER_NO_INPUT, WAIVER_FLOAT, WAIVER_RAW_THREAD,
+                  WAIVER_UNORDERED, WAIVER_LAYERING}
+    token_sets = {"lint_apf.py": own_tokens}
+    # apf_flow.py + apf_flow_wire.py are one analyzer (the flow engine and
+    # its wire-size prover share the flow-wire-size token deliberately), so
+    # they form a single bucket.
+    siblings = {"apf_ast_lint.py": ("apf_ast_lint.py",),
+                "apf_flow.py (incl. apf_flow_wire.py)": (
+                    "apf_flow.py", "apf_flow_wire.py")}
+    for label, members in siblings.items():
+        tokens = set()
+        found_any = False
+        for sibling in members:
+            path = pathlib.Path(__file__).with_name(sibling)
+            if not path.exists():
+                continue
+            found_any = True
+            tokens |= set(re.findall(r'"(lint-apf: [\w-]+)"',
+                                     path.read_text()))
+        if not found_any:
+            continue
+        if not tokens:
             failures.append(
-                "self-test: no waiver tokens parsed from apf_ast_lint.py "
+                f"self-test: no waiver tokens parsed from {label} "
                 "(token scrape broke?)")
-        for token in ast_tokens & own_tokens:
-            failures.append(
-                f"self-test: waiver token '{token}' is claimed by both "
-                "lint_apf.py and apf_ast_lint.py; tokens must be disjoint")
+        token_sets[label] = tokens
+    names = sorted(token_sets)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            for token in sorted(token_sets[a] & token_sets[b]):
+                failures.append(
+                    f"self-test: waiver token '{token}' is claimed by both "
+                    f"{a} and {b}; tokens must be disjoint")
 
     for failure in failures:
         print(failure, file=sys.stderr)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Shared tokenize/strip cache for the repo's Python analyzers.
+
+tools/lint_apf.py, tools/apf_ast_lint.py and tools/apf_flow.py all start from
+the same expensive primitives: read every file the exported
+compile_commands.json names, blank its comments/strings, and (for the
+structural tools) index its function definitions. Run back to back — the CI
+`apf-flow` job runs all three, ctest runs each tool's clean-tree check — that
+work used to happen three times per file.
+
+This module memoizes those primitives behind a content hash:
+
+  stripped(path, text, strip_fn, namespace)   comment/string-stripped text
+  memo(path, text, namespace, compute_fn)     any JSON-serializable derivative
+  compdb_files(db_path, compute_fn)           scanned-file list per compile db
+
+Entries are keyed by the SHA-1 of the file CONTENT (not mtime), so a stale
+entry is impossible — an edited file simply misses. Namespaces keep tools
+with different strip semantics apart (lint_apf's stripper and apf_ast_lint's
+length-preserving stripper produce different text for the same input).
+
+Persistence is opt-in: when APF_LINT_CACHE names a file, the cache is loaded
+from and saved to it (JSON); otherwise everything stays in-process (still a
+win for tools that strip the same file once per rule family). CI points all
+three analyzers at one APF_LINT_CACHE inside the exported build directory.
+"""
+
+import hashlib
+import json
+import os
+import sys
+
+_store = {}  # namespace -> {sha1: value}
+_loaded_from = None
+_dirty = False
+
+
+def _cache_file():
+    return os.environ.get("APF_LINT_CACHE") or None
+
+
+def _load():
+    global _loaded_from
+    path = _cache_file()
+    if path is None or _loaded_from == path:
+        return
+    _loaded_from = path
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+            if isinstance(data, dict):
+                for ns, entries in data.items():
+                    if isinstance(entries, dict):
+                        _store.setdefault(ns, {}).update(entries)
+        except (OSError, ValueError) as e:
+            sys.stderr.write(f"lint_cache: ignoring unreadable cache "
+                             f"{path}: {e}\n")
+
+
+def flush():
+    """Writes the cache back to APF_LINT_CACHE (no-op when unset/clean)."""
+    path = _cache_file()
+    if path is None or not _dirty:
+        return
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(_store, fh)
+        os.replace(tmp, path)
+    except OSError as e:
+        sys.stderr.write(f"lint_cache: cannot write {path}: {e}\n")
+
+
+def _key(text):
+    return hashlib.sha1(text.encode("utf-8", "surrogateescape")).hexdigest()
+
+
+def memo(path, text, namespace, compute_fn):
+    """Returns compute_fn(text), memoized by content hash under namespace.
+    `path` is only used for error context; identity is the content."""
+    global _dirty
+    _load()
+    entries = _store.setdefault(namespace, {})
+    key = _key(text)
+    if key in entries:
+        return entries[key]
+    value = compute_fn(text)
+    entries[key] = value
+    _dirty = True
+    return value
+
+
+def stripped(path, text, strip_fn, namespace):
+    """Comment/string-stripped text, memoized per content hash."""
+    return memo(path, text, "strip:" + namespace, strip_fn)
+
+
+def compdb_files(db_path, compute_fn):
+    """Memoizes the scanned-file list derived from a compile_commands.json.
+    Keyed by the database content, so a reconfigure invalidates it."""
+    try:
+        with open(db_path, encoding="utf-8") as fh:
+            raw = fh.read()
+    except OSError:
+        return compute_fn()
+    return memo(db_path, raw, "compdb", lambda _raw: compute_fn())
