@@ -24,6 +24,10 @@
 #include "fuzz/state_oracle.h"
 #include "nn/models.h"
 #include "optim/optimizer.h"
+#include "transport/buffered.h"
+#include "transport/bus.h"
+#include "transport/frame.h"
+#include "transport/network.h"
 #include "util/bytes.h"
 #include "util/error.h"
 #include "wire/masked.h"
@@ -862,6 +866,174 @@ std::uint64_t run_runner_script(const RoundScript& s) {
   return runner_digest(result);
 }
 
+// ---------------------------------------------------------------------------
+// BufferedAggregator + carry-over bus harness (async-rounds)
+// ---------------------------------------------------------------------------
+//
+// Drives the asynchronous transport surface directly: every window, each
+// client with no frame in flight pushes a scripted dense payload (honest
+// jitter, NaN/Inf, wrong dimension, stale replay, ... — the same action
+// vocabulary as the strategy harnesses), the server folds a script-selected
+// subset in a script-selected order into a bounded BufferedAggregator, and
+// the window closes with FinishPolicy::kCarryOver so unfolded pushes
+// straggle into the next window. The two-outcome oracle per fold/commit:
+//
+//   applied  => the accumulator bit-equals an independent double-precision
+//               replay of the identical fold sequence, commits bit-equal the
+//               reference weighted average, carried frames reappear with
+//               their ORIGINAL round id (that is what staleness is measured
+//               against), and each window's billed bytes equal the measured
+//               sizes of the frames pushed in that window — never re-billed
+//               on carry.
+//   rejected => the fold/commit threw apf::Error and the aggregator
+//               (accumulator bits, buffered count, weight sum) is unchanged.
+std::uint64_t run_async_script(const RoundScript& s) {
+  const std::size_t n = s.clients;
+  const std::size_t capacity = 1 + s.flavor % 4;
+  transport::Bus bus{transport::NetworkModel{}};
+  transport::BufferedAggregator agg(s.dim, capacity);
+
+  std::uint64_t seed_state = s.value_seed ^ 0xA5C0FFEE5EEDULL;
+  Rng vrng(splitmix64(seed_state));
+  std::vector<float> global(s.dim);
+  for (auto& x : global) x = vrng.uniform_float(-1.f, 1.f);
+
+  // Independent double-precision replay of the aggregator (the oracle).
+  std::vector<double> ref_acc(s.dim, 0.0);
+  double ref_weight = 0.0;
+  std::size_t ref_buffered = 0;
+  const auto buffer_matches_reference = [&]() {
+    const std::span<const double> acc = agg.accumulated();
+    const double ws = agg.weight_sum();
+    return acc.size() == ref_acc.size() &&
+           std::memcmp(acc.data(), ref_acc.data(),
+                       acc.size() * sizeof(double)) == 0 &&
+           std::memcmp(&ws, &ref_weight, sizeof(double)) == 0 &&
+           agg.buffered() == ref_buffered;
+  };
+
+  std::vector<bool> in_flight(n, false);
+  std::vector<std::uint64_t> push_round(n, 0);
+  std::vector<std::vector<float>> history;  // recent globals (stale replay)
+  std::uint64_t digest = kFnvOffset;
+
+  for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+    const RoundPlan& plan = s.rounds[r];
+    const transport::RoundId rid(r + 1);
+    bus.begin_round(rid);
+    agg.begin_round(rid);
+
+    // Free clients pull the latest global and push a scripted payload.
+    std::uint64_t pushed_bytes = 0;
+    std::uint64_t pushed_frames = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (in_flight[c]) continue;
+      const std::vector<float> prop = make_proposal(
+          s, r, c, plan.clients[c], global, global, nullptr, history);
+      std::vector<std::uint8_t> payload = wire::encode_dense(prop);
+      pushed_bytes += payload.size();
+      ++pushed_frames;
+      bus.push(transport::ClientId(c), transport::Frame::Kind::kStrategy,
+               std::move(payload));
+      in_flight[c] = true;
+      push_round[c] = r + 1;
+    }
+
+    // The script decides which in-flight frames "arrive" this window and in
+    // which order the server folds them (descending exercises out-of-order
+    // client ids, the thing StreamingAggregator forbids).
+    std::vector<std::size_t> arrivals;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (in_flight[c] && plan.clients[c].b % 3 != 0) arrivals.push_back(c);
+    }
+    if ((s.flags & kFlagAsyncDescending) != 0) {
+      std::reverse(arrivals.begin(), arrivals.end());
+    }
+    const std::vector<double> weights =
+        make_weights(plan.weight_action, n, r);
+
+    for (const std::size_t c : arrivals) {
+      std::vector<transport::Frame> frames =
+          bus.take_pushes(transport::ClientId(c));
+      require_invariant(frames.size() == 1,
+                        "in-flight client did not have exactly one frame");
+      const transport::Frame& frame = frames.front();
+      require_invariant(frame.client == transport::ClientId(c),
+                        "take_pushes(client) returned another link's frame");
+      require_invariant(frame.round == transport::RoundId(push_round[c]),
+                        "carried frame lost its original round id");
+      in_flight[c] = false;  // taken, folded or not
+      const std::vector<float> decoded = wire::decode_dense(frame.payload);
+      const double w = weights[c];
+      try {
+        agg.fold(frame.client, frame.round, decoded, w);
+        const std::uint64_t staleness = (r + 1) - push_round[c];
+        const double discounted =
+            w * transport::BufferedAggregator::staleness_discount(staleness);
+        ref_weight += discounted;
+        for (std::size_t j = 0; j < s.dim; ++j) {
+          ref_acc[j] += discounted * static_cast<double>(decoded[j]);
+        }
+        ++ref_buffered;
+        require_invariant(buffer_matches_reference(),
+                          "fold diverged from the double-precision replay");
+        const transport::BufferedContribution& entry =
+            agg.contributions().back();
+        require_invariant(entry.client == transport::ClientId(c) &&
+                              entry.staleness == staleness,
+                          "side table misrecorded the last contribution");
+        digest = fnv1a_u64(digest ^ 'A', c + 1);
+      } catch (const Error&) {
+        require_invariant(buffer_matches_reference(),
+                          "rejected fold mutated the buffer");
+        digest = fnv1a_u64(digest ^ 'R', c + 1);
+      }
+    }
+
+    if (agg.buffered() > 0) {
+      std::vector<float> out(s.dim);
+      try {
+        agg.commit(out);
+        for (std::size_t j = 0; j < s.dim; ++j) {
+          const float expected =
+              static_cast<float>(ref_acc[j] / ref_weight);
+          require_invariant(bit_eq(out[j], expected),
+                            "commit diverged from the reference average");
+        }
+        global = out;
+        history.push_back(global);
+        if (history.size() > 4) history.erase(history.begin());
+        ref_acc.assign(s.dim, 0.0);
+        ref_weight = 0.0;
+        ref_buffered = 0;
+        digest = fnv1a_u64(digest ^ 'C', hash_floats(global));
+      } catch (const Error&) {
+        // Zero discounted weight sum: the buffer must be untouched and the
+        // contributions stay buffered into the next window.
+        require_invariant(buffer_matches_reference(),
+                          "rejected commit mutated the buffer");
+        digest = fnv1a_u64(digest ^ 'r', r + 1);
+      }
+    }
+
+    std::uint64_t expected_carried = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (in_flight[c]) ++expected_carried;
+    }
+    const transport::RoundStats stats =
+        bus.finish_round(transport::FinishPolicy::kCarryOver);
+    require_invariant(stats.total_bytes ==
+                          transport::ByteCount(pushed_bytes),
+                      "window billed bytes != measured pushed payloads");
+    require_invariant(stats.frames_up == pushed_frames,
+                      "window frame count != pushes this window");
+    require_invariant(stats.carried_frames == expected_carried,
+                      "carried frame count != in-flight stragglers");
+    digest = fnv1a_u64(digest, stats.total_bytes.value());
+  }
+  return digest;
+}
+
 }  // namespace
 
 std::uint64_t run_apf_rounds(std::span<const std::uint8_t> bytes) {
@@ -900,6 +1072,10 @@ std::uint64_t run_update_quant_rounds(std::span<const std::uint8_t> bytes) {
                                 ? StrategyKind::kUpdateQsgd
                                 : StrategyKind::kUpdateTern;
   return run_sync_script(script, kind);
+}
+
+std::uint64_t run_async_rounds(std::span<const std::uint8_t> bytes) {
+  return run_async_script(parse_round_script(bytes));
 }
 
 }  // namespace apf::fuzz

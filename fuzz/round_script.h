@@ -56,6 +56,7 @@ inline constexpr std::uint16_t kFlagNoDecay = 1u << 5;         // apf
 inline constexpr std::uint16_t kFlagFedProx = 1u << 6;         // runner
 inline constexpr std::uint16_t kFlagBadWorkload = 1u << 7;     // runner
 inline constexpr std::uint16_t kFlagUnbiasedScale = 1u << 8;   // compress
+inline constexpr std::uint16_t kFlagAsyncDescending = 1u << 9;  // async
 
 /// Per-client payload action for one round; `action` is taken modulo
 /// kNumClientActions, `a`/`b`/`v` parameterize it.
@@ -109,5 +110,6 @@ std::uint64_t run_strawman_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_compress_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_runner_rounds(std::span<const std::uint8_t> bytes);
 std::uint64_t run_update_quant_rounds(std::span<const std::uint8_t> bytes);
+std::uint64_t run_async_rounds(std::span<const std::uint8_t> bytes);
 
 }  // namespace apf::fuzz

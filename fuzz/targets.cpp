@@ -300,6 +300,10 @@ constexpr FuzzTarget kTargets[] = {
      "stateful: round script vs UpdateQuantizedSync (QSGD/TernGrad) over "
      "FullSync or APF (measured frame bytes, atomic rejection)",
      generate_round_script, run_update_quant_rounds},
+    {"async-rounds",
+     "stateful: round script vs BufferedAggregator over the carry-over bus "
+     "(arrival-order folds, staleness discounts, atomic rejection)",
+     generate_round_script, run_async_rounds},
 };
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 #include "data/loader.h"
 #include "fl/evaluate.h"
@@ -10,6 +12,7 @@
 #include "nn/param_vector.h"
 #include "optim/clip.h"
 #include "optim/fedprox.h"
+#include "transport/buffered.h"
 #include "transport/bus.h"
 #include "transport/frame.h"
 #include "transport/streaming.h"
@@ -71,9 +74,29 @@ FederatedRunner::FederatedRunner(FlConfig config, const data::Dataset& train,
   // letting the first transfer_seconds() call trip mid-round (issue #7).
   config_.network.validate("FlConfig::network");
   APF_CHECK(config_.grad_clip_norm >= 0.0);
+  APF_CHECK_MSG(config_.compute_multiplier.empty() ||
+                    config_.compute_multiplier.size() == config_.num_clients,
+                "compute_multiplier size "
+                    << config_.compute_multiplier.size() << " != clients "
+                    << config_.num_clients);
+  for (const double m : config_.compute_multiplier) {
+    APF_CHECK_MSG(std::isfinite(m) && m > 0.0,
+                  "compute_multiplier entries must be finite and > 0, got "
+                      << m);
+  }
+  APF_CHECK_MSG(config_.async_goal_k <= config_.num_clients,
+                "async_goal_k " << config_.async_goal_k << " > clients "
+                                << config_.num_clients);
+  APF_CHECK_MSG(std::isfinite(config_.async_timeout_seconds) &&
+                    config_.async_timeout_seconds >= 0.0,
+                "async_timeout_seconds must be finite and >= 0, got "
+                    << config_.async_timeout_seconds);
 }
 
 SimulationResult FederatedRunner::run() {
+  if (config_.aggregation_mode == AggregationMode::kAsyncBuffered) {
+    return run_async();
+  }
   const std::size_t n = config_.num_clients;
 
   // Per-client state. All models start bit-identical (factory contract).
@@ -263,11 +286,16 @@ SimulationResult FederatedRunner::run() {
         loss_count += scratch.iters[i];
       }
     }
+    auto compute_seconds_of = [&](std::size_t i) {
+      const double mult = config_.compute_multiplier.empty()
+                              ? 1.0
+                              : config_.compute_multiplier[i];
+      return static_cast<double>(clients[i].iters_per_round) *
+             config_.compute_seconds_per_iter * mult;
+    };
     for (std::size_t i : active) {
       max_compute_seconds =
-          std::max(max_compute_seconds,
-                   static_cast<double>(clients[i].iters_per_round) *
-                       config_.compute_seconds_per_iter);
+          std::max(max_compute_seconds, compute_seconds_of(i));
     }
 
     // Gather local models and aggregate. Non-participants carry weight 0
@@ -402,7 +430,6 @@ SimulationResult FederatedRunner::run() {
     // byte totals once per direction, reproducing the pre-bus arithmetic
     // bit for bit.
     const transport::RoundStats net = bus.finish_round();
-    const double max_client_comm_seconds = net.max_client_comm_seconds;
     // Exit the measured integer domain exactly once: everything below is
     // amortization/pricing math, which runs in double as it always has.
     const double total_bytes_all_clients = net.total_bytes.to_double();
@@ -414,10 +441,26 @@ SimulationResult FederatedRunner::run() {
         total_bytes_all_clients / static_cast<double>(n);
     const double participant_bytes =
         total_bytes_all_clients / static_cast<double>(active.size());
-    const double comm_seconds =
-        std::max(max_client_comm_seconds,
-                 config_.network.server_seconds(total_bytes_all_clients));
-    const double round_seconds = max_compute_seconds + comm_seconds;
+    // Completion-time model: the round ends when the LAST client finishes
+    // its own compute followed by its own transfers, max_i(compute_i +
+    // comm_i) — NOT max_compute + max_comm, which glued the slowest computer
+    // to the slowest communicator even when they were different clients. The
+    // shared server link is still a floor: it cannot start before uploads
+    // begin nor end before carrying every byte, so max_compute +
+    // server_seconds lower-bounds the round as before. When every client's
+    // compute is equal (the homogeneous default) both models coincide
+    // exactly: max_i(C + comm_i) = C + max_comm.
+    double max_completion_seconds = max_compute_seconds;
+    for (const auto& [link_client, link_comm] : net.link_comm_seconds) {
+      max_completion_seconds = std::max(
+          max_completion_seconds,
+          compute_seconds_of(static_cast<std::size_t>(link_client.value())) +
+              link_comm);
+    }
+    const double round_seconds =
+        std::max(max_completion_seconds,
+                 max_compute_seconds +
+                     config_.network.server_seconds(total_bytes_all_clients));
 
     cum_bytes += mean_bytes;
     cum_seconds += round_seconds;
@@ -472,6 +515,364 @@ SimulationResult FederatedRunner::run() {
   result.mean_frozen_fraction = frozen_stat.mean();
   const auto g = strategy_.global_params();
   result.final_global_params.assign(g.begin(), g.end());
+  APF_CHECK(result.final_global_params.size() == dim);
+  return result;
+}
+
+// FedBuff-style asynchronous rounds (docs/TRANSPORT.md, "Asynchronous
+// rounds"). Each round is a COMMIT WINDOW, not a barrier:
+//
+//   - clients with no push in flight join: pull the global (dense frame),
+//     train on the pool, and push the strategy-encoded result; their push
+//     "arrives" at window start + download + compute + upload under the
+//     network model (compute scaled by the per-client straggler multiplier);
+//   - the server folds arrivals in ARRIVAL order into a bounded
+//     BufferedAggregator with staleness-discounted weights, and commits at
+//     the goal-K-th arrival or the straggler timeout, whichever is first;
+//   - pushes that miss the commit stay queued: finish_round(kCarryOver)
+//     carries them (original round id, bytes charged once at push time)
+//     into the next window, where their staleness has grown by one.
+//
+// Everything timing-related is derived from deterministic simulated values,
+// and training is the same per-client bit-identical kernel the synchronous
+// path uses, so the full SimulationResult is bit-identical for any
+// worker_threads — the async tests pin this.
+SimulationResult FederatedRunner::run_async() {
+  const std::size_t n = config_.num_clients;
+  StreamSync* stream = strategy_.stream_sync();
+  APF_CHECK_MSG(stream != nullptr,
+                "AggregationMode::kAsyncBuffered requires a StreamSync-"
+                "capable strategy; "
+                    << strategy_.name() << " is batch-only");
+
+  struct Client {
+    std::unique_ptr<nn::Module> model;
+    std::unique_ptr<optim::Optimizer> optimizer;
+    std::unique_ptr<FlatParamView> view;
+    std::unique_ptr<data::DataLoader> loader;
+    std::size_t iters_per_round = 0;
+  };
+  std::vector<Client> clients(n);
+  Rng seed_rng(config_.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients[i].model = model_factory_();
+    clients[i].optimizer = optimizer_factory_(*clients[i].model);
+    clients[i].view = std::make_unique<FlatParamView>(*clients[i].model);
+    clients[i].loader = std::make_unique<data::DataLoader>(
+        train_, partition_[i], config_.batch_size, seed_rng.split());
+    const double frac = config_.workload_fraction.empty()
+                            ? 1.0
+                            : config_.workload_fraction[i];
+    APF_CHECK(frac > 0.0 && frac <= 1.0);
+    clients[i].iters_per_round = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(
+               frac * static_cast<double>(config_.local_iters))));
+  }
+
+  util::ThreadPool pool(config_.worker_threads);
+
+  const std::size_t eval_batch_size = 128;
+  const std::size_t eval_batches =
+      (test_.size() + eval_batch_size - 1) / eval_batch_size;
+  const std::size_t eval_replica_count =
+      std::max<std::size_t>(1, std::min(pool.lanes(), eval_batches));
+  std::vector<std::unique_ptr<nn::Module>> eval_models;
+  std::vector<std::unique_ptr<FlatParamView>> eval_views;
+  for (std::size_t r = 0; r < eval_replica_count; ++r) {
+    eval_models.push_back(model_factory_());
+    eval_views.push_back(std::make_unique<FlatParamView>(*eval_models[r]));
+  }
+
+  const std::size_t dim = clients[0].view->dim();
+  std::vector<float> init_params;
+  clients[0].view->gather(init_params);
+  strategy_.init(init_params, n);
+  APF_CHECK_MSG(strategy_.frozen_mask() == nullptr,
+                "AggregationMode::kAsyncBuffered aggregates dense full-model "
+                "pushes; "
+                    << strategy_.name() << " freezes coordinates");
+  const std::size_t buffer_dim = nn::flatten_buffers(*clients[0].model).size();
+  APF_CHECK_MSG(buffer_dim == 0,
+                "AggregationMode::kAsyncBuffered does not aggregate BatchNorm "
+                "buffers yet (model carries "
+                    << buffer_dim << " buffer scalars)");
+
+  // The runner owns the async global: a commit folds pushes from several
+  // origin rounds at once, which the strategy's per-round batch
+  // synchronize() contract cannot express.
+  std::vector<float> global(strategy_.global_params().begin(),
+                            strategy_.global_params().end());
+  for (auto& c : clients) c.view->scatter(global);
+  // Push-format probe: the commit decodes pushes as dense frames, so the
+  // strategy's encoding must round-trip through the dense codec.
+  {
+    const std::vector<std::uint8_t> probe =
+        stream->encode_push(ClientId(0), global);
+    APF_CHECK_MSG(wire::decode_dense(probe).size() == dim,
+                  strategy_.name()
+                      << " push frames are not dense; kAsyncBuffered "
+                         "supports dense full-model strategies only");
+  }
+
+  auto compute_seconds_of = [&](std::size_t i) {
+    const double mult = config_.compute_multiplier.empty()
+                            ? 1.0
+                            : config_.compute_multiplier[i];
+    return static_cast<double>(clients[i].iters_per_round) *
+           config_.compute_seconds_per_iter * mult;
+  };
+
+  SimulationResult result;
+  result.rounds.reserve(config_.rounds);
+  double cum_bytes = 0.0, cum_seconds = 0.0;
+  std::vector<std::vector<float>> client_params(n);
+  std::vector<float> anchor_copy;
+  Rng participation_rng(config_.seed ^ 0xC11E47ULL);
+  const std::size_t participants_per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config_.participation_fraction *
+                         static_cast<double>(n))));
+  std::vector<std::size_t> client_order(n);
+  for (std::size_t i = 0; i < n; ++i) client_order[i] = i;
+
+  const std::size_t goal_k =
+      std::min(n, config_.async_goal_k == 0 ? participants_per_round
+                                            : config_.async_goal_k);
+  transport::Bus bus(config_.network);
+  transport::BufferedAggregator buffer(dim, goal_k);
+
+  // One entry per push in flight; a client trains again only after its push
+  // has been folded.
+  struct Pending {
+    double arrival = 0.0;  // absolute simulated time the push lands
+    double weight = 0.0;   // partition-size aggregation weight
+  };
+  std::vector<std::optional<Pending>> pending(n);
+  double now = 0.0;
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    if (lr_schedule_ != nullptr) {
+      const double lr = lr_schedule_->lr(round - 1);
+      for (auto& c : clients) c.optimizer->set_lr(lr);
+    }
+    bus.begin_round(RoundId(round));
+    buffer.begin_round(RoundId(round));
+    // FedProx anchor: the global the joiners are about to pull.
+    if (config_.fedprox_mu > 0.0) {
+      anchor_copy.assign(global.begin(), global.end());
+    }
+
+    // Joiners: a deterministic draw among clients with no push in flight.
+    std::vector<std::size_t> joiners;
+    if (participants_per_round < n) {
+      participation_rng.shuffle(client_order);
+      for (const std::size_t idx : client_order) {
+        if (joiners.size() == participants_per_round) break;
+        if (!pending[idx].has_value()) joiners.push_back(idx);
+      }
+      std::sort(joiners.begin(), joiners.end());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!pending[i].has_value()) joiners.push_back(i);
+      }
+    }
+
+    // Pull: joiners download the current global as one dense frame each.
+    const std::vector<std::uint8_t> down = wire::encode_dense(global);
+    for (const std::size_t i : joiners) {
+      bus.deliver(ClientId(i), transport::Frame::Kind::kStrategy, down);
+    }
+    for (const std::size_t i : joiners) {
+      for (transport::Frame& frame : bus.take_pulls(ClientId(i))) {
+        clients[i].view->scatter(wire::decode_dense(frame.payload));
+      }
+    }
+
+    // Local training, same commit protocol as the synchronous path: losses
+    // land in per-client slots under the scratch mutex and reduce in client
+    // index order, so train_loss is bit-identical for any lane count.
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+    struct RoundScratch {
+      util::Mutex mu;
+      std::vector<double> loss APF_GUARDED_BY(mu);
+      std::vector<std::size_t> iters APF_GUARDED_BY(mu);
+    } scratch;
+    {
+      util::MutexLock lock(scratch.mu);
+      scratch.loss.assign(n, 0.0);
+      scratch.iters.assign(n, 0);
+    }
+    pool.parallel_for(joiners.size(), [&](std::size_t slot) {
+      const std::size_t i = joiners[slot];
+      Client& client = clients[i];
+      client.model->set_training(true);
+      double local_loss_sum = 0.0;
+      std::size_t local_loss_count = 0;
+      for (std::size_t it = 0; it < client.iters_per_round; ++it) {
+        const data::Batch batch = client.loader->next_batch();
+        client.optimizer->zero_grad();
+        const Tensor logits = client.model->forward(batch.inputs);
+        const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+        client.model->backward(loss.grad_logits);
+        if (config_.fedprox_mu > 0.0) {
+          optim::add_proximal_grad(*client.model, anchor_copy,
+                                   config_.fedprox_mu);
+        }
+        if (config_.grad_clip_norm > 0.0) {
+          optim::clip_grad_norm(*client.model, config_.grad_clip_norm);
+        }
+        client.optimizer->step();
+        local_loss_sum += loss.loss;
+        ++local_loss_count;
+      }
+      util::MutexLock lock(scratch.mu);
+      scratch.loss[i] = local_loss_sum;
+      scratch.iters[i] = local_loss_count;
+    });
+    {
+      util::MutexLock lock(scratch.mu);
+      for (const std::size_t i : joiners) {
+        loss_sum += scratch.loss[i];
+        loss_count += scratch.iters[i];
+      }
+    }
+
+    // Push: each joiner's encoded result is queued NOW (bytes charge at
+    // push, in this window) but only ARRIVES after its download + compute +
+    // upload; until then it is a straggler frame the commit may miss.
+    for (const std::size_t i : joiners) {
+      clients[i].view->gather(client_params[i]);
+      std::vector<std::uint8_t> up =
+          stream->encode_push(ClientId(i), client_params[i]);
+      double comm_seconds =
+          config_.network.client_download_seconds(ByteCount(down.size())) +
+          config_.network.client_upload_seconds(ByteCount(up.size()));
+      if (config_.network.frame_latency_seconds > 0.0) {
+        comm_seconds += 2.0 * config_.network.frame_latency_seconds;
+      }
+      Pending entry;
+      entry.arrival = now + compute_seconds_of(i) + comm_seconds;
+      entry.weight = static_cast<double>(partition_[i].size());
+      bus.push(ClientId(i), transport::Frame::Kind::kStrategy,
+               std::move(up));
+      pending[i] = entry;
+    }
+
+    // Commit decision: fold the first goal-K arrivals if the K-th lands
+    // before the timeout, otherwise whatever arrived by the timeout
+    // (possibly nothing). Ties and order are exact doubles from the
+    // deterministic timing model, so the schedule is reproducible.
+    std::vector<std::pair<double, std::size_t>> arrivals;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pending[i].has_value()) {
+        arrivals.emplace_back(pending[i]->arrival, i);
+      }
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    APF_CHECK_MSG(!arrivals.empty(),
+                  "async round " << round << " has no push in flight");
+    const std::size_t k = std::min(goal_k, arrivals.size());
+    const double deadline =
+        config_.async_timeout_seconds > 0.0
+            ? now + config_.async_timeout_seconds
+            : std::numeric_limits<double>::infinity();
+    double commit_time;
+    std::size_t fold_count;
+    if (arrivals[k - 1].first <= deadline) {
+      commit_time = arrivals[k - 1].first;
+      fold_count = k;
+    } else {
+      commit_time = deadline;
+      fold_count = 0;
+      while (fold_count < arrivals.size() &&
+             arrivals[fold_count].first <= deadline) {
+        ++fold_count;
+      }
+    }
+
+    // Fold the committed arrivals in arrival order; everything else stays
+    // queued on the bus and carries over.
+    RoundRecord record;
+    record.round = RoundId(round);
+    for (std::size_t c = 0; c < fold_count; ++c) {
+      const std::size_t i = arrivals[c].second;
+      std::vector<transport::Frame> frames = bus.take_pushes(ClientId(i));
+      APF_CHECK_MSG(frames.size() == 1,
+                    "async client " << i << " had " << frames.size()
+                                    << " pushes in flight (expected 1)");
+      transport::Frame& frame = frames[0];
+      buffer.fold(frame.client, frame.round, wire::decode_dense(frame.payload),
+                  pending[i]->weight);
+      record.staleness.emplace_back(
+          frame.client, RoundId(round).value() - frame.round.value());
+      pending[i].reset();
+    }
+    if (buffer.buffered() > 0) {
+      buffer.commit(global);
+    }
+    const transport::RoundStats net =
+        bus.finish_round(transport::FinishPolicy::kCarryOver);
+
+    const double total_bytes_all_clients = net.total_bytes.to_double();
+    const double mean_bytes =
+        total_bytes_all_clients / static_cast<double>(n);
+    // The window closes at the commit — goal-K arrival or timeout — never
+    // at the slowest straggler; the shared server link (which must carry
+    // every byte queued this window) still floors it. A commit_time in the
+    // past means the arrivals were already waiting: zero additional wait.
+    const double round_seconds =
+        std::max(std::max(0.0, commit_time - now),
+                 config_.network.server_seconds(total_bytes_all_clients));
+    now += round_seconds;
+
+    cum_bytes += mean_bytes;
+    cum_seconds += round_seconds;
+    record.train_loss =
+        loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    record.bytes_per_client = mean_bytes;
+    record.cumulative_bytes_per_client = cum_bytes;
+    record.participants = fold_count;
+    record.bytes_per_participant =
+        fold_count ? total_bytes_all_clients /
+                         static_cast<double>(fold_count)
+                   : 0.0;
+    record.frozen_fraction = 0.0;
+    record.round_seconds = round_seconds;
+    record.cumulative_seconds = cum_seconds;
+    if (round % config_.eval_every == 0 || round == config_.rounds) {
+      std::vector<nn::Module*> replicas;
+      replicas.reserve(eval_models.size());
+      for (std::size_t r = 0; r < eval_models.size(); ++r) {
+        eval_views[r]->scatter(global);
+        replicas.push_back(eval_models[r].get());
+      }
+      const EvalSums eval =
+          evaluate_sums_parallel(replicas, test_, eval_batch_size, pool);
+      record.test_accuracy =
+          eval.total == 0 ? 0.0
+                          : static_cast<double>(eval.correct) /
+                                static_cast<double>(eval.total);
+      result.best_accuracy =
+          std::max(result.best_accuracy, record.test_accuracy);
+      result.final_accuracy = record.test_accuracy;
+      APF_INFO("async round " << round << " acc=" << record.test_accuracy
+                              << " folded=" << fold_count
+                              << " loss=" << record.train_loss);
+    }
+    result.rounds.push_back(record);
+    if (observer_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        clients[i].view->gather(client_params[i]);
+      }
+      observer_(RoundId(round), global, client_params);
+    }
+  }
+
+  result.total_bytes_per_client = cum_bytes;
+  result.total_seconds = cum_seconds;
+  result.mean_frozen_fraction = 0.0;
+  result.final_global_params = global;
   APF_CHECK(result.final_global_params.size() == dim);
   return result;
 }

@@ -7,9 +7,11 @@
 // FedProx (§7.7) are supported through the config.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -26,6 +28,21 @@ namespace apf::fl {
 enum class StragglerPolicy {
   kInclude,  // aggregate partial work (FedAvg-naive / FedProx)
   kDrop,     // exclude stragglers from aggregation (FedAvg)
+};
+
+/// How client pushes become a new global model each round.
+enum class AggregationMode {
+  /// BSP rounds: every participant trains, pushes, and the round barriers on
+  /// the slowest of them before one batch aggregation (the paper's testbed).
+  kSynchronous,
+  /// FedBuff-style: pushes land whenever their client finishes (download +
+  /// compute + upload under the network model); the server folds arrivals
+  /// into a bounded transport::BufferedAggregator with staleness-discounted
+  /// weights and commits at goal-K arrivals or a straggler timeout,
+  /// whichever is first. Late pushes carry into the next round over the bus
+  /// (FinishPolicy::kCarryOver) instead of stalling the commit. Requires a
+  /// StreamSync-capable dense strategy (no freezing, no BatchNorm buffers).
+  kAsyncBuffered,
 };
 
 struct FlConfig {
@@ -61,6 +78,24 @@ struct FlConfig {
   /// 0 disables clipping.
   double grad_clip_norm = 0.0;
 
+  AggregationMode aggregation_mode = AggregationMode::kSynchronous;
+
+  /// kAsyncBuffered: contributions that commit a round (FedBuff's K, also
+  /// the buffer capacity). 0 = the per-round participant count, i.e. the
+  /// synchronous fan-in.
+  std::size_t async_goal_k = 0;
+
+  /// kAsyncBuffered: simulated seconds after a round opens before the server
+  /// commits whatever arrived (possibly nothing) and lets the rest carry
+  /// over. 0 = wait for goal-K however long it takes.
+  double async_timeout_seconds = 0.0;
+
+  /// Per-client compute-speed multipliers — the straggler distribution
+  /// (client i's iteration costs multiplier[i] * compute_seconds_per_iter
+  /// simulated seconds). Empty = all 1.0. Honored by both aggregation
+  /// modes' timing models; simulated time only, training is unaffected.
+  std::vector<double> compute_multiplier;
+
   /// Execution lanes used to train clients in parallel within a round (one
   /// persistent util::ThreadPool serves the whole simulation). Clients are
   /// fully independent between synchronizations and every cross-client
@@ -92,8 +127,18 @@ struct RoundRecord {
   double bytes_per_participant = 0.0;
 
   double frozen_fraction = 0.0;
-  double round_seconds = 0.0;  // simulated BSP barrier time
+  /// Simulated time this round took: synchronous rounds end when the last
+  /// participant finishes its own compute + comm (and the server link has
+  /// drained); async rounds end at the buffer commit (goal-K arrival or
+  /// straggler timeout).
+  double round_seconds = 0.0;
   double cumulative_seconds = 0.0;
+
+  /// kAsyncBuffered only: (client, staleness) of each contribution folded
+  /// into this round's commit, in fold (arrival) order. Staleness is the
+  /// number of commit windows since the push was encoded — 0 for a push that
+  /// landed in its own round. Empty in synchronous mode.
+  std::vector<std::pair<ClientId, std::uint64_t>> staleness;
 };
 
 struct SimulationResult {
@@ -147,6 +192,11 @@ class FederatedRunner {
   SimulationResult run();
 
  private:
+  /// The kAsyncBuffered round loop (docs/TRANSPORT.md, "Asynchronous
+  /// rounds"); run() dispatches here so the synchronous path stays
+  /// bit-identical, untouched by async bookkeeping.
+  SimulationResult run_async();
+
   FlConfig config_;
   const data::Dataset& train_;
   data::Partition partition_;

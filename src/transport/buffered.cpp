@@ -1,0 +1,83 @@
+#include "transport/buffered.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace apf::transport {
+
+BufferedAggregator::BufferedAggregator(std::size_t dim, std::size_t capacity)
+    : capacity_(capacity), acc_(dim, 0.0) {
+  APF_CHECK_MSG(capacity > 0, "BufferedAggregator capacity must be > 0");
+  contributions_.reserve(capacity);
+}
+
+void BufferedAggregator::begin_round(util::RoundId round) {
+  APF_CHECK_MSG(round.value() > 0, "begin_round with round 0");
+  APF_CHECK_MSG(!armed_ || round > round_,
+                "begin_round " << round << " does not advance past round "
+                               << round_);
+  round_ = round;
+  armed_ = true;
+}
+
+double BufferedAggregator::staleness_discount(std::uint64_t staleness) {
+  return 1.0 / std::sqrt(1.0 + static_cast<double>(staleness));
+}
+
+void BufferedAggregator::fold(util::ClientId client,
+                              util::RoundId origin_round,
+                              std::span<const float> values, double weight) {
+  // Validate EVERYTHING before touching acc_/contributions_/weight_sum_ so a
+  // rejected fold is atomic — the fuzz oracle snapshots around this call.
+  APF_CHECK_MSG(armed_, "fold before begin_round");
+  APF_CHECK_MSG(values.size() == acc_.size(),
+                "buffered fold payload dim " << values.size()
+                                             << " != aggregator dim "
+                                             << acc_.size());
+  APF_CHECK_MSG(std::isfinite(weight) && weight >= 0.0,
+                "buffered fold weight must be finite and >= 0, got "
+                    << weight);
+  APF_CHECK_MSG(origin_round.value() > 0 && origin_round <= round_,
+                "buffered fold origin round " << origin_round
+                                              << " outside [1, " << round_
+                                              << "]");
+  APF_CHECK_MSG(contributions_.size() < capacity_,
+                "buffered fold into a full buffer (capacity " << capacity_
+                                                              << ")");
+  const std::uint64_t staleness = round_.value() - origin_round.value();
+  const double discounted = weight * staleness_discount(staleness);
+  BufferedContribution entry;
+  entry.client = client;
+  entry.origin_round = origin_round;
+  entry.staleness = staleness;
+  entry.weight = weight;
+  contributions_.push_back(entry);
+  weight_sum_ += discounted;
+  for (std::size_t j = 0; j < acc_.size(); ++j) {
+    acc_[j] += discounted * static_cast<double>(values[j]);
+  }
+}
+
+void BufferedAggregator::commit(std::span<float> out) {
+  APF_CHECK(out.size() == acc_.size());
+  APF_CHECK_MSG(!contributions_.empty(),
+                "commit with no buffered contributions");
+  APF_CHECK_MSG(weight_sum_ > 0.0,
+                "commit with non-positive discounted weight sum "
+                    << weight_sum_);
+  for (std::size_t j = 0; j < acc_.size(); ++j) {
+    out[j] = static_cast<float>(acc_[j] / weight_sum_);
+  }
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  contributions_.clear();
+  weight_sum_ = 0.0;
+}
+
+std::size_t BufferedAggregator::memory_bytes() const {
+  return sizeof(*this) + acc_.capacity() * sizeof(double) +
+         contributions_.capacity() * sizeof(BufferedContribution);
+}
+
+}  // namespace apf::transport

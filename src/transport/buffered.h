@@ -1,0 +1,92 @@
+// Buffered asynchronous aggregation: fold pushes in ARRIVAL order behind a
+// bounded buffer (FedBuff-style).
+//
+// Unlike StreamingAggregator — whose determinism contract is "fold in
+// strictly ascending client id" — a BufferedAggregator accepts folds in any
+// client order: asynchronous pushes arrive whenever their client finishes,
+// and the caller's (deterministic, simulated) arrival schedule IS the fold
+// order. Each contribution carries the round its push was encoded in; the
+// aggregator measures staleness against the round armed by begin_round()
+// and discounts the contribution's weight by 1/sqrt(1 + staleness), the
+// standard FedBuff polynomial discount. Memory is O(model) for the
+// accumulator plus O(capacity) for the per-contribution side table.
+//
+// The buffer is bounded: at most `capacity` contributions may be buffered
+// at once, and the caller commits (weighted average, then reset) once its
+// goal-K is reached or its straggler timeout fires. Folding into a full
+// buffer throws; fold() validates every input before mutating any state, so
+// a rejected fold leaves the aggregator untouched (the same atomic-rejection
+// contract the fuzz oracle pins for every other stateful surface).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace apf::transport {
+
+/// Book-keeping for one folded contribution (the O(capacity) side table).
+struct BufferedContribution {
+  util::ClientId client;
+  util::RoundId origin_round;  // round the push was encoded in
+  std::uint64_t staleness = 0;  // commit round minus origin round
+  double weight = 0.0;          // raw caller weight, before the discount
+};
+
+class BufferedAggregator {
+ public:
+  /// An aggregator over payloads of `dim` scalars holding at most
+  /// `capacity` contributions between commits. capacity must be > 0.
+  BufferedAggregator(std::size_t dim, std::size_t capacity);
+
+  /// Arms the aggregator for round `round` (1-based); staleness of every
+  /// subsequent fold is measured against it. Carries the buffer over: any
+  /// contribution folded but not yet committed stays buffered.
+  void begin_round(util::RoundId round);
+
+  /// Folds one contribution: acc[j] += discount * weight * values[j] where
+  /// discount = staleness_discount(round - origin_round). Any client order
+  /// is accepted; determinism is the caller's arrival schedule. Throws
+  /// (leaving all state untouched) when the dimension mismatches, the
+  /// weight is non-finite or negative, origin_round is 0 or ahead of the
+  /// armed round, or the buffer is full.
+  void fold(util::ClientId client, util::RoundId origin_round,
+            std::span<const float> values, double weight);
+
+  /// Writes float(acc[j] / sum of discounted weights) over `out`, then
+  /// resets the buffer (the armed round is kept). Requires buffered() > 0
+  /// and a positive discounted weight sum.
+  void commit(std::span<float> out);
+
+  /// FedBuff polynomial staleness discount: 1 / sqrt(1 + staleness).
+  static double staleness_discount(std::uint64_t staleness);
+
+  std::size_t dim() const { return acc_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t buffered() const { return contributions_.size(); }
+  bool full() const { return contributions_.size() == capacity_; }
+  util::RoundId round() const { return round_; }
+  /// Sum of discounted weights currently buffered.
+  double weight_sum() const { return weight_sum_; }
+  std::span<const double> accumulated() const { return acc_; }
+  /// Folded-but-uncommitted contributions, in fold (arrival) order.
+  const std::vector<BufferedContribution>& contributions() const {
+    return contributions_;
+  }
+
+  /// Resident bytes: O(model) accumulator + O(capacity) side table.
+  std::size_t memory_bytes() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> acc_;
+  std::vector<BufferedContribution> contributions_;
+  double weight_sum_ = 0.0;
+  util::RoundId round_;
+  bool armed_ = false;
+};
+
+}  // namespace apf::transport

@@ -17,6 +17,21 @@ void Bus::begin_round(RoundId round) {
   APF_CHECK(round.value() > 0);
   round_ = round;
   in_round_ = true;
+  // The per-round peak starts at the bytes still in flight: carried frames
+  // were note_queued() at push time and have not been taken yet.
+  round_peak_queued_bytes_.store(queued_bytes_.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+  // Re-inject frames a kCarryOver finish left behind. They keep their
+  // original round id and seq (staleness bookkeeping depends on both) and
+  // are NOT re-charged: bytes and up_frames were counted in the round that
+  // pushed them. carried_ is in ascending (client, seq) order, so each
+  // link's inbox stays seq-sorted with carried frames ahead of new pushes.
+  for (Frame& frame : carried_) {
+    LinkState& link = links_.obtain(frame.client);
+    if (link.next_seq <= frame.seq) link.next_seq = util::next_seq(frame.seq);
+    link.inbox.push_back(std::move(frame));
+  }
+  carried_.clear();
 }
 
 SeqNo Bus::push(ClientId client, Frame::Kind kind,
@@ -72,6 +87,19 @@ std::vector<Frame> Bus::take_pushes() {
   return out;
 }
 
+std::vector<Frame> Bus::take_pushes(ClientId client) {
+  APF_CHECK_MSG(in_round_, "take_pushes outside begin_round/finish_round");
+  std::vector<Frame> out;
+  LinkState* link = links_.find(client);
+  if (link == nullptr) return out;
+  for (Frame& frame : link->inbox) {
+    note_taken(frame.payload.size());
+    out.push_back(std::move(frame));
+  }
+  link->inbox.clear();
+  return out;
+}
+
 std::vector<Frame> Bus::take_pulls(ClientId client) {
   APF_CHECK_MSG(in_round_, "take_pulls outside begin_round/finish_round");
   std::vector<Frame> out;
@@ -95,8 +123,9 @@ ByteCount Bus::link_down_bytes(ClientId client) const {
   return link == nullptr ? ByteCount(0) : link->down_bytes;
 }
 
-RoundStats Bus::finish_round() {
+RoundStats Bus::finish_round(FinishPolicy policy) {
   APF_CHECK_MSG(in_round_, "finish_round without begin_round");
+  const bool carry = policy == FinishPolicy::kCarryOver;
   RoundStats stats;
   stats.round = round_;
   // Ascending client id: the same order (and therefore the same double
@@ -105,10 +134,18 @@ RoundStats Bus::finish_round() {
   // an exact integer; converting it to double once is identical to summing
   // the exactly-representable per-link doubles.)
   links_.for_each_ordered([&](ClientId id, LinkState& link) {
-    APF_CHECK_MSG(link.inbox.empty(),
-                  "round " << round_ << ": client " << id << " pushed "
-                           << link.inbox.size()
-                           << " frame(s) the server never took");
+    if (carry) {
+      // Straggler pushes outlive the round; their bytes were charged at
+      // push time and stay queued until a later round takes them.
+      stats.carried_frames += link.inbox.size();
+      for (Frame& frame : link.inbox) carried_.push_back(std::move(frame));
+      link.inbox.clear();
+    } else {
+      APF_CHECK_MSG(link.inbox.empty(),
+                    "round " << round_ << ": client " << id << " pushed "
+                             << link.inbox.size()
+                             << " frame(s) the server never took");
+    }
     APF_CHECK_MSG(link.mailbox.empty(),
                   "round " << round_ << ": client " << id << " never took "
                            << link.mailbox.size()
@@ -122,6 +159,7 @@ RoundStats Bus::finish_round() {
       comm += network_.frame_latency_seconds *
               static_cast<double>(link.up_frames + link.down_frames);
     }
+    stats.link_comm_seconds.emplace_back(id, comm);
     stats.max_client_comm_seconds =
         std::max(stats.max_client_comm_seconds, comm);
     ++stats.active_links;
@@ -139,6 +177,12 @@ void Bus::note_queued(std::size_t bytes) {
   std::size_t peak = peak_queued_bytes_.load(std::memory_order_relaxed);
   while (now > peak && !peak_queued_bytes_.compare_exchange_weak(
                            peak, now, std::memory_order_relaxed)) {
+  }
+  std::size_t round_peak =
+      round_peak_queued_bytes_.load(std::memory_order_relaxed);
+  while (now > round_peak &&
+         !round_peak_queued_bytes_.compare_exchange_weak(
+             round_peak, now, std::memory_order_relaxed)) {
   }
 }
 

@@ -21,6 +21,10 @@
 // resets the per-round link state, so bus memory is O(links active this
 // round), not O(client universe).
 //
+// Asynchronous rounds relax exactly one clause: finish_round(kCarryOver)
+// lets untaken server-bound pushes (stragglers that missed the commit)
+// carry into the next round instead of throwing — see FinishPolicy.
+//
 // All identifiers crossing this interface are strong types (util/ids.h):
 // links are ClientId, rounds RoundId, send order SeqNo, and every byte
 // figure a ByteCount, so transposed arguments fail to compile.
@@ -34,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "transport/client_store.h"
@@ -42,17 +47,38 @@
 
 namespace apf::transport {
 
+/// What finish_round() does with a frame nobody consumed.
+enum class FinishPolicy : std::uint8_t {
+  /// Synchronous contract: every frame must have been taken; an untaken
+  /// frame is a routing bug and throws.
+  kStrict = 0,
+  /// Asynchronous contract: untaken SERVER-BOUND pushes are straggler
+  /// frames — they carry into the next round (original round id and seq
+  /// preserved, bytes charged once at push time, never re-charged) and
+  /// reappear in that round's inbox ahead of new pushes. Untaken
+  /// client-bound deliveries are still a routing bug in either policy:
+  /// the server chooses when to deliver, so it has no excuse.
+  kCarryOver = 1,
+};
+
 /// Measured traffic of one round, priced by the NetworkModel.
 struct RoundStats {
   RoundId round;
   std::size_t active_links = 0;  // links that carried at least one frame
   std::uint64_t frames_up = 0;
   std::uint64_t frames_down = 0;
+  /// Server-bound frames left untaken and carried into the next round
+  /// (always 0 under FinishPolicy::kStrict).
+  std::uint64_t carried_frames = 0;
   ByteCount total_bytes;  // up + down across all links
   /// BSP barrier: the slowest link's upload + download time.
   double max_client_comm_seconds = 0.0;
   /// Time for the shared server link to carry total_bytes.
   double server_seconds = 0.0;
+  /// Per-link comm seconds (upload + download + per-frame latency), in
+  /// ascending client id order — what a completion-time round model needs
+  /// to pair each client's comm with its own compute.
+  std::vector<std::pair<ClientId, double>> link_comm_seconds;
 };
 
 class Bus {
@@ -77,6 +103,12 @@ class Bus {
   /// sequence) — the deterministic fold order for streaming aggregation.
   std::vector<Frame> take_pushes();
 
+  /// Server receive, one link: drains only `client`'s inbox in send order
+  /// (empty if the link is untouched). The asynchronous server uses this to
+  /// take pushes in ARRIVAL order — its own deterministic schedule — while
+  /// leaving straggler frames queued for carry-over.
+  std::vector<Frame> take_pushes(ClientId client);
+
   /// Client receive: drains `client`'s mailbox in send order.
   std::vector<Frame> take_pulls(ClientId client);
 
@@ -89,16 +121,24 @@ class Bus {
     return ByteCount(queued_bytes_.load(std::memory_order_relaxed));
   }
 
-  /// High-water mark of queued_bytes() since construction — the figure the
-  /// million-client bench asserts is O(in-flight window), independent of the
-  /// client universe.
+  /// High-water mark of queued_bytes() since construction (never reset).
   ByteCount peak_queued_bytes() const {
     return ByteCount(peak_queued_bytes_.load(std::memory_order_relaxed));
   }
 
-  /// Closes the round: every frame must have been taken. Prices each link in
-  /// ascending client id order and resets all per-round link state.
-  RoundStats finish_round();
+  /// High-water mark of queued_bytes() since the last begin_round() — the
+  /// figure per-round windowing bounds (e.g. the million-client bench's
+  /// one-encode-window assertion) must use; the lifetime peak above only
+  /// ever ratchets up. begin_round() resets it to the bytes still in flight
+  /// (carried frames), not to zero.
+  ByteCount round_peak_queued_bytes() const {
+    return ByteCount(round_peak_queued_bytes_.load(std::memory_order_relaxed));
+  }
+
+  /// Closes the round under `policy` (see FinishPolicy). Prices each link in
+  /// ascending client id order and resets all per-round link state; carried
+  /// pushes (kCarryOver only) re-enter their links at the next begin_round().
+  RoundStats finish_round(FinishPolicy policy = FinishPolicy::kStrict);
 
  private:
   struct LinkState {
@@ -123,8 +163,13 @@ class Bus {
   RoundId round_;
   bool in_round_ = false;
   ShardedClientStore<LinkState> links_;
+  // Server-bound frames a kCarryOver finish left untaken, in ascending
+  // (client, seq) order; re-injected into their links by the next
+  // begin_round(). Their bytes stay in queued_bytes_ the whole time.
+  std::vector<Frame> carried_;
   std::atomic<std::size_t> queued_bytes_{0};
   std::atomic<std::size_t> peak_queued_bytes_{0};
+  std::atomic<std::size_t> round_peak_queued_bytes_{0};
 };
 
 }  // namespace apf::transport

@@ -37,6 +37,7 @@ void StreamingAggregator::fold(util::ClientId client,
 
 void StreamingAggregator::finish_weighted(std::span<float> out) const {
   APF_CHECK(out.size() == acc_.size());
+  APF_CHECK_MSG(folded_ > 0, "finish_weighted with no folded contributions");
   for (std::size_t j = 0; j < acc_.size(); ++j) {
     out[j] = static_cast<float>(acc_[j]);
   }

@@ -38,7 +38,8 @@ class StreamingAggregator {
   std::span<const double> accumulated() const { return acc_; }
 
   /// Writes float(acc[j]) over `out` — the weighted-sum finish used when the
-  /// folded weights were pre-normalized.
+  /// folded weights were pre-normalized. Requires folded() > 0, same contract
+  /// as finish_mean: an empty buffer has no aggregate, not an all-zero one.
   void finish_weighted(std::span<float> out) const;
 
   /// Writes float(acc[j] / folded()) over `out` — the plain-mean finish used

@@ -455,6 +455,205 @@ TEST(Runner, PartitionSizeMismatchThrows) {
       Error);
 }
 
+TEST(Runner, SyncRoundTimeIsMaxPerClientCompletion) {
+  // Round-time bugfix pin: the round ends at max_i(compute_i + comm_i), not
+  // at max_compute + max_comm. Client 0 computes slowly but ships few bytes;
+  // client 1 computes fast but ships many — under the old model the round
+  // cost the slow compute PLUS the big upload, as if one client owned both.
+  class SkewedBytesStrategy : public fl::SyncStrategyBase {
+   public:
+    Result synchronize(fl::RoundId /*round*/,
+                       std::vector<std::vector<float>>& client_params,
+                       const std::vector<double>& weights) override {
+      require_round_inputs(client_params, weights);
+      weighted_average(client_params, weights, global_);
+      for (auto& p : client_params) p = global_;
+      Result result;
+      result.bytes_up = {fl::ByteCount(1000), fl::ByteCount(100000)};
+      result.bytes_down.assign(client_params.size(), fl::ByteCount(0));
+      return result;
+    }
+    std::string name() const override { return "SkewedBytes"; }
+  };
+
+  SyntheticImageDataset train(tiny_spec(), 32, 1);
+  SyntheticImageDataset test(tiny_spec(), 8, 2);
+  Rng prng(14);
+  auto partition = data::iid_partition(train.size(), 2, prng);
+
+  fl::FlConfig config;
+  config.num_clients = 2;
+  config.rounds = 1;
+  config.local_iters = 1;
+  config.batch_size = 8;
+  config.eval_every = 100;
+  config.compute_seconds_per_iter = 1.0;
+  config.compute_multiplier = {8.0, 1.0};
+
+  SkewedBytesStrategy strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, tiny_mlp_factory(64, 4),
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      strategy);
+  const auto result = runner.run();
+  ASSERT_EQ(result.rounds.size(), 1u);
+
+  const double comm0 = config.network.client_upload_seconds(1000.0);
+  const double comm1 = config.network.client_upload_seconds(100000.0);
+  const double server = config.network.server_seconds(101000.0);
+  const double completion =
+      std::max({8.0 + comm0, 1.0 + comm1, 8.0 + server});
+  const double old_model = 8.0 + std::max(comm1, server);
+  EXPECT_DOUBLE_EQ(result.rounds[0].round_seconds, completion);
+  // The two maxima belong to different clients here, so the fixed model is
+  // strictly cheaper than the old glued-together one.
+  EXPECT_LT(result.rounds[0].round_seconds, old_model);
+  // Synchronous rounds carry no staleness bookkeeping.
+  EXPECT_TRUE(result.rounds[0].staleness.empty());
+}
+
+// Shared setup for the async-mode tests: a straggler distribution over a
+// small MLP task (no BatchNorm buffers — async requires dense state only).
+fl::SimulationResult run_async_case(std::size_t worker_threads,
+                                    std::size_t rounds,
+                                    std::vector<double> multipliers,
+                                    std::size_t goal_k, double timeout) {
+  SyntheticImageDataset train(tiny_spec(), 64, 1);
+  SyntheticImageDataset test(tiny_spec(), 16, 2);
+  Rng prng(15);
+  const std::size_t n = multipliers.size();
+  auto partition = data::iid_partition(train.size(), n, prng);
+
+  fl::FlConfig config;
+  config.num_clients = n;
+  config.rounds = rounds;
+  config.local_iters = 1;
+  config.batch_size = 8;
+  config.eval_every = 4;
+  config.compute_seconds_per_iter = 0.1;
+  config.compute_multiplier = std::move(multipliers);
+  config.aggregation_mode = fl::AggregationMode::kAsyncBuffered;
+  config.async_goal_k = goal_k;
+  config.async_timeout_seconds = timeout;
+  config.worker_threads = worker_threads;
+
+  fl::FullSync strategy;
+  fl::FederatedRunner runner(
+      config, train, partition, test, tiny_mlp_factory(64, 4),
+      [](nn::Module& m) {
+        return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+      },
+      strategy);
+  return runner.run();
+}
+
+TEST(Runner, AsyncBufferedIsBitIdenticalAcrossWorkerThreads) {
+  // The async schedule (arrivals, commits, staleness) is simulated time, not
+  // wall-clock, and training uses the same per-client-slot commit protocol
+  // as the sync path — so the whole SimulationResult must be bit-identical
+  // for any lane count.
+  const auto a = run_async_case(1, 8, {1.0, 3.0, 1.0, 9.0, 1.0}, 3, 1.0);
+  const auto b = run_async_case(4, 8, {1.0, 3.0, 1.0, 9.0, 1.0}, 3, 1.0);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].train_loss, b.rounds[r].train_loss) << r;
+    EXPECT_EQ(a.rounds[r].bytes_per_client, b.rounds[r].bytes_per_client)
+        << r;
+    EXPECT_EQ(a.rounds[r].round_seconds, b.rounds[r].round_seconds) << r;
+    EXPECT_EQ(a.rounds[r].participants, b.rounds[r].participants) << r;
+    EXPECT_EQ(a.rounds[r].test_accuracy, b.rounds[r].test_accuracy) << r;
+    EXPECT_EQ(a.rounds[r].staleness, b.rounds[r].staleness) << r;
+  }
+  EXPECT_EQ(a.final_global_params, b.final_global_params);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.total_bytes_per_client, b.total_bytes_per_client);
+}
+
+TEST(Runner, AsyncTimeoutCommitsShortAndLatePushCarriesOver) {
+  // Client 1 computes 100x slower than client 0. With goal-K = 2 and a
+  // timeout well short of the straggler's finish, round 1 must commit with
+  // just client 0 (timeout path), the straggler's frame carrying over round
+  // after round until its arrival falls inside a window — where it folds
+  // with the staleness it accumulated.
+  const auto result = run_async_case(1, 14, {1.0, 100.0}, 2, 1.0);
+  ASSERT_EQ(result.rounds.size(), 14u);
+  // Round 1: only the fast client made the deadline; its push was fresh.
+  EXPECT_EQ(result.rounds[0].participants, 1u);
+  ASSERT_EQ(result.rounds[0].staleness.size(), 1u);
+  EXPECT_EQ(result.rounds[0].staleness[0].first, fl::ClientId(0));
+  EXPECT_EQ(result.rounds[0].staleness[0].second, 0u);
+  // The straggler eventually folds, stale by at least one window.
+  bool straggler_folded = false;
+  for (const auto& r : result.rounds) {
+    for (const auto& [client, staleness] : r.staleness) {
+      if (client == fl::ClientId(1)) {
+        straggler_folded = true;
+        EXPECT_GE(staleness, 1u);
+        // Its window folded both the straggler and a fresh fast push.
+        EXPECT_EQ(r.participants, 2u);
+      }
+    }
+  }
+  EXPECT_TRUE(straggler_folded);
+  // Every round still accounts traffic and time.
+  for (const auto& r : result.rounds) {
+    EXPECT_GT(r.round_seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(r.bytes_per_client));
+  }
+}
+
+TEST(Runner, AsyncRequiresStreamCapableStrategyAndValidConfig) {
+  SyntheticImageDataset train(tiny_spec(), 32, 1);
+  SyntheticImageDataset test(tiny_spec(), 8, 2);
+  Rng prng(16);
+  auto partition = data::iid_partition(train.size(), 2, prng);
+  auto opt_factory = [](nn::Module& m) {
+    return std::make_unique<optim::Sgd>(m.parameters(), 0.05);
+  };
+
+  // A batch-only strategy cannot serve the async path: run() must reject it
+  // up front rather than mis-aggregate.
+  fl::FlConfig config;
+  config.num_clients = 2;
+  config.rounds = 1;
+  config.aggregation_mode = fl::AggregationMode::kAsyncBuffered;
+  BytesOnlyStrategy batch_only;
+  fl::FederatedRunner runner(config, train, partition, test,
+                             tiny_mlp_factory(64, 4), opt_factory,
+                             batch_only);
+  EXPECT_THROW(runner.run(), Error);
+
+  // Config validation stays at construction: a mis-sized straggler
+  // distribution or broken async knobs never reach the round loop.
+  fl::FullSync strategy;
+  fl::FlConfig bad = config;
+  bad.compute_multiplier = {1.0, 2.0, 3.0};  // 3 entries for 2 clients
+  EXPECT_THROW(fl::FederatedRunner(bad, train, partition, test,
+                                   tiny_mlp_factory(64, 4), opt_factory,
+                                   strategy),
+               Error);
+  bad = config;
+  bad.compute_multiplier = {1.0, 0.0};
+  EXPECT_THROW(fl::FederatedRunner(bad, train, partition, test,
+                                   tiny_mlp_factory(64, 4), opt_factory,
+                                   strategy),
+               Error);
+  bad = config;
+  bad.async_goal_k = 3;  // > num_clients
+  EXPECT_THROW(fl::FederatedRunner(bad, train, partition, test,
+                                   tiny_mlp_factory(64, 4), opt_factory,
+                                   strategy),
+               Error);
+  bad = config;
+  bad.async_timeout_seconds = -1.0;
+  EXPECT_THROW(fl::FederatedRunner(bad, train, partition, test,
+                                   tiny_mlp_factory(64, 4), opt_factory,
+                                   strategy),
+               Error);
+}
+
 TEST(FullSyncStream, ApplyPullRejectsWrongDimAtomically) {
   fl::FullSync sync;
   sync.init(std::vector<float>{1.f, 2.f, 3.f, 4.f}, 1);

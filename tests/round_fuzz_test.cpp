@@ -104,7 +104,7 @@ TEST(RoundFuzzSnapshot, IsReproducibleWithoutMutation) {
 
 TEST(RoundFuzzScript, GeneratedScriptsParseAndRunOnEveryRoundTarget) {
   const char* const names[] = {"apf-rounds", "strawman-rounds",
-                               "update-quant-rounds"};
+                               "update-quant-rounds", "async-rounds"};
   Rng rng(0x5C21B7ULL);
   for (const char* name : names) {
     const FuzzTarget* target = apf::fuzz::find_target(name);
@@ -146,7 +146,8 @@ TEST(RoundFuzzScript, MalformedScriptsAreRejectedAtomically) {
 TEST(RoundFuzzScript, MutationsAndCrossoversNeverEscapeTheTwoOutcomes) {
   Rng rng(0xF00DFACEULL);
   const char* const names[] = {"apf-rounds", "strawman-rounds",
-                               "runner-rounds", "update-quant-rounds"};
+                               "runner-rounds", "update-quant-rounds",
+                               "async-rounds"};
   for (const char* name : names) {
     const FuzzTarget* target = apf::fuzz::find_target(name);
     ASSERT_NE(target, nullptr) << name;

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <thread>
 #include <vector>
 
+#include "transport/buffered.h"
 #include "transport/bus.h"
 #include "transport/client_store.h"
 #include "transport/frame.h"
@@ -18,7 +20,9 @@
 namespace apf {
 namespace {
 
+using transport::BufferedAggregator;
 using transport::Bus;
+using transport::FinishPolicy;
 using transport::Frame;
 using transport::NetworkModel;
 using transport::RoundStats;
@@ -181,6 +185,20 @@ TEST(StreamingAggregator, RejectsDimMismatchAndBadWeight) {
       Error);
   std::vector<float> out(2);
   EXPECT_THROW(agg.finish_mean(out), Error);  // nothing folded
+}
+
+TEST(StreamingAggregator, BothFinishersRejectAnEmptyFold) {
+  // One contract for both finishers: an empty fold has no aggregate.
+  // finish_weighted used to return all-zeros silently while finish_mean
+  // threw — a zeroed global model on a zero-participant slip-through.
+  StreamingAggregator agg(3);
+  std::vector<float> out(3, 7.f);
+  EXPECT_THROW(agg.finish_weighted(out), Error);
+  EXPECT_THROW(agg.finish_mean(out), Error);
+  EXPECT_EQ(out, std::vector<float>(3, 7.f));  // rejected without writing
+  agg.fold(transport::ClientId(1), std::vector<float>{1.f, 2.f, 3.f}, 0.5);
+  EXPECT_NO_THROW(agg.finish_weighted(out));
+  EXPECT_NO_THROW(agg.finish_mean(out));
 }
 
 TEST(StreamingAggregator, MemoryIsProportionalToDimNotFanIn) {
@@ -368,6 +386,265 @@ TEST(TransportBus, ConcurrentPushesOnDistinctLinksAreSafe) {
   }
   const RoundStats stats = bus.finish_round();
   EXPECT_EQ(stats.frames_up, kClients);
+}
+
+TEST(TransportBus, ReportsPerLinkCommSecondsInAscendingOrder) {
+  NetworkModel net;
+  Bus bus(net);
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(9), Frame::Kind::kStrategy, payload_of(300, 0));
+  bus.push(transport::ClientId(2), Frame::Kind::kStrategy, payload_of(100, 0));
+  bus.deliver(transport::ClientId(2), Frame::Kind::kStrategy,
+              payload_of(40, 0));
+  (void)bus.take_pushes();
+  (void)bus.take_pulls(transport::ClientId(2));
+  const RoundStats stats = bus.finish_round();
+  ASSERT_EQ(stats.link_comm_seconds.size(), 2u);
+  EXPECT_EQ(stats.link_comm_seconds[0].first, transport::ClientId(2));
+  EXPECT_DOUBLE_EQ(stats.link_comm_seconds[0].second,
+                   net.client_upload_seconds(100.0) +
+                       net.client_download_seconds(40.0));
+  EXPECT_EQ(stats.link_comm_seconds[1].first, transport::ClientId(9));
+  EXPECT_DOUBLE_EQ(stats.link_comm_seconds[1].second,
+                   net.client_upload_seconds(300.0));
+  // max_client_comm_seconds is the max over exactly these per-link figures.
+  EXPECT_DOUBLE_EQ(stats.max_client_comm_seconds,
+                   std::max(stats.link_comm_seconds[0].second,
+                            stats.link_comm_seconds[1].second));
+}
+
+// ------------------------------------------------- async: carry-over bus --
+
+TEST(TransportBus, CarryOverKeepsLatePushesForTheNextRound) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(3), Frame::Kind::kStrategy, payload_of(8, 1));
+  bus.push(transport::ClientId(7), Frame::Kind::kStrategy, payload_of(5, 2));
+  // The server only takes client 3's push this round; client 7 straggles.
+  const std::vector<Frame> taken = bus.take_pushes(transport::ClientId(3));
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].client, transport::ClientId(3));
+  const RoundStats stats = bus.finish_round(FinishPolicy::kCarryOver);
+  EXPECT_EQ(stats.carried_frames, 1u);
+  // Both pushes were traffic of round 1 — carry-over defers, never re-bills.
+  EXPECT_EQ(stats.total_bytes, transport::ByteCount(13));
+  EXPECT_EQ(stats.frames_up, 2u);
+
+  bus.begin_round(transport::RoundId(2));
+  // The carried frame reappears with its ORIGINAL round id and seq…
+  const std::vector<Frame> late = bus.take_pushes(transport::ClientId(7));
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].round, transport::RoundId(1));
+  EXPECT_EQ(late[0].seq, transport::SeqNo(0));
+  EXPECT_EQ(late[0].payload, payload_of(5, 2));
+  // …and round 2 bills nothing for it.
+  const RoundStats stats2 = bus.finish_round(FinishPolicy::kCarryOver);
+  EXPECT_EQ(stats2.total_bytes, transport::ByteCount(0));
+  EXPECT_EQ(stats2.carried_frames, 0u);
+}
+
+TEST(TransportBus, CarriedFrameOrdersAheadOfNewPushesAndBumpsSeq) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(4), Frame::Kind::kStrategy, payload_of(3, 9));
+  (void)bus.finish_round(FinishPolicy::kCarryOver);
+  bus.begin_round(transport::RoundId(2));
+  // A new push on the same link must sequence AFTER the carried frame.
+  bus.push(transport::ClientId(4), Frame::Kind::kStrategy, payload_of(2, 8));
+  const std::vector<Frame> frames = bus.take_pushes(transport::ClientId(4));
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].round, transport::RoundId(1));
+  EXPECT_EQ(frames[0].seq, transport::SeqNo(0));
+  EXPECT_EQ(frames[1].round, transport::RoundId(2));
+  EXPECT_EQ(frames[1].seq, transport::SeqNo(1));
+  (void)bus.finish_round(FinishPolicy::kCarryOver);
+}
+
+TEST(TransportBus, CarryOverStillRejectsUntakenDeliveries) {
+  // Only server-bound pushes may straggle: an untaken client mailbox is a
+  // routing bug under either policy.
+  Bus bus(NetworkModel{});
+  bus.begin_round(transport::RoundId(1));
+  bus.deliver(transport::ClientId(0), Frame::Kind::kStrategy,
+              payload_of(4, 0));
+  EXPECT_THROW(bus.finish_round(FinishPolicy::kCarryOver), Error);
+}
+
+TEST(TransportBus, PerRoundPeakResetsWhileLifetimePeakPersists) {
+  Bus bus(NetworkModel{});
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(0), Frame::Kind::kStrategy,
+           payload_of(100, 0));
+  bus.push(transport::ClientId(1), Frame::Kind::kStrategy, payload_of(50, 0));
+  (void)bus.take_pushes();
+  EXPECT_EQ(bus.round_peak_queued_bytes(), transport::ByteCount(150));
+  EXPECT_EQ(bus.peak_queued_bytes(), transport::ByteCount(150));
+  (void)bus.finish_round();
+
+  bus.begin_round(transport::RoundId(2));
+  // Fresh round, nothing in flight: the per-round gauge restarts at zero
+  // while the lifetime high-water mark keeps the round-1 peak.
+  EXPECT_EQ(bus.round_peak_queued_bytes(), transport::ByteCount(0));
+  EXPECT_EQ(bus.peak_queued_bytes(), transport::ByteCount(150));
+  bus.push(transport::ClientId(0), Frame::Kind::kStrategy, payload_of(30, 0));
+  (void)bus.take_pushes();
+  EXPECT_EQ(bus.round_peak_queued_bytes(), transport::ByteCount(30));
+  EXPECT_EQ(bus.peak_queued_bytes(), transport::ByteCount(150));
+  (void)bus.finish_round();
+}
+
+TEST(TransportBus, PerRoundPeakStartsAtCarriedBytes) {
+  // A carried frame's bytes are still in flight when the next round opens,
+  // so the per-round gauge starts there, not at zero.
+  Bus bus(NetworkModel{});
+  bus.begin_round(transport::RoundId(1));
+  bus.push(transport::ClientId(2), Frame::Kind::kStrategy, payload_of(60, 0));
+  (void)bus.finish_round(FinishPolicy::kCarryOver);
+  bus.begin_round(transport::RoundId(2));
+  EXPECT_EQ(bus.round_peak_queued_bytes(), transport::ByteCount(60));
+  EXPECT_EQ(bus.queued_bytes(), transport::ByteCount(60));
+  (void)bus.take_pushes(transport::ClientId(2));
+  EXPECT_EQ(bus.queued_bytes(), transport::ByteCount(0));
+  (void)bus.finish_round(FinishPolicy::kCarryOver);
+}
+
+// --------------------------------------------------- buffered aggregator --
+
+TEST(BufferedAggregator, AcceptsOutOfOrderFoldsAndMatchesReference) {
+  // Arrival order is the fold order — client ids may arrive in any order,
+  // unlike StreamingAggregator. The commit must equal a hand-rolled
+  // double-precision weighted average with the same fold sequence.
+  BufferedAggregator agg(3, 4);
+  agg.begin_round(transport::RoundId(1));
+  const std::vector<std::vector<float>> payloads = {
+      {1.f, 2.f, 3.f}, {-4.f, 0.5f, 8.f}, {2.f, 2.f, 2.f}};
+  const std::vector<std::uint64_t> client_ids = {9, 2, 5};  // out of order
+  const std::vector<double> weights = {2.0, 1.0, 3.0};
+  std::vector<double> acc(3, 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    agg.fold(transport::ClientId(client_ids[i]), transport::RoundId(1),
+             payloads[i], weights[i]);
+    // Staleness 0: the discount is exactly 1.
+    for (std::size_t j = 0; j < 3; ++j) {
+      acc[j] += weights[i] * static_cast<double>(payloads[i][j]);
+    }
+    weight_sum += weights[i];
+  }
+  EXPECT_EQ(agg.buffered(), 3u);
+  EXPECT_FALSE(agg.full());
+  std::vector<float> out(3);
+  agg.commit(out);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(out[j], static_cast<float>(acc[j] / weight_sum)) << j;
+  }
+  // Commit resets the buffer for the next window.
+  EXPECT_EQ(agg.buffered(), 0u);
+  EXPECT_EQ(agg.weight_sum(), 0.0);
+}
+
+TEST(BufferedAggregator, DiscountsStaleContributions) {
+  BufferedAggregator agg(2, 2);
+  agg.begin_round(transport::RoundId(3));
+  // A fresh push and one from two windows ago, equal raw weights.
+  agg.fold(transport::ClientId(0), transport::RoundId(3),
+           std::vector<float>{1.f, 0.f}, 1.0);
+  agg.fold(transport::ClientId(1), transport::RoundId(1),
+           std::vector<float>{0.f, 1.f}, 1.0);
+  ASSERT_EQ(agg.contributions().size(), 2u);
+  EXPECT_EQ(agg.contributions()[0].staleness, 0u);
+  EXPECT_EQ(agg.contributions()[1].staleness, 2u);
+  const double d0 = BufferedAggregator::staleness_discount(0);
+  const double d2 = BufferedAggregator::staleness_discount(2);
+  EXPECT_DOUBLE_EQ(d0, 1.0);
+  EXPECT_DOUBLE_EQ(d2, 1.0 / std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(agg.weight_sum(), d0 + d2);
+  std::vector<float> out(2);
+  agg.commit(out);
+  EXPECT_EQ(out[0], static_cast<float>(d0 / (d0 + d2)));
+  EXPECT_EQ(out[1], static_cast<float>(d2 / (d0 + d2)));
+}
+
+TEST(BufferedAggregator, RejectsInvalidFoldsAtomically) {
+  BufferedAggregator agg(2, 2);
+  std::vector<float> ok{1.f, 2.f};
+  // Fold before begin_round is rejected.
+  EXPECT_THROW(
+      agg.fold(transport::ClientId(0), transport::RoundId(1), ok, 1.0),
+      Error);
+  agg.begin_round(transport::RoundId(2));
+  agg.fold(transport::ClientId(0), transport::RoundId(2), ok, 1.0);
+  const std::vector<double> acc_before(agg.accumulated().begin(),
+                                       agg.accumulated().end());
+  const double weight_before = agg.weight_sum();
+  // Dim mismatch, bad weight, origin round 0, origin round ahead of the
+  // armed round: each rejected without touching the buffer.
+  EXPECT_THROW(agg.fold(transport::ClientId(1), transport::RoundId(2),
+                        std::vector<float>{1.f}, 1.0),
+               Error);
+  EXPECT_THROW(agg.fold(transport::ClientId(1), transport::RoundId(2), ok,
+                        std::numeric_limits<double>::quiet_NaN()),
+               Error);
+  EXPECT_THROW(
+      agg.fold(transport::ClientId(1), transport::RoundId(2), ok, -1.0),
+      Error);
+  EXPECT_THROW(
+      agg.fold(transport::ClientId(1), transport::RoundId(0), ok, 1.0),
+      Error);
+  EXPECT_THROW(
+      agg.fold(transport::ClientId(1), transport::RoundId(3), ok, 1.0),
+      Error);
+  EXPECT_EQ(agg.buffered(), 1u);
+  EXPECT_EQ(agg.weight_sum(), weight_before);
+  EXPECT_TRUE(std::equal(acc_before.begin(), acc_before.end(),
+                         agg.accumulated().begin()));
+}
+
+TEST(BufferedAggregator, BoundsTheBufferAndRequiresContributionsToCommit) {
+  BufferedAggregator agg(1, 2);
+  agg.begin_round(transport::RoundId(1));
+  std::vector<float> out(1, 5.f);
+  EXPECT_THROW(agg.commit(out), Error);  // empty buffer has no aggregate
+  EXPECT_EQ(out[0], 5.f);
+  std::vector<float> v{1.f};
+  agg.fold(transport::ClientId(0), transport::RoundId(1), v, 1.0);
+  agg.fold(transport::ClientId(1), transport::RoundId(1), v, 1.0);
+  EXPECT_TRUE(agg.full());
+  // The buffer is bounded: a fold past capacity throws, atomically.
+  EXPECT_THROW(agg.fold(transport::ClientId(2), transport::RoundId(1), v, 1.0),
+               Error);
+  EXPECT_EQ(agg.buffered(), 2u);
+  agg.commit(out);
+  EXPECT_EQ(out[0], 1.f);
+  // Zero total weight cannot commit (nothing to normalize by).
+  agg.begin_round(transport::RoundId(2));
+  agg.fold(transport::ClientId(0), transport::RoundId(2), v, 0.0);
+  EXPECT_THROW(agg.commit(out), Error);
+}
+
+TEST(BufferedAggregator, MemoryIsModelPlusCapacityNotFanIn) {
+  BufferedAggregator agg(64, 8);
+  agg.begin_round(transport::RoundId(1));
+  const std::size_t before = agg.memory_bytes();
+  std::vector<float> v(64, 1.f);
+  for (std::uint64_t w = 1; w <= 1000; ++w) {
+    agg.begin_round(transport::RoundId(w + 1));
+    for (std::uint64_t c = 0; c < 8; ++c) {
+      agg.fold(transport::ClientId(c * 1000 + w), transport::RoundId(w + 1),
+               v, 1.0);
+    }
+    std::vector<float> out(64);
+    agg.commit(out);
+  }
+  EXPECT_EQ(agg.memory_bytes(), before);  // O(model + K), not O(folds)
+}
+
+TEST(BufferedAggregator, RoundsMustAdvance) {
+  BufferedAggregator agg(1, 1);
+  agg.begin_round(transport::RoundId(2));
+  EXPECT_THROW(agg.begin_round(transport::RoundId(2)), Error);
+  EXPECT_THROW(agg.begin_round(transport::RoundId(1)), Error);
+  EXPECT_NO_THROW(agg.begin_round(transport::RoundId(3)));
 }
 
 }  // namespace

@@ -76,8 +76,8 @@ TEST(WireFuzzCorpus, EveryEntryReplaysCleanly) {
     }
     ++files;
   }
-  // 14 targets x 3 valid seeds + 15 regression entries.
-  EXPECT_GE(files, 57u) << "corpus went missing?";
+  // 15 targets x 3 valid seeds + 16 regression entries.
+  EXPECT_GE(files, 61u) << "corpus went missing?";
 }
 
 // -- two-outcome property over adversarial inputs ---------------------------

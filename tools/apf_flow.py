@@ -30,7 +30,8 @@ asserts it):
                          Waive: // lint-apf: allow-flow-atomic-reject(<why>)
 
   flow-fold-determinism  A fold root (begin_fold / fold_push / finish_fold /
-                         ordered_reduce / any StreamingAggregator method)
+                         ordered_reduce / any StreamingAggregator or
+                         BufferedAggregator method)
                          transitively reaches a stateful rng draw (member
                          rng or caller-owned Rng&) or a hash-order iteration
                          over an unordered container. Fold results must be
@@ -613,7 +614,8 @@ def check_atomic_interproc(f, funcs_by_name, raw_lines, stripped, root,
 def check_fold_determinism(f, raw_lines, root, findings):
     if not in_dirs(f.path, root, ("src",)):
         return
-    if f.name not in FOLD_ROOTS and f.cls != "StreamingAggregator":
+    if (f.name not in FOLD_ROOTS and
+            f.cls not in ("StreamingAggregator", "BufferedAggregator")):
         return
     if f.t_rng:
         if not ast.has_waiver(raw_lines, f.head_line, WAIVER_FOLD):
